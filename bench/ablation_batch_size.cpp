@@ -1,0 +1,74 @@
+// Ablation of the batch executor: batch size k, and the cost of the strict
+// conflict-deferral mode relative to the paper-faithful semantics
+// (DESIGN.md §4 calls this trade-off out explicitly).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace paracosm;
+using namespace paracosm::bench;
+
+int main(int argc, char** argv) {
+  util::Cli cli = standard_cli("ablation_batch_size",
+                               "Ablation: batch size k and batch semantics");
+  cli.option("algorithm", "symbi", "Algorithm to ablate");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const double scale = cli.get_double("scale");
+  const auto num_queries = static_cast<std::uint32_t>(cli.get_int("queries"));
+  const std::int64_t stream_cap = cli.get_int("stream");
+  const std::int64_t timeout_ms = cli.get_int("timeout-ms");
+  const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::string algorithm = cli.get("algorithm");
+
+  print_experiment_banner("Ablation: batch size / semantics",
+                          "Batch executor makespan vs k, strict vs paper mode, " +
+                              algorithm + " (Orkut stand-in)");
+
+  Workload wl = build_workload(graph::orkut_spec(scale), 6, num_queries, 0.10, seed);
+  cap_stream(wl, stream_cap);
+  if (algorithm == "calig") wl = strip_edge_labels(wl);
+
+  util::Table table({"batch_k", "mode", "makespan_ms", "batches", "conflicts"});
+  util::CsvWriter csv(results_path("ablation_batch_size"),
+                      {"batch_k", "mode", "makespan_ms", "batches", "conflicts"});
+
+  for (const unsigned k : {8u, 32u, 128u, 512u}) {
+    for (const auto mode : {engine::BatchMode::kStrict, engine::BatchMode::kPaper}) {
+      double makespan = 0;
+      std::uint64_t batches = 0, conflicts = 0;
+      std::uint32_t ok = 0;
+      for (const auto& q : wl.queries) {
+        auto alg = csm::make_algorithm(algorithm);
+        graph::DataGraph g = wl.graph;
+        engine::Config cfg;
+        cfg.threads = threads;
+        cfg.batch_size = k;
+        cfg.batch_mode = mode;
+        engine::ParaCosm pc(*alg, q, g, cfg);
+        const auto deadline =
+            timeout_ms > 0
+                ? util::Clock::now() + std::chrono::milliseconds(timeout_ms)
+                : util::Clock::time_point{};
+        const engine::StreamResult sr = pc.process_stream(wl.stream, deadline);
+        if (sr.timed_out) continue;
+        ++ok;
+        makespan += static_cast<double>(sr.stats.simulated_makespan_ns()) / 1e6;
+        batches += sr.batches;
+        conflicts += sr.deferred_conflicts;
+      }
+      if (ok == 0) continue;
+      const char* mode_str = mode == engine::BatchMode::kStrict ? "strict" : "paper";
+      table.row({std::to_string(k), mode_str, util::Table::num(makespan / ok, 3),
+                 std::to_string(batches / ok), std::to_string(conflicts / ok)});
+      csv.row({std::to_string(k), mode_str, util::CsvWriter::num(makespan / ok, 3),
+               util::CsvWriter::num(batches / ok), util::CsvWriter::num(conflicts / ok)});
+    }
+  }
+
+  std::puts("Batch executor ablation:");
+  table.print();
+  std::printf("\nCSV written to %s\n", results_path("ablation_batch_size").c_str());
+  return 0;
+}

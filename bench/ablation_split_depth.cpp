@@ -1,0 +1,72 @@
+// Ablation of SPLIT_DEPTH (Algorithm 2's task-splitting bound), a design
+// choice DESIGN.md calls out: too shallow starves the queue (no re-splits
+// when skew appears), too deep floods it with tiny tasks whose queue
+// round-trips dominate.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace paracosm;
+using namespace paracosm::bench;
+
+int main(int argc, char** argv) {
+  util::Cli cli = standard_cli("ablation_split_depth",
+                               "Ablation: SPLIT_DEPTH of the inner executor");
+  cli.option("algorithm", "graphflow", "Algorithm to ablate");
+  cli.option("query-size", "7", "Query graph size");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const double scale = cli.get_double("scale");
+  const auto num_queries = static_cast<std::uint32_t>(cli.get_int("queries"));
+  const std::int64_t stream_cap = cli.get_int("stream");
+  const std::int64_t timeout_ms = cli.get_int("timeout-ms");
+  const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::string algorithm = cli.get("algorithm");
+
+  print_experiment_banner("Ablation: SPLIT_DEPTH",
+                          "Inner-update executor simulated makespan vs task "
+                          "splitting depth, " + algorithm);
+
+  Workload wl = build_workload(graph::livejournal_spec(scale),
+                               static_cast<std::uint32_t>(cli.get_int("query-size")),
+                               num_queries, 0.10, seed);
+  cap_stream(wl, stream_cap);
+  if (algorithm == "calig") wl = strip_edge_labels(wl);
+
+  util::Table table({"split_depth", "makespan_ms", "cpu_ms", "speedup_vs_depth0"});
+  util::CsvWriter csv(results_path("ablation_split_depth"),
+                      {"split_depth", "makespan_ms", "cpu_ms"});
+  double depth0 = 0;
+  for (const std::uint32_t depth : {0u, 1u, 2u, 3u, 4u, 6u, 8u, 16u}) {
+    double makespan = 0, cpu = 0;
+    std::uint32_t ok = 0;
+    for (const auto& q : wl.queries) {
+      RunConfig cfg;
+      cfg.algorithm = algorithm;
+      cfg.mode = Mode::kInnerOnly;
+      cfg.threads = threads;
+      cfg.split_depth = depth;
+      cfg.timeout_ms = timeout_ms;
+      const RunResult r = run_stream(wl, q, cfg);
+      if (!r.success) continue;
+      ++ok;
+      makespan += r.sim_makespan_ms;
+      cpu += r.cpu_ms;
+    }
+    if (ok == 0) continue;
+    makespan /= ok;
+    cpu /= ok;
+    if (depth == 0) depth0 = makespan;
+    table.row({std::to_string(depth), util::Table::num(makespan, 3),
+               util::Table::num(cpu, 3),
+               depth0 > 0 ? util::Table::num(depth0 / makespan, 2) + "x" : "-"});
+    csv.row({std::to_string(depth), util::CsvWriter::num(makespan, 3),
+             util::CsvWriter::num(cpu, 3)});
+  }
+
+  std::puts("SPLIT_DEPTH ablation (depth 0 = no splitting below the seeds):");
+  table.print();
+  std::printf("\nCSV written to %s\n", results_path("ablation_split_depth").c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Context experiment for the paper's Table 1: how far incremental CSM
+// algorithms outrun the IncIsoMatch-style full-recomputation baseline.
+// The gap (orders of magnitude, growing with graph size) is the premise of
+// the whole CSM line of work that ParaCOSM then parallelizes.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace paracosm;
+using namespace paracosm::bench;
+
+int main(int argc, char** argv) {
+  util::Cli cli = standard_cli("baseline_recompute",
+                               "Table 1 context: recomputation vs incremental");
+  cli.option("queries", "2", "Query graphs per configuration");
+  cli.option("stream", "150", "Max updates (recomputation is slow by design)");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const double scale = cli.get_double("scale");
+  const auto num_queries = static_cast<std::uint32_t>(cli.get_int("queries"));
+  const std::int64_t stream_cap = cli.get_int("stream");
+  const std::int64_t timeout_ms = cli.get_int("timeout-ms");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  print_experiment_banner(
+      "Table 1 context (recomputation baseline)",
+      "Per-stream cost of IncIsoMatch-style full recomputation vs the "
+      "incremental algorithms, Amazon stand-in");
+
+  Workload wl = build_workload(graph::amazon_spec(scale), 5, num_queries, 0.10, seed);
+  cap_stream(wl, stream_cap);
+
+  util::Table table({"algorithm", "mean_ms", "vs_recompute"});
+  util::CsvWriter csv(results_path("baseline_recompute"),
+                      {"algorithm", "mean_ms", "speedup_vs_recompute"});
+
+  double recompute_ms = 0;
+  std::vector<std::string_view> algos{"incisomatch", "graphflow", "turboflux",
+                                      "symbi", "newsp"};
+  for (const auto name : algos) {
+    RunConfig cfg;
+    cfg.algorithm = std::string(name);
+    cfg.mode = Mode::kSequential;
+    cfg.timeout_ms = timeout_ms;
+    const AggregateResult agg = run_all_queries(wl, cfg);
+    if (name == "incisomatch") recompute_ms = agg.mean_ms;
+    const double speedup = agg.mean_ms > 0 ? recompute_ms / agg.mean_ms : 0.0;
+    table.row({std::string(name), util::Table::num(agg.mean_ms, 3),
+               name == "incisomatch" ? "1.00x" : util::Table::num(speedup, 1) + "x"});
+    csv.row({std::string(name), util::CsvWriter::num(agg.mean_ms, 3),
+             util::CsvWriter::num(speedup, 1)});
+  }
+
+  std::puts("Recomputation vs incremental (single-threaded, same stream):");
+  table.print();
+  std::printf("\nCSV written to %s\n", results_path("baseline_recompute").c_str());
+  return 0;
+}

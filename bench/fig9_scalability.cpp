@@ -1,0 +1,71 @@
+// Regenerates paper Figure 9: ParaCOSM speedup at 8/16/32/64/128 threads
+// relative to the single-threaded baselines (LiveJournal stand-in).
+//
+// Paper shape to reproduce: strong scaling for TurboFlux/GraphFlow, peak-
+// then-plateau for Symbi/CaLiG around 32 threads, modest scaling for NewSP.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace paracosm;
+using namespace paracosm::bench;
+
+int main(int argc, char** argv) {
+  util::Cli cli = standard_cli("fig9_scalability",
+                               "Figure 9: speedup vs number of threads");
+  cli.option("query-size", "7", "Query graph size");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const double scale = cli.get_double("scale");
+  const auto num_queries = static_cast<std::uint32_t>(cli.get_int("queries"));
+  const std::int64_t stream_cap = cli.get_int("stream");
+  const std::int64_t timeout_ms = cli.get_int("timeout-ms");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto qsize = static_cast<std::uint32_t>(cli.get_int("query-size"));
+
+  print_experiment_banner("Figure 9",
+                          "Speedup (simulated makespan) of ParaCOSM with 8/16/32/"
+                          "64/128 threads over single-threaded, LiveJournal stand-in");
+
+  // The calibrated hard variant gives the searches enough weight for
+  // parallelism to matter (see bench_util.hpp).
+  Workload wl = build_workload(livejournal_hard_spec(scale, 8), qsize, num_queries,
+                               0.10, seed);
+  cap_stream(wl, stream_cap);
+  const Workload stripped = strip_edge_labels(wl);
+
+  const std::vector<unsigned> thread_counts{8, 16, 32, 64, 128};
+  util::Table table({"algorithm", "8", "16", "32", "64", "128"});
+  util::CsvWriter csv(results_path("fig9_scalability"),
+                      {"algorithm", "threads", "seq_ms", "para_ms", "speedup"});
+
+  for (const auto name : csm::algorithm_names()) {
+    const Workload& view = workload_for(std::string(name), wl, stripped);
+    RunConfig seq;
+    seq.algorithm = std::string(name);
+    seq.mode = Mode::kSequential;
+    seq.timeout_ms = timeout_ms;
+    const AggregateResult base = run_all_queries(view, seq);
+
+    std::vector<std::string> row{std::string(name)};
+    for (const unsigned threads : thread_counts) {
+      RunConfig par = seq;
+      par.mode = Mode::kFull;
+      par.threads = threads;
+      const AggregateResult fast = run_all_queries(view, par);
+      row.push_back(format_speedup(base.mean_ms, fast.mean_ms, base.success_rate > 0,
+                                   fast.success_rate > 0));
+      csv.row({std::string(name), std::to_string(threads),
+               util::CsvWriter::num(base.mean_ms), util::CsvWriter::num(fast.mean_ms),
+               util::CsvWriter::num(base.mean_ms > 0 && fast.mean_ms > 0
+                                        ? base.mean_ms / fast.mean_ms
+                                        : 0.0)});
+    }
+    table.row(std::move(row));
+  }
+
+  std::puts("Figure 9 — speedup by thread count:");
+  table.print();
+  std::printf("\nCSV written to %s\n", results_path("fig9_scalability").c_str());
+  return 0;
+}

@@ -1,0 +1,136 @@
+// google-benchmark microbenchmarks for the substrates: dynamic graph
+// mutation/lookup, index maintenance, classifier latency, and the concurrent
+// task queue. These quantify the per-operation constants behind the
+// macro-level tables.
+#include <benchmark/benchmark.h>
+
+#include "csm/candidate_index.hpp"
+#include "csm/support_index.hpp"
+#include "graph/generators.hpp"
+#include "paracosm/classifier.hpp"
+#include "paracosm/task_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace paracosm;
+
+graph::DataGraph make_graph(std::uint32_t n, std::uint64_t m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::generate_erdos_renyi(n, m, 8, 4, rng);
+}
+
+void BM_DataGraphAddRemoveEdge(benchmark::State& state) {
+  graph::DataGraph g = make_graph(static_cast<std::uint32_t>(state.range(0)),
+                                  static_cast<std::uint64_t>(state.range(0)) * 8, 1);
+  util::Rng rng(2);
+  const std::uint32_t n = g.vertex_capacity();
+  for (auto _ : state) {
+    const auto u = static_cast<graph::VertexId>(rng.bounded(n));
+    const auto v = static_cast<graph::VertexId>(rng.bounded(n));
+    if (g.add_edge(u, v, 0)) benchmark::DoNotOptimize(g.remove_edge(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DataGraphAddRemoveEdge)->Arg(1024)->Arg(16384);
+
+void BM_DataGraphEdgeLookup(benchmark::State& state) {
+  graph::DataGraph g = make_graph(4096, 32768, 3);
+  util::Rng rng(4);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::VertexId>(rng.bounded(4096));
+    const auto v = static_cast<graph::VertexId>(rng.bounded(4096));
+    benchmark::DoNotOptimize(g.has_edge(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DataGraphEdgeLookup);
+
+template <bool kTreeOnly>
+void BM_DagIndexUpdate(benchmark::State& state) {
+  util::Rng rng(5);
+  graph::DataGraph g = make_graph(2048, 16384, 5);
+  const auto q = graph::extract_query(g, 6, rng);
+  if (!q) {
+    state.SkipWithError("query extraction failed");
+    return;
+  }
+  csm::DagCandidateIndex index;
+  index.build(*q, g, kTreeOnly);
+  const std::uint32_t n = g.vertex_capacity();
+  for (auto _ : state) {
+    const auto u = static_cast<graph::VertexId>(rng.bounded(n));
+    const auto v = static_cast<graph::VertexId>(rng.bounded(n));
+    if (g.add_edge(u, v, 0)) {
+      index.on_edge_inserted(u, v, 0);
+      g.remove_edge(u, v);
+      index.on_edge_removed(u, v, 0);
+    }
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_DagIndexUpdate<true>)->Name("BM_DcgIndexUpdate_TurboFlux");
+BENCHMARK(BM_DagIndexUpdate<false>)->Name("BM_DcsIndexUpdate_Symbi");
+
+void BM_SupportIndexUpdate(benchmark::State& state) {
+  util::Rng rng(6);
+  graph::DataGraph g = make_graph(2048, 16384, 6);
+  const auto q = graph::extract_query(g, 6, rng);
+  if (!q) {
+    state.SkipWithError("query extraction failed");
+    return;
+  }
+  csm::SupportIndex index;
+  index.build(*q, g);
+  const std::uint32_t n = g.vertex_capacity();
+  for (auto _ : state) {
+    const auto u = static_cast<graph::VertexId>(rng.bounded(n));
+    const auto v = static_cast<graph::VertexId>(rng.bounded(n));
+    if (g.add_edge(u, v, 0)) {
+      index.on_edge_inserted(u, v);
+      g.remove_edge(u, v);
+      index.on_edge_removed(u, v);
+    }
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_SupportIndexUpdate);
+
+void BM_ClassifierLatency(benchmark::State& state) {
+  util::Rng rng(7);
+  graph::DataGraph g = make_graph(2048, 16384, 7);
+  const auto q = graph::extract_query(g, 6, rng);
+  if (!q) {
+    state.SkipWithError("query extraction failed");
+    return;
+  }
+  auto alg = csm::make_algorithm("symbi");
+  alg->attach(*q, g);
+  engine::UpdateClassifier classifier(*q, g, *alg);
+  const std::uint32_t n = g.vertex_capacity();
+  for (auto _ : state) {
+    const auto u = static_cast<graph::VertexId>(rng.bounded(n));
+    const auto v = static_cast<graph::VertexId>(rng.bounded(n));
+    benchmark::DoNotOptimize(
+        classifier.classify(graph::GraphUpdate::insert_edge(u, v, 0)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassifierLatency);
+
+void BM_TaskQueuePushPop(benchmark::State& state) {
+  engine::TaskQueue queue;
+  csm::SearchTask task{{{0, 1}, {1, 2}}};
+  for (auto _ : state) {
+    queue.push(csm::SearchTask(task));
+    auto popped = queue.try_pop();
+    benchmark::DoNotOptimize(popped);
+    queue.retire();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaskQueuePushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

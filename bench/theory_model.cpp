@@ -1,0 +1,108 @@
+// Validates the paper's theoretical speedup model (§4.3, Eq. 1–2):
+//
+//   T_csm = |ΔG| [ (1-γ)(T_ADS + T_FM/N) + γ T_ADS/M ]
+//
+// Per algorithm we measure T_ADS and T_FM from the single-threaded run and γ
+// from the classifier, plug them into Eq. 1 with M = N = threads, and
+// compare the predicted speedup with the measured one (simulated makespan).
+// Eq. 1 assumes ideal linear scalability, so it upper-bounds the measured
+// value; the paper's §4.3 worked example (γ=0.4, M=N=10) is also printed.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace paracosm;
+using namespace paracosm::bench;
+
+int main(int argc, char** argv) {
+  util::Cli cli = standard_cli("theory_model", "Eq. 1 predicted vs measured speedup");
+  cli.option("query-size", "6", "Query graph size");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const double scale = cli.get_double("scale");
+  const auto num_queries = static_cast<std::uint32_t>(cli.get_int("queries"));
+  const std::int64_t stream_cap = cli.get_int("stream");
+  const std::int64_t timeout_ms = cli.get_int("timeout-ms");
+  const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto qsize = static_cast<std::uint32_t>(cli.get_int("query-size"));
+
+  print_experiment_banner("§4.3 theoretical model",
+                          "Eq. 1 speedup prediction vs measurement, M = N = " +
+                              std::to_string(threads));
+
+  // Worked example from the paper: N = M = 10, γ = 0.4 gives
+  // T = |ΔG| (0.64 T_ADS + 0.06 T_FM)  (Eq. 3).
+  {
+    const double gamma = 0.4, n = 10, m = 10;
+    const double ads_coeff = 1 + gamma * (1 / m - 1);
+    const double fm_coeff = (1 - gamma) / n;
+    std::printf("Eq. 3 check (γ=0.4, M=N=10): T = |ΔG|(%.2f T_ADS + %.2f T_FM)\n\n",
+                ads_coeff, fm_coeff);
+  }
+
+  // Calibrated hard variant so T_FM dominates like on the full-size graphs.
+  Workload wl = build_workload(livejournal_hard_spec(scale, 8), qsize, num_queries,
+                               0.10, seed);
+  cap_stream(wl, stream_cap);
+  const Workload stripped = strip_edge_labels(wl);
+
+  util::Table table({"algorithm", "gamma", "T_ADS_share", "T_FM_share",
+                     "predicted_speedup", "measured_speedup"});
+  util::CsvWriter csv(results_path("theory_model"),
+                      {"algorithm", "gamma", "ads_ms", "fm_ms", "predicted",
+                       "measured"});
+
+  for (const auto name : csm::algorithm_names()) {
+    const Workload& view = workload_for(std::string(name), wl, stripped);
+    double seq_ms = 0, ads_ms = 0, fm_ms = 0, par_ms = 0;
+    engine::ClassifierStats cstats;
+    std::uint32_t ok = 0;
+    for (const auto& q : view.queries) {
+      RunConfig seq;
+      seq.algorithm = std::string(name);
+      seq.mode = Mode::kSequential;
+      seq.timeout_ms = timeout_ms;
+      const RunResult base = run_stream(view, q, seq);
+      RunConfig par = seq;
+      par.mode = Mode::kFull;
+      par.threads = threads;
+      const RunResult fast = run_stream(view, q, par);
+      if (!base.success || !fast.success) continue;
+      ++ok;
+      seq_ms += base.cpu_ms;
+      ads_ms += base.ads_ms;
+      fm_ms += base.search_ms;
+      par_ms += fast.sim_makespan_ms;
+      cstats.merge(fast.classifier);
+    }
+    if (ok == 0 || seq_ms <= 0) {
+      table.row({std::string(name), "-", "-", "-", "TO", "TO"});
+      continue;
+    }
+    const double gamma = cstats.total
+                             ? static_cast<double>(cstats.safe()) /
+                                   static_cast<double>(cstats.total)
+                             : 0.0;
+    const double n = threads, m = threads;
+    // Shares of the measured single-threaded time (T_ADS + T_FM ≈ total).
+    const double total = ads_ms + fm_ms > 0 ? ads_ms + fm_ms : seq_ms;
+    const double t_ads = ads_ms / total, t_fm = fm_ms / total;
+    const double predicted_time =
+        (1 - gamma) * (t_ads + t_fm / n) + gamma * (t_ads / m);
+    const double predicted = predicted_time > 0 ? 1.0 / predicted_time : 0.0;
+    const double measured = par_ms > 0 ? seq_ms / par_ms : 0.0;
+    table.row({std::string(name), util::Table::num(gamma, 4),
+               util::Table::num(t_ads, 3), util::Table::num(t_fm, 3),
+               util::Table::num(predicted, 1) + "x",
+               util::Table::num(measured, 1) + "x"});
+    csv.row({std::string(name), util::CsvWriter::num(gamma, 4),
+             util::CsvWriter::num(ads_ms), util::CsvWriter::num(fm_ms),
+             util::CsvWriter::num(predicted), util::CsvWriter::num(measured)});
+  }
+
+  std::puts("Eq. 1 predicted (ideal-scaling upper bound) vs measured speedup:");
+  table.print();
+  std::printf("\nCSV written to %s\n", results_path("theory_model").c_str());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Plugging YOUR OWN CSM algorithm into ParaCOSM.
+//
+// The paper's integration contract (§4): the user supplies (i) a search-tree
+// traversal routine and (ii) a filtering rule; ParaCOSM supplies both levels
+// of parallelism. This example implements a deliberately small algorithm —
+// NLF-filtered direct enumeration, no index — by deriving from
+// BacktrackBase, and shows it running under the framework unchanged.
+//
+// Build & run:  ./build/examples/custom_algorithm
+#include <cstdio>
+
+#include "csm/backtrack.hpp"
+#include "graph/generators.hpp"
+#include "paracosm/paracosm.hpp"
+#include "util/rng.hpp"
+
+using namespace paracosm;
+
+namespace {
+
+/// A user algorithm: GraphFlow-style enumeration with an extra
+/// neighbor-label-frequency candidate filter, and an NLF-based filtering
+/// rule so the batch executor can classify updates.
+class NlfMatcher final : public csm::BacktrackBase {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "nlf-matcher";
+  }
+
+  // Filtering rule (classifier stage 3): a match through edge (u,v) needs
+  // NLF containment at both endpoints; prove its absence and the update is
+  // safe. There is no index, so nothing else can be affected.
+  [[nodiscard]] bool ads_safe(const graph::GraphUpdate& upd) const override {
+    if (!upd.is_edge_op()) return false;
+    const auto& g = *graph_;
+    if (!g.has_vertex(upd.u) || !g.has_vertex(upd.v)) return false;
+    const bool insert = upd.is_insert();
+    for (const auto& [u1, u2] : query_->matching_edges(
+             g.label(upd.u), g.label(upd.v), upd.label, false)) {
+      if (nlf_ok(u1, upd.u, insert, g.label(upd.v)) &&
+          nlf_ok(u2, upd.v, insert, g.label(upd.u)))
+        return false;  // cannot rule a match out -> unsafe
+    }
+    return true;
+  }
+
+ protected:
+  // Traversal-side candidate filter, invoked inside the (framework-driven,
+  // possibly parallel) search.
+  [[nodiscard]] bool candidate_ok(graph::VertexId qu,
+                                  graph::VertexId dv) const override {
+    return nlf_ok(qu, dv, false, 0);
+  }
+
+ private:
+  [[nodiscard]] bool nlf_ok(graph::VertexId qu, graph::VertexId dv, bool bump,
+                            graph::Label bumped_label) const {
+    for (const auto& nb : query_->neighbors(qu)) {
+      const graph::Label l = query_->label(nb.v);
+      std::uint32_t have = graph_->nlf(dv, l);
+      if (bump && l == bumped_label) ++have;
+      if (have < query_->nlf(qu, l)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  util::Rng rng(21);
+  graph::DataGraph g =
+      graph::generate_power_law(graph::amazon_spec(/*scale=*/0.25), rng);
+  const auto query = graph::extract_query(g, 5, rng);
+  if (!query) {
+    std::fprintf(stderr, "query extraction failed\n");
+    return 1;
+  }
+  auto stream = graph::make_insert_stream(g, 0.10, rng);
+  std::printf("custom algorithm under ParaCOSM: %s\n", query->describe().c_str());
+  std::printf("stream: %zu updates\n\n", stream.size());
+
+  NlfMatcher matcher;
+  engine::Config config;
+  config.threads = 8;
+  engine::ParaCosm pc(matcher, *query, g, config);
+  const engine::StreamResult result = pc.process_stream(stream);
+
+  std::printf("matches found: %llu (search nodes: %llu)\n",
+              static_cast<unsigned long long>(result.positive),
+              static_cast<unsigned long long>(result.nodes));
+  std::printf("safe in parallel: %llu, unsafe sequential: %llu (%.2f%% unsafe)\n",
+              static_cast<unsigned long long>(result.safe_applied),
+              static_cast<unsigned long long>(result.unsafe_sequential),
+              result.classifier.unsafe_percent());
+  std::printf("simulated multicore makespan %.3f ms vs 1-thread work %.3f ms\n",
+              static_cast<double>(result.stats.simulated_makespan_ns()) / 1e6,
+              static_cast<double>(result.stats.sequential_equivalent_ns()) / 1e6);
+  return 0;
+}

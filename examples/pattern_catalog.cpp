@@ -1,0 +1,84 @@
+// Pattern catalogue monitoring (multi-query extension).
+//
+// Production CSM deployments watch a catalogue of patterns, not one: a risk
+// system tracks many fraud typologies simultaneously. This example registers
+// four patterns — with different CSM algorithms per pattern — over a single
+// shared transaction stream via MultiQueryEngine, where an update is handled
+// in the fast parallel path only if it is safe for EVERY registered pattern.
+//
+// Build & run:  ./build/examples/pattern_catalog [--events N]
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "paracosm/multi_query.hpp"
+#include "util/cli.hpp"
+
+using namespace paracosm;
+
+int main(int argc, char** argv) {
+  util::Cli cli("pattern_catalog", "multi-pattern monitoring demo");
+  cli.option("accounts", "500", "number of accounts")
+      .option("events", "3000", "number of streamed transfers")
+      .option("threads", "8", "worker threads")
+      .option("seed", "5", "random seed");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const auto accounts = static_cast<std::uint32_t>(cli.get_int("accounts"));
+  const auto events = static_cast<std::uint64_t>(cli.get_int("events"));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  // Account roles: retail (0), merchant (1), mule (2), processor (3).
+  graph::DataGraph ledger;
+  for (std::uint32_t i = 0; i < accounts; ++i) {
+    const double p = rng.uniform();
+    ledger.add_vertex(p < 0.7 ? 0u : (p < 0.9 ? 1u : (p < 0.97 ? 2u : 3u)));
+  }
+
+  engine::Config config;
+  config.threads = static_cast<unsigned>(cli.get_int("threads"));
+  engine::MultiQueryEngine monitor(ledger, config);
+
+  struct Pattern {
+    const char* name;
+    const char* algorithm;
+  };
+  const std::vector<Pattern> catalogue{
+      {"mule ring (retail->mule->merchant->retail)", "symbi"},
+      {"fan-in (two retail feeding one mule)", "turboflux"},
+      {"layering chain (mule->processor->merchant)", "graphflow"},
+      {"processor triangle", "newsp"},
+  };
+  monitor.add_query("symbi",
+                    graph::QueryGraph({0, 2, 1}, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}}));
+  monitor.add_query("turboflux", graph::QueryGraph({0, 0, 2}, {{0, 2, 0}, {1, 2, 0}}));
+  monitor.add_query("graphflow",
+                    graph::QueryGraph({2, 3, 1}, {{0, 1, 0}, {1, 2, 0}}));
+  monitor.add_query("newsp",
+                    graph::QueryGraph({3, 3, 1}, {{0, 1, 0}, {1, 2, 0}, {0, 2, 0}}));
+
+  std::vector<graph::GraphUpdate> stream;
+  stream.reserve(events);
+  for (std::uint64_t t = 0; t < events; ++t) {
+    const auto a = static_cast<graph::VertexId>(rng.bounded(accounts));
+    const auto b = static_cast<graph::VertexId>(rng.bounded(accounts));
+    if (a != b) stream.push_back(graph::GraphUpdate::insert_edge(a, b, 0));
+  }
+
+  std::printf("monitoring %zu patterns over %zu transfers...\n\n",
+              monitor.num_queries(), stream.size());
+  const engine::MultiStreamResult result = monitor.process_stream(stream);
+
+  for (std::size_t i = 0; i < catalogue.size(); ++i)
+    std::printf("  %-48s [%9s] %llu hits\n", catalogue[i].name,
+                catalogue[i].algorithm,
+                static_cast<unsigned long long>(result.positive[i]));
+  std::printf("\nupdates: %llu processed, %llu fast-path (safe for every "
+              "pattern), %llu sequential\n",
+              static_cast<unsigned long long>(result.updates_processed),
+              static_cast<unsigned long long>(result.safe_applied),
+              static_cast<unsigned long long>(result.unsafe_sequential));
+  std::printf("simulated multicore makespan %.3f ms (1-thread work %.3f ms)\n",
+              static_cast<double>(result.stats.simulated_makespan_ns()) / 1e6,
+              static_cast<double>(result.stats.sequential_equivalent_ns()) / 1e6);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Real-time recommendation over a social stream — the online motif
+// detection use case of Gupta et al. (Twitter) cited by the paper: detect
+// "diamond" co-engagement motifs (two users engaging with the same pair of
+// items) as follow/engage edges stream in, using inter-update batching for
+// throughput.
+//
+// Vertices: users (label 0) and items (label 1). The motif is the 4-cycle
+// user-item-user-item. The example streams engagement edges through
+// ParaCOSM's batch executor and reports throughput plus the classifier's
+// per-stage effectiveness — the numbers that make inter-update parallelism
+// worthwhile on this kind of workload.
+//
+// Build & run:  ./build/examples/social_recommendation [--users N]
+#include <cstdio>
+
+#include "csm/turboflux.hpp"
+#include "graph/generators.hpp"
+#include "paracosm/paracosm.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace paracosm;
+
+int main(int argc, char** argv) {
+  util::Cli cli("social_recommendation", "streaming co-engagement motif demo");
+  cli.option("users", "600", "number of users")
+      .option("items", "300", "number of items")
+      .option("events", "4000", "number of engagement events")
+      .option("threads", "8", "worker threads")
+      .option("seed", "11", "random seed");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const auto users = static_cast<std::uint32_t>(cli.get_int("users"));
+  const auto items = static_cast<std::uint32_t>(cli.get_int("items"));
+  const auto events = static_cast<std::uint64_t>(cli.get_int("events"));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  // Users are label 0; items carry a category label 1..4 (movies, music,
+  // articles, products). The motif targets movie/music co-engagement, so
+  // engagements with other categories are classified safe by stage 1.
+  graph::DataGraph network;
+  for (std::uint32_t i = 0; i < users; ++i) network.add_vertex(0);
+  std::vector<graph::Label> item_label(items);
+  for (std::uint32_t i = 0; i < items; ++i) {
+    item_label[i] = 1 + static_cast<graph::Label>(rng.bounded(4));
+    network.add_vertex(item_label[i]);
+  }
+
+  // Diamond motif: u0(user) - i0(movie) - u1(user) - i1(music) - u0.
+  graph::QueryGraph motif({0, 1, 0, 2}, {{0, 1, 0}, {1, 2, 0}, {2, 3, 0}, {3, 0, 0}});
+
+  // Pre-build the engagement stream (Zipf-flavoured item popularity).
+  std::vector<graph::GraphUpdate> stream;
+  stream.reserve(events);
+  for (std::uint64_t t = 0; t < events; ++t) {
+    const auto user = static_cast<graph::VertexId>(rng.bounded(users));
+    const double z = rng.uniform();
+    const auto item =
+        static_cast<graph::VertexId>(users + static_cast<std::uint32_t>(z * z * items));
+    stream.push_back(graph::GraphUpdate::insert_edge(user, item, 0));
+  }
+
+  csm::TurboFlux algorithm;
+  engine::Config config;
+  config.threads = static_cast<unsigned>(cli.get_int("threads"));
+  config.batch_size = 64;
+  engine::ParaCosm recommender(algorithm, motif, network, config);
+
+  std::printf("streaming %llu engagement events through the batch executor...\n",
+              static_cast<unsigned long long>(events));
+  const engine::StreamResult result = recommender.process_stream(stream);
+
+  const double wall_s = static_cast<double>(result.wall_ns) / 1e9;
+  std::printf("\nco-engagement motifs discovered: %llu\n",
+              static_cast<unsigned long long>(result.positive));
+  std::printf("updates processed: %llu in %.3fs (%.0f updates/s wall)\n",
+              static_cast<unsigned long long>(result.updates_processed), wall_s,
+              wall_s > 0 ? static_cast<double>(result.updates_processed) / wall_s : 0);
+  std::printf("batches: %llu, safe applied in parallel: %llu, unsafe sequential: %llu\n",
+              static_cast<unsigned long long>(result.batches),
+              static_cast<unsigned long long>(result.safe_applied),
+              static_cast<unsigned long long>(result.unsafe_sequential));
+  const auto& c = result.classifier;
+  std::printf("classifier: %llu label-safe, %llu degree-safe, %llu ads-safe, "
+              "%llu unsafe (%.2f%% unsafe)\n",
+              static_cast<unsigned long long>(c.safe_label),
+              static_cast<unsigned long long>(c.safe_degree),
+              static_cast<unsigned long long>(c.safe_ads),
+              static_cast<unsigned long long>(c.unsafe_updates), c.unsafe_percent());
+  std::printf("simulated multicore makespan: %.3f ms (1-thread work: %.3f ms)\n",
+              static_cast<double>(result.stats.simulated_makespan_ns()) / 1e6,
+              static_cast<double>(result.stats.sequential_equivalent_ns()) / 1e6);
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "bench_common/reporting.hpp"
+
+#include <cstdio>
+
+namespace paracosm::bench {
+
+void print_experiment_banner(const std::string& artifact, const std::string& summary) {
+  std::printf("\n================================================================\n");
+  std::printf("ParaCOSM reproduction — %s\n", artifact.c_str());
+  std::printf("%s\n", summary.c_str());
+  std::printf("================================================================\n\n");
+}
+
+std::string results_path(const std::string& name) {
+  return "results/" + name + ".csv";
+}
+
+std::string format_speedup(double baseline_ms, double value_ms, bool baseline_ok,
+                           bool value_ok) {
+  if (!value_ok) return "TO";
+  if (!baseline_ok) return ">TO";  // parallel finished where baseline timed out
+  if (value_ms <= 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx", baseline_ms / value_ms);
+  return buf;
+}
+
+}  // namespace paracosm::bench

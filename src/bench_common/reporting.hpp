@@ -1,0 +1,22 @@
+// Shared reporting for the bench binaries: banner, result directory, and
+// the paper-experiment header each binary prints before its table.
+#pragma once
+
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace paracosm::bench {
+
+/// Print a standard header naming the paper artifact being regenerated.
+void print_experiment_banner(const std::string& artifact, const std::string& summary);
+
+/// results/<name>.csv (directory created on demand).
+[[nodiscard]] std::string results_path(const std::string& name);
+
+/// "12.3x" style speedup formatting, with "TO" for timeouts like Figure 7.
+[[nodiscard]] std::string format_speedup(double baseline_ms, double value_ms,
+                                         bool baseline_ok, bool value_ok);
+
+}  // namespace paracosm::bench

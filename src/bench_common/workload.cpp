@@ -1,0 +1,54 @@
+#include "bench_common/workload.hpp"
+
+namespace paracosm::bench {
+
+Workload build_workload(const DatasetSpec& spec, std::uint32_t query_size,
+                        std::uint32_t num_queries, double stream_fraction,
+                        std::uint64_t seed, double delete_fraction,
+                        const graph::QueryExtractOptions& opts) {
+  util::Rng rng(seed);
+  Workload wl;
+  wl.spec = spec;
+  wl.graph = graph::generate_power_law(spec, rng);
+  wl.queries = graph::extract_queries(wl.graph, query_size, num_queries, rng, opts);
+  wl.stream = delete_fraction > 0.0
+                  ? graph::make_mixed_stream(wl.graph, stream_fraction,
+                                             delete_fraction, rng)
+                  : graph::make_insert_stream(wl.graph, stream_fraction, rng);
+  return wl;
+}
+
+DataGraph strip_edge_labels(const DataGraph& g) {
+  DataGraph out;
+  for (graph::VertexId v = 0; v < g.vertex_capacity(); ++v)
+    if (g.has_vertex(v)) out.add_vertex_with_id(v, g.label(v));
+  for (const auto& e : g.edge_list()) out.add_edge(e.u, e.v, 0);
+  return out;
+}
+
+QueryGraph strip_edge_labels(const QueryGraph& q) {
+  std::vector<graph::Label> labels(q.num_vertices());
+  for (graph::VertexId u = 0; u < q.num_vertices(); ++u) labels[u] = q.label(u);
+  std::vector<graph::Edge> edges;
+  for (const auto& e : q.edges()) edges.push_back({e.u, e.v, 0});
+  return QueryGraph(std::move(labels), std::move(edges));
+}
+
+std::vector<GraphUpdate> strip_edge_labels(const std::vector<GraphUpdate>& stream) {
+  std::vector<GraphUpdate> out = stream;
+  for (GraphUpdate& upd : out)
+    if (upd.is_edge_op()) upd.label = 0;
+  return out;
+}
+
+Workload strip_edge_labels(const Workload& wl) {
+  Workload out;
+  out.spec = wl.spec;
+  out.graph = strip_edge_labels(wl.graph);
+  out.stream = strip_edge_labels(wl.stream);
+  out.queries.reserve(wl.queries.size());
+  for (const QueryGraph& q : wl.queries) out.queries.push_back(strip_edge_labels(q));
+  return out;
+}
+
+}  // namespace paracosm::bench

@@ -1,0 +1,44 @@
+// Benchmark workload construction following the paper's protocol (§5.1):
+// generate the dataset stand-in, extract queries by random walk from the
+// full graph, then hold out a fraction of edges as the insertion stream
+// (the Sun et al. sampling methodology).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/query_graph.hpp"
+
+namespace paracosm::bench {
+
+using graph::DataGraph;
+using graph::DatasetSpec;
+using graph::GraphUpdate;
+using graph::QueryGraph;
+
+struct Workload {
+  DatasetSpec spec;
+  DataGraph graph;  ///< initial state (stream edges already removed)
+  std::vector<GraphUpdate> stream;
+  std::vector<QueryGraph> queries;
+};
+
+/// Build a workload: `num_queries` queries of `query_size` vertices, and a
+/// `stream_fraction` share of edges as the insertion stream (paper: 10%).
+/// Deterministic in `seed`.
+[[nodiscard]] Workload build_workload(const DatasetSpec& spec, std::uint32_t query_size,
+                                      std::uint32_t num_queries, double stream_fraction,
+                                      std::uint64_t seed, double delete_fraction = 0.0,
+                                      const graph::QueryExtractOptions& opts = {});
+
+/// Edge-label-stripped copies for evaluating CaLiG (paper §5.1 Metrics:
+/// "we remove edge labels from all datasets during CaLiG evaluation").
+[[nodiscard]] DataGraph strip_edge_labels(const DataGraph& g);
+[[nodiscard]] QueryGraph strip_edge_labels(const QueryGraph& q);
+[[nodiscard]] std::vector<GraphUpdate> strip_edge_labels(
+    const std::vector<GraphUpdate>& stream);
+[[nodiscard]] Workload strip_edge_labels(const Workload& wl);
+
+}  // namespace paracosm::bench

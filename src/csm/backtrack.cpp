@@ -1,0 +1,111 @@
+#include "csm/backtrack.hpp"
+
+#include <algorithm>
+
+namespace paracosm::csm {
+
+void BacktrackBase::attach(const QueryGraph& q, const DataGraph& g) {
+  query_ = &q;
+  graph_ = &g;
+  orders_ = OrderTable(q, order_policy());
+  rebuild_index();
+}
+
+void BacktrackBase::seeds(const GraphUpdate& upd, std::vector<SearchTask>& out) const {
+  if (!upd.is_edge_op()) return;
+  const DataGraph& g = *graph_;
+  if (!g.has_vertex(upd.u) || !g.has_vertex(upd.v)) return;
+  const auto pairs = query_->matching_edges(g.label(upd.u), g.label(upd.v), upd.label,
+                                            !uses_edge_labels());
+  for (const auto& [u1, u2] : pairs) {
+    if (g.degree(upd.u) < query_->degree(u1)) continue;
+    if (g.degree(upd.v) < query_->degree(u2)) continue;
+    if (!candidate_ok(u1, upd.u) || !candidate_ok(u2, upd.v)) continue;
+    out.push_back(SearchTask{{{u1, upd.u}, {u2, upd.v}}});
+  }
+}
+
+void BacktrackBase::expand(const SearchTask& task, MatchSink& sink,
+                           SplitHook* hook) const {
+  Scratch s;
+  s.map.assign(query_->num_vertices(), graph::kInvalidVertex);
+  s.assigned = task.assigned;
+  for (const Assignment& a : task.assigned) s.map[a.qv] = a.dv;
+  const auto& order = orders_.order_for(task.assigned[0].qv, task.assigned[1].qv);
+  expand_depth(order, s, sink, hook);
+}
+
+void BacktrackBase::expand_depth(const std::vector<VertexId>& order, Scratch& s,
+                                 MatchSink& sink, SplitHook* hook) const {
+  if (!sink.tick()) return;
+  const auto depth = static_cast<std::uint32_t>(s.assigned.size());
+  if (depth == query_->num_vertices()) {
+    sink.emit(s.assigned);
+    return;
+  }
+  const QueryGraph& q = *query_;
+  const DataGraph& g = *graph_;
+  const VertexId u = order[depth];
+
+  // Pivot: the already-matched query neighbor whose data image has the
+  // smallest adjacency list; candidates are drawn from its neighborhood.
+  VertexId pivot = graph::kInvalidVertex;
+  std::uint32_t pivot_deg = 0;
+  for (const auto& nb : q.neighbors(u)) {
+    const VertexId dv = s.map[nb.v];
+    if (dv == graph::kInvalidVertex) continue;
+    const std::uint32_t d = g.degree(dv);
+    if (pivot == graph::kInvalidVertex || d < pivot_deg) {
+      pivot = nb.v;
+      pivot_deg = d;
+    }
+  }
+  if (pivot == graph::kInvalidVertex) return;  // orders guarantee connectivity
+  const Label pivot_elabel = *q.edge_label(u, pivot);
+  const bool elabels = uses_edge_labels();
+
+  const bool offload = hook != nullptr && hook->want_offload(depth);
+  for (const auto& nb : g.neighbors(s.map[pivot])) {
+    if (!sink.tick()) return;
+    const VertexId w = nb.v;
+    if (elabels && nb.elabel != pivot_elabel) continue;
+    if (g.label(w) != q.label(u)) continue;
+    if (g.degree(w) < q.degree(u)) continue;
+    bool used = false;
+    for (const Assignment& a : s.assigned)
+      if (a.dv == w) {
+        used = true;
+        break;
+      }
+    if (used) continue;
+    if (!candidate_ok(u, w)) continue;
+    // Every other matched query neighbor must be adjacent with the right label.
+    bool consistent = true;
+    for (const auto& qnb : q.neighbors(u)) {
+      if (qnb.v == pivot) continue;
+      const VertexId dv = s.map[qnb.v];
+      if (dv == graph::kInvalidVertex) continue;
+      const auto el = g.edge_label(w, dv);
+      if (!el || (elabels && *el != qnb.elabel)) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) continue;
+
+    if (offload) {
+      SearchTask child{s.assigned};
+      child.assigned.push_back({u, w});
+      hook->offload(std::move(child));
+    } else {
+      s.assigned.push_back({u, w});
+      s.map[u] = w;
+      expand_depth(order, s, sink, hook);
+      s.map[u] = graph::kInvalidVertex;
+      s.assigned.pop_back();
+      if (sink.timed_out()) return;
+    }
+  }
+}
+
+}  // namespace paracosm::csm

@@ -1,0 +1,49 @@
+// Shared backtracking enumerator for static-matching-order CSM algorithms
+// (GraphFlow, TurboFlux, Symbi, CaLiG differ only in the candidate filter
+// their ADS provides, which is exactly how the original systems relate).
+//
+// The traversal is the paper's Find_Matches routine (Algorithm 1) with the
+// inner-update split hook of Algorithm 2 threaded through: when the hook
+// requests offloading at the current depth, the direct children of the
+// current search-tree node are pushed to the concurrent queue instead of
+// being explored recursively.
+#pragma once
+
+#include "csm/algorithm.hpp"
+#include "csm/order.hpp"
+
+namespace paracosm::csm {
+
+class BacktrackBase : public CsmAlgorithm {
+ public:
+  void attach(const QueryGraph& q, const DataGraph& g) override;
+  void seeds(const GraphUpdate& upd, std::vector<SearchTask>& out) const override;
+  void expand(const SearchTask& task, MatchSink& sink, SplitHook* hook) const override;
+
+ protected:
+  /// ADS filter: may data vertex v still play query vertex u? Called after
+  /// label/degree/adjacency checks already passed.
+  [[nodiscard]] virtual bool candidate_ok(VertexId u, VertexId v) const = 0;
+
+  /// Rebuild algorithm-specific state; called at the end of attach().
+  virtual void rebuild_index() {}
+
+  /// Matching-order policy for the precomputed edge-rooted orders.
+  [[nodiscard]] virtual OrderPolicy order_policy() const noexcept {
+    return OrderPolicy::kConnectivity;
+  }
+
+  OrderTable orders_;
+
+ private:
+  struct Scratch {
+    std::vector<VertexId> map;           // query vertex -> data vertex
+    std::vector<Assignment> assigned;    // assignment order
+    std::vector<VertexId> candidates;    // per-depth scratch reused across calls
+  };
+
+  void expand_depth(const std::vector<VertexId>& order, Scratch& s, MatchSink& sink,
+                    SplitHook* hook) const;
+};
+
+}  // namespace paracosm::csm

@@ -1,0 +1,48 @@
+// CaLiG (Yang et al., SIGMOD'23): kernel-and-light candidate classification.
+//
+// Candidates are classified by a symmetric mutual-support refinement over the
+// whole query neighborhood (SupportIndex); search seeds only from kernel
+// vertices. Like the original system, the algorithm is edge-label-blind —
+// the bench harness strips edge labels from datasets before evaluating it,
+// matching the paper's protocol (§5.1 Metrics).
+#pragma once
+
+#include "csm/backtrack.hpp"
+#include "csm/support_index.hpp"
+
+namespace paracosm::csm {
+
+class CaLiG final : public BacktrackBase {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "calig"; }
+  [[nodiscard]] bool uses_edge_labels() const noexcept override { return false; }
+
+  void on_edge_inserted(const GraphUpdate& upd) override {
+    index_.on_edge_inserted(upd.u, upd.v);
+  }
+  void on_edge_removed(const GraphUpdate& upd) override {
+    index_.on_edge_removed(upd.u, upd.v);
+  }
+  void on_vertex_added(graph::VertexId id) override { index_.on_vertex_added(id); }
+  void on_vertex_removed(graph::VertexId id) override { index_.on_vertex_removed(id); }
+
+  [[nodiscard]] bool has_ads() const noexcept override { return true; }
+  [[nodiscard]] bool ads_safe(const GraphUpdate& upd) const override {
+    if (!upd.is_edge_op()) return false;
+    return upd.is_insert() ? index_.safe_insert(upd.u, upd.v)
+                           : index_.safe_remove(upd.u, upd.v);
+  }
+
+  [[nodiscard]] const SupportIndex& index() const noexcept { return index_; }
+
+ protected:
+  [[nodiscard]] bool candidate_ok(VertexId u, VertexId v) const override {
+    return index_.kernel(u, v);
+  }
+  void rebuild_index() override { index_.build(*query_, *graph_); }
+
+ private:
+  SupportIndex index_;
+};
+
+}  // namespace paracosm::csm

@@ -1,0 +1,108 @@
+#include "csm/engine.hpp"
+
+#include "csm/oracle.hpp"
+
+namespace paracosm::csm {
+
+SequentialEngine::SequentialEngine(CsmAlgorithm& alg, const QueryGraph& q, DataGraph& g)
+    : alg_(alg), q_(q), g_(g) {
+  alg_.attach(q_, g_);
+}
+
+UpdateOutcome SequentialEngine::process(const GraphUpdate& upd,
+                                        util::Clock::time_point deadline) {
+  switch (upd.op) {
+    case graph::UpdateOp::kInsertEdge:
+    case graph::UpdateOp::kRemoveEdge:
+      return process_edge(upd, deadline);
+    case graph::UpdateOp::kInsertVertex: {
+      UpdateOutcome out;
+      const bool existed = g_.has_vertex(upd.u);
+      g_.add_vertex_with_id(upd.u, upd.label);
+      if (!existed) alg_.on_vertex_added(upd.u);
+      out.applied = true;
+      return out;
+    }
+    case graph::UpdateOp::kRemoveVertex: {
+      UpdateOutcome out;
+      if (!g_.has_vertex(upd.u)) return out;
+      // Expire every incident edge through the regular pipeline so ΔM⁻ and
+      // the ADS stay exact, then drop the now-isolated vertex.
+      std::vector<GraphUpdate> edge_removals;
+      for (const auto& nb : g_.neighbors(upd.u))
+        edge_removals.push_back(GraphUpdate::remove_edge(upd.u, nb.v, nb.elabel));
+      for (const GraphUpdate& rm : edge_removals) {
+        const UpdateOutcome sub = process_edge(rm, deadline);
+        out.negative += sub.negative;
+        out.nodes += sub.nodes;
+        out.timed_out = out.timed_out || sub.timed_out;
+      }
+      g_.remove_vertex(upd.u);
+      alg_.on_vertex_removed(upd.u);
+      out.applied = true;
+      return out;
+    }
+  }
+  return {};
+}
+
+UpdateOutcome SequentialEngine::process_edge(const GraphUpdate& upd,
+                                             util::Clock::time_point deadline) {
+  UpdateOutcome out;
+  const bool insert = upd.op == graph::UpdateOp::kInsertEdge;
+
+  if (insert) {
+    util::ThreadCpuTimer ads_timer;
+    if (!g_.add_edge(upd.u, upd.v, upd.label)) return out;  // duplicate / invalid
+    alg_.on_edge_inserted(upd);
+    ads_ns_ += ads_timer.elapsed_ns();
+    out.applied = true;
+
+    util::ThreadCpuTimer fm_timer;
+    MatchSink sink;
+    sink.deadline = deadline;
+    std::vector<SearchTask> roots;
+    alg_.seeds(upd, roots);
+    for (const SearchTask& task : roots) {
+      alg_.expand(task, sink, nullptr);
+      if (sink.timed_out()) break;
+    }
+    search_ns_ += fm_timer.elapsed_ns();
+    out.positive = sink.matches;
+    out.nodes = sink.nodes;
+    out.timed_out = sink.timed_out();
+  } else {
+    if (!g_.has_edge(upd.u, upd.v)) return out;
+    // Deletions report matches BEFORE the edge disappears (paper §2.2).
+    util::ThreadCpuTimer fm_timer;
+    MatchSink sink;
+    sink.deadline = deadline;
+    std::vector<SearchTask> roots;
+    alg_.seeds(upd, roots);
+    for (const SearchTask& task : roots) {
+      alg_.expand(task, sink, nullptr);
+      if (sink.timed_out()) break;
+    }
+    search_ns_ += fm_timer.elapsed_ns();
+    out.negative = sink.matches;
+    out.nodes = sink.nodes;
+    out.timed_out = sink.timed_out();
+
+    util::ThreadCpuTimer ads_timer;
+    const auto removed_label = g_.remove_edge(upd.u, upd.v);
+    if (removed_label) {
+      GraphUpdate applied = upd;
+      applied.label = *removed_label;
+      alg_.on_edge_removed(applied);
+      out.applied = true;
+    }
+    ads_ns_ += ads_timer.elapsed_ns();
+  }
+  return out;
+}
+
+std::uint64_t SequentialEngine::initial_matches() const {
+  return count_all_matches(q_, g_, alg_.uses_edge_labels());
+}
+
+}  // namespace paracosm::csm

@@ -1,0 +1,62 @@
+// Sequential CSM engine: the single-threaded baseline of the paper's
+// evaluation (Figure 4 / Table 3) and the building block ParaCOSM's
+// executors reuse for graph/ADS maintenance.
+//
+// The engine enforces the maintenance contract documented in algorithm.hpp
+// and accounts CPU time separately for ADS updates and Find_Matches — the
+// breakdown Table 3 reports.
+#pragma once
+
+#include <cstdint>
+
+#include "csm/algorithm.hpp"
+#include "util/timer.hpp"
+
+namespace paracosm::csm {
+
+struct UpdateOutcome {
+  std::uint64_t positive = 0;  ///< new matches (insertions)
+  std::uint64_t negative = 0;  ///< expired matches (deletions)
+  std::uint64_t nodes = 0;     ///< search-tree nodes expanded
+  bool applied = false;        ///< whether the graph changed
+  bool timed_out = false;
+
+  [[nodiscard]] std::uint64_t delta_matches() const noexcept {
+    return positive + negative;
+  }
+};
+
+class SequentialEngine {
+ public:
+  /// Binds algorithm, query and graph; runs the offline stage (attach).
+  SequentialEngine(CsmAlgorithm& alg, const QueryGraph& q, DataGraph& g);
+
+  /// Process one update end to end (graph + ADS + incremental matching).
+  /// A non-default deadline aborts the Find_Matches phase (the graph and ADS
+  /// stay consistent; reported match counts are then partial).
+  UpdateOutcome process(const GraphUpdate& upd,
+                        util::Clock::time_point deadline = {});
+
+  /// Offline Find_Initial_Matches (brute-force enumeration).
+  [[nodiscard]] std::uint64_t initial_matches() const;
+
+  /// Cumulative CPU-time breakdown across processed updates (Table 3).
+  [[nodiscard]] std::int64_t ads_update_ns() const noexcept { return ads_ns_; }
+  [[nodiscard]] std::int64_t find_matches_ns() const noexcept { return search_ns_; }
+  void reset_breakdown() noexcept { ads_ns_ = search_ns_ = 0; }
+
+  [[nodiscard]] CsmAlgorithm& algorithm() noexcept { return alg_; }
+  [[nodiscard]] DataGraph& graph() noexcept { return g_; }
+  [[nodiscard]] const QueryGraph& query() const noexcept { return q_; }
+
+ private:
+  UpdateOutcome process_edge(const GraphUpdate& upd, util::Clock::time_point deadline);
+
+  CsmAlgorithm& alg_;
+  const QueryGraph& q_;
+  DataGraph& g_;
+  std::int64_t ads_ns_ = 0;
+  std::int64_t search_ns_ = 0;
+};
+
+}  // namespace paracosm::csm

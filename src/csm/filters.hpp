@@ -1,0 +1,30 @@
+// Shared feasibility filters used by the classifier's stage-3 match checks.
+#pragma once
+
+#include "graph/data_graph.hpp"
+#include "graph/query_graph.hpp"
+
+namespace paracosm::csm {
+
+/// Necessary conditions for data vertex `dv` to play query vertex `qu` in a
+/// match that uses the pending edge (dv, other): degree and neighbor-label-
+/// frequency containment, evaluated as they will hold once the edge exists
+/// (`pending_insert` ? current + the new neighbor : current). Sound: every
+/// match satisfies both, so returning false proves no match can use this endpoint.
+[[nodiscard]] inline bool match_endpoint_ok(const graph::QueryGraph& q,
+                                            const graph::DataGraph& g,
+                                            graph::VertexId qu, graph::VertexId dv,
+                                            graph::VertexId other,
+                                            bool pending_insert) {
+  const std::uint32_t degree = g.degree(dv) + (pending_insert ? 1 : 0);
+  if (degree < q.degree(qu)) return false;
+  for (const auto& nb : q.neighbors(qu)) {
+    const graph::Label l = q.label(nb.v);
+    std::uint32_t have = g.nlf(dv, l);
+    if (pending_insert && g.label(other) == l) ++have;
+    if (have < q.nlf(qu, l)) return false;
+  }
+  return true;
+}
+
+}  // namespace paracosm::csm

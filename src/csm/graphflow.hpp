@@ -1,0 +1,27 @@
+// GraphFlow (Kankanamge et al., SIGMOD'17): index-free continuous matching.
+//
+// No auxiliary structure is maintained (O(1) per update); every insertion is
+// answered by direct enumeration from the new edge with precomputed
+// edge-rooted matching orders. Because there is no ADS, the update type
+// classifier can rely only on label/degree filtering for this algorithm —
+// reproducing the paper's Table 1 row ("index A update: O(1)").
+#pragma once
+
+#include "csm/backtrack.hpp"
+
+namespace paracosm::csm {
+
+class GraphFlow final : public BacktrackBase {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "graphflow"; }
+
+  [[nodiscard]] bool ads_safe(const GraphUpdate&) const override {
+    // Nothing beyond the classifier's label/degree stages can be proven.
+    return false;
+  }
+
+ protected:
+  [[nodiscard]] bool candidate_ok(VertexId, VertexId) const override { return true; }
+};
+
+}  // namespace paracosm::csm

@@ -1,0 +1,16 @@
+#include "csm/iedyn.hpp"
+
+#include <stdexcept>
+
+namespace paracosm::csm {
+
+void IEDyn::attach(const QueryGraph& q, const DataGraph& g) {
+  if (q.num_vertices() == 0 || q.num_edges() != q.num_vertices() - 1 ||
+      !q.connected())
+    throw std::invalid_argument(
+        "IEDyn supports acyclic (tree) queries only; got |V|=" +
+        std::to_string(q.num_vertices()) + ", |E|=" + std::to_string(q.num_edges()));
+  BacktrackBase::attach(q, g);
+}
+
+}  // namespace paracosm::csm

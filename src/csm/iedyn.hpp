@@ -1,0 +1,56 @@
+// IEDyn (Idris et al., VLDB J. 2020): dynamic Yannakakis-style continuous
+// matching for ACYCLIC (tree) queries — paper Table 1, row "IEDyn".
+//
+// For tree queries the bidirectional candidate DP is *exact*: v is a
+// candidate of u iff v participates in at least one embedding of the tree.
+// IEDyn exploits this — after the index update, enumeration touches only
+// vertices that are guaranteed to extend to full matches, so the search
+// tree contains no dead branches (the "constant-delay enumeration"
+// property, modulo injectivity checks). attach() rejects cyclic queries.
+#pragma once
+
+#include "csm/backtrack.hpp"
+#include "csm/candidate_index.hpp"
+
+namespace paracosm::csm {
+
+class IEDyn final : public BacktrackBase {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "iedyn"; }
+
+  /// Throws std::invalid_argument if the query is not a tree.
+  void attach(const QueryGraph& q, const DataGraph& g) override;
+
+  void on_edge_inserted(const GraphUpdate& upd) override {
+    index_.on_edge_inserted(upd.u, upd.v, upd.label);
+  }
+  void on_edge_removed(const GraphUpdate& upd) override {
+    index_.on_edge_removed(upd.u, upd.v, upd.label);
+  }
+  void on_vertex_added(graph::VertexId id) override { index_.on_vertex_added(id); }
+  void on_vertex_removed(graph::VertexId id) override { index_.on_vertex_removed(id); }
+
+  [[nodiscard]] bool has_ads() const noexcept override { return true; }
+  [[nodiscard]] bool ads_safe(const GraphUpdate& upd) const override {
+    if (!upd.is_edge_op()) return false;
+    return upd.is_insert() ? index_.safe_insert(upd.u, upd.v, upd.label)
+                           : index_.safe_remove(upd.u, upd.v, upd.label);
+  }
+
+  [[nodiscard]] const DagCandidateIndex& index() const noexcept { return index_; }
+
+ protected:
+  [[nodiscard]] bool candidate_ok(VertexId u, VertexId v) const override {
+    return index_.candidate(u, v);
+  }
+  void rebuild_index() override {
+    // The whole (acyclic) query is its own spanning tree: the "tree-only"
+    // orientation keeps every edge and the DP is exact.
+    index_.build(*query_, *graph_, /*spanning_tree_only=*/true);
+  }
+
+ private:
+  DagCandidateIndex index_;
+};
+
+}  // namespace paracosm::csm

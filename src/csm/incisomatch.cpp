@@ -1,0 +1,52 @@
+#include "csm/incisomatch.hpp"
+
+#include "csm/oracle.hpp"
+
+namespace paracosm::csm {
+
+void IncIsoMatch::attach(const QueryGraph& q, const DataGraph& g) {
+  query_ = &q;
+  graph_ = &g;
+  cached_count_ = count_all_matches(q, g);
+}
+
+void IncIsoMatch::seeds(const GraphUpdate& upd, std::vector<SearchTask>& out) const {
+  if (!upd.is_edge_op()) return;
+  pending_ = upd;
+  // One opaque task per update: the whole recomputation is a single unit of
+  // work (this is precisely why the approach cannot be load-balanced).
+  out.push_back(SearchTask{{{0, upd.u}, {0, upd.v}}});
+}
+
+void IncIsoMatch::expand(const SearchTask&, MatchSink& sink, SplitHook*) const {
+  if (pending_.op == graph::UpdateOp::kInsertEdge) {
+    // Engine contract: the edge is already present. Recount and diff.
+    MatchSink recount;
+    recount.deadline = sink.deadline;
+    enumerate_all_matches(*query_, *graph_, recount);
+    sink.nodes += recount.nodes;
+    if (recount.timed_out()) {
+      sink.mark_timed_out();
+      return;
+    }
+    sink.matches += recount.matches - cached_count_;
+    cached_count_ = recount.matches;
+  } else {
+    // Deletion: matches are reported before removal, so recount on a copy
+    // with the edge absent (full recomputation, faithfully expensive).
+    graph::DataGraph without = *graph_;
+    without.remove_edge(pending_.u, pending_.v);
+    MatchSink recount;
+    recount.deadline = sink.deadline;
+    enumerate_all_matches(*query_, without, recount);
+    sink.nodes += recount.nodes;
+    if (recount.timed_out()) {
+      sink.mark_timed_out();
+      return;
+    }
+    sink.matches += cached_count_ - recount.matches;
+    cached_count_ = recount.matches;
+  }
+}
+
+}  // namespace paracosm::csm

@@ -1,0 +1,40 @@
+// IncIsoMatch-style recomputation baseline (Fan et al.; paper Table 1, first
+// row: "index update: Recomputation").
+//
+// The simplest correct CSM algorithm: keep the total match count and
+// recompute it from scratch around every update; ΔM is the difference. It
+// anchors the cost spectrum — the reason incremental algorithms (and then
+// ParaCOSM) exist — and serves as an extra cross-validation point.
+//
+// Counting-only: the recomputation path reports |ΔM| without materializing
+// the mappings, so match callbacks see no per-match invocations.
+#pragma once
+
+#include "csm/algorithm.hpp"
+
+namespace paracosm::csm {
+
+class IncIsoMatch final : public CsmAlgorithm {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "incisomatch";
+  }
+
+  void attach(const QueryGraph& q, const DataGraph& g) override;
+
+  /// Nothing can be proven without recomputing — every update is unsafe.
+  [[nodiscard]] bool ads_safe(const GraphUpdate&) const override { return false; }
+
+  void seeds(const GraphUpdate& upd, std::vector<SearchTask>& out) const override;
+  void expand(const SearchTask& task, MatchSink& sink, SplitHook* hook) const override;
+
+ private:
+  // The engine drives seeds/expand with the op encoded by call order; the
+  // cached count is algorithm state updated during (conceptually const)
+  // enumeration, hence mutable. Sequential use only — recomputation is the
+  // one algorithm the framework never fans out (a single seed per update).
+  mutable std::uint64_t cached_count_ = 0;
+  mutable GraphUpdate pending_{};
+};
+
+}  // namespace paracosm::csm

@@ -1,0 +1,140 @@
+#include "csm/newsp.hpp"
+
+namespace paracosm::csm {
+
+bool NewSP::nlf_dominates(VertexId u, VertexId v, bool count_extra,
+                          Label extra_label) const {
+  for (const auto& nb : query_->neighbors(u)) {
+    const Label l = query_->label(nb.v);
+    std::uint32_t have = graph_->nlf(v, l);
+    if (count_extra && l == extra_label) ++have;
+    if (have < query_->nlf(u, l)) return false;
+  }
+  return true;
+}
+
+bool NewSP::ads_safe(const GraphUpdate& upd) const {
+  if (!upd.is_edge_op()) return false;
+  const DataGraph& g = *graph_;
+  if (!g.has_vertex(upd.u) || !g.has_vertex(upd.v)) return false;
+  const bool pending_insert = upd.is_insert();
+  const auto pairs =
+      query_->matching_edges(g.label(upd.u), g.label(upd.v), upd.label, false);
+  for (const auto& [u1, u2] : pairs) {
+    // Degrees as they will be once the edge exists (insert: current + 1;
+    // remove: the edge is still present, so current values).
+    const std::uint32_t d1 = g.degree(upd.u) + (pending_insert ? 1 : 0);
+    const std::uint32_t d2 = g.degree(upd.v) + (pending_insert ? 1 : 0);
+    if (d1 < query_->degree(u1) || d2 < query_->degree(u2)) continue;
+    if (nlf_dominates(u1, upd.u, pending_insert, g.label(upd.v)) &&
+        nlf_dominates(u2, upd.v, pending_insert, g.label(upd.u)))
+      return false;  // a match through this edge cannot be ruled out
+  }
+  return true;
+}
+
+void NewSP::seeds(const GraphUpdate& upd, std::vector<SearchTask>& out) const {
+  if (!upd.is_edge_op()) return;
+  const DataGraph& g = *graph_;
+  if (!g.has_vertex(upd.u) || !g.has_vertex(upd.v)) return;
+  const auto pairs =
+      query_->matching_edges(g.label(upd.u), g.label(upd.v), upd.label, false);
+  for (const auto& [u1, u2] : pairs) {
+    if (g.degree(upd.u) < query_->degree(u1)) continue;
+    if (g.degree(upd.v) < query_->degree(u2)) continue;
+    if (!nlf_dominates(u1, upd.u, false, 0)) continue;
+    if (!nlf_dominates(u2, upd.v, false, 0)) continue;
+    out.push_back(SearchTask{{{u1, upd.u}, {u2, upd.v}}});
+  }
+}
+
+void NewSP::expand(const SearchTask& task, MatchSink& sink, SplitHook* hook) const {
+  Scratch s;
+  s.map.assign(query_->num_vertices(), graph::kInvalidVertex);
+  s.assigned = task.assigned;
+  for (const Assignment& a : task.assigned) s.map[a.qv] = a.dv;
+  expand_step(s, sink, hook);
+}
+
+void NewSP::expand_step(Scratch& s, MatchSink& sink, SplitHook* hook) const {
+  if (!sink.tick()) return;
+  const QueryGraph& q = *query_;
+  const DataGraph& g = *graph_;
+  if (s.assigned.size() == q.num_vertices()) {
+    sink.emit(s.assigned);
+    return;
+  }
+
+  // CPT: estimate |C(u)| for every frontier vertex (unmatched with a matched
+  // neighbor); the estimate is the smallest adjacency list among the images
+  // of its matched neighbors. Only the cheapest vertex is expanded (EXP).
+  VertexId next = graph::kInvalidVertex;
+  VertexId next_pivot = graph::kInvalidVertex;
+  std::uint32_t next_cost = 0;
+  for (VertexId u = 0; u < q.num_vertices(); ++u) {
+    if (s.map[u] != graph::kInvalidVertex) continue;
+    VertexId pivot = graph::kInvalidVertex;
+    std::uint32_t cost = 0;
+    for (const auto& nb : q.neighbors(u)) {
+      const VertexId dv = s.map[nb.v];
+      if (dv == graph::kInvalidVertex) continue;
+      const std::uint32_t d = g.degree(dv);
+      if (pivot == graph::kInvalidVertex || d < cost) {
+        pivot = nb.v;
+        cost = d;
+      }
+    }
+    if (pivot == graph::kInvalidVertex) continue;
+    if (next == graph::kInvalidVertex || cost < next_cost) {
+      next = u;
+      next_pivot = pivot;
+      next_cost = cost;
+    }
+  }
+  if (next == graph::kInvalidVertex) return;  // disconnected query
+
+  const Label pivot_elabel = *q.edge_label(next, next_pivot);
+  const bool offload = hook != nullptr && hook->want_offload(
+                                              static_cast<std::uint32_t>(s.assigned.size()));
+  for (const auto& nb : g.neighbors(s.map[next_pivot])) {
+    if (!sink.tick()) return;
+    const VertexId w = nb.v;
+    if (nb.elabel != pivot_elabel) continue;
+    if (g.label(w) != q.label(next)) continue;
+    if (g.degree(w) < q.degree(next)) continue;
+    bool used = false;
+    for (const Assignment& a : s.assigned)
+      if (a.dv == w) {
+        used = true;
+        break;
+      }
+    if (used) continue;
+    bool consistent = true;
+    for (const auto& qnb : q.neighbors(next)) {
+      if (qnb.v == next_pivot) continue;
+      const VertexId dv = s.map[qnb.v];
+      if (dv == graph::kInvalidVertex) continue;
+      const auto el = g.edge_label(w, dv);
+      if (!el || *el != qnb.elabel) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) continue;
+
+    if (offload) {
+      SearchTask child{s.assigned};
+      child.assigned.push_back({next, w});
+      hook->offload(std::move(child));
+    } else {
+      s.assigned.push_back({next, w});
+      s.map[next] = w;
+      expand_step(s, sink, hook);
+      s.map[next] = graph::kInvalidVertex;
+      s.assigned.pop_back();
+      if (sink.timed_out()) return;
+    }
+  }
+}
+
+}  // namespace paracosm::csm

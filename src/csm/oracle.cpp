@@ -1,0 +1,127 @@
+#include "csm/oracle.hpp"
+
+#include <vector>
+
+namespace paracosm::csm {
+
+namespace {
+
+using graph::DataGraph;
+using graph::QueryGraph;
+
+struct OracleState {
+  const QueryGraph* q;
+  const DataGraph* g;
+  bool elabels;
+  std::vector<VertexId> order;  // connected vertex order
+  std::vector<VertexId> map;
+  std::vector<Assignment> assigned;
+};
+
+/// Greedy connected order rooted at the query vertex with the rarest label.
+std::vector<VertexId> vertex_rooted_order(const QueryGraph& q, const DataGraph& g) {
+  const std::uint32_t n = q.num_vertices();
+  VertexId root = 0;
+  std::uint64_t best = ~0ULL;
+  for (VertexId u = 0; u < n; ++u) {
+    const std::uint64_t freq = g.vertices_with_label(q.label(u)).size();
+    if (freq < best || (freq == best && q.degree(u) > q.degree(root))) {
+      best = freq;
+      root = u;
+    }
+  }
+  std::vector<VertexId> order{root};
+  std::vector<bool> placed(n, false);
+  placed[root] = true;
+  while (order.size() < n) {
+    VertexId pick = graph::kInvalidVertex;
+    for (VertexId u = 0; u < n; ++u) {
+      if (placed[u]) continue;
+      bool connected = false;
+      for (const auto& nb : q.neighbors(u))
+        if (placed[nb.v]) connected = true;
+      if (!connected) continue;
+      if (pick == graph::kInvalidVertex || q.degree(u) > q.degree(pick)) pick = u;
+    }
+    if (pick == graph::kInvalidVertex) break;  // disconnected query
+    placed[pick] = true;
+    order.push_back(pick);
+  }
+  return order;
+}
+
+void recurse(OracleState& s, MatchSink& sink) {
+  if (!sink.tick()) return;
+  const std::uint32_t depth = static_cast<std::uint32_t>(s.assigned.size());
+  if (depth == s.q->num_vertices()) {
+    sink.emit(s.assigned);
+    return;
+  }
+  const VertexId u = s.order[depth];
+  const auto try_vertex = [&](VertexId w) {
+    if (!sink.tick()) return;
+    if (s.g->label(w) != s.q->label(u)) return;
+    if (s.g->degree(w) < s.q->degree(u)) return;
+    for (const Assignment& a : s.assigned)
+      if (a.dv == w) return;
+    for (const auto& qnb : s.q->neighbors(u)) {
+      const VertexId dv = s.map[qnb.v];
+      if (dv == graph::kInvalidVertex) continue;
+      const auto el = s.g->edge_label(w, dv);
+      if (!el || (s.elabels && *el != qnb.elabel)) return;
+    }
+    s.assigned.push_back({u, w});
+    s.map[u] = w;
+    recurse(s, sink);
+    s.map[u] = graph::kInvalidVertex;
+    s.assigned.pop_back();
+  };
+
+  // Prefer a matched neighbor's adjacency; fall back to the label bucket for
+  // the root (or if the query is disconnected).
+  VertexId pivot = graph::kInvalidVertex;
+  std::uint32_t pivot_deg = 0;
+  for (const auto& nb : s.q->neighbors(u)) {
+    const VertexId dv = s.map[nb.v];
+    if (dv == graph::kInvalidVertex) continue;
+    if (pivot == graph::kInvalidVertex || s.g->degree(dv) < pivot_deg) {
+      pivot = nb.v;
+      pivot_deg = s.g->degree(dv);
+    }
+  }
+  if (pivot != graph::kInvalidVertex) {
+    for (const auto& nb : s.g->neighbors(s.map[pivot])) {
+      try_vertex(nb.v);
+      if (sink.timed_out()) return;
+    }
+  } else {
+    for (const VertexId w : s.g->vertices_with_label(s.q->label(u))) {
+      try_vertex(w);
+      if (sink.timed_out()) return;
+    }
+  }
+}
+
+}  // namespace
+
+void enumerate_all_matches(const QueryGraph& q, const DataGraph& g, MatchSink& sink,
+                           bool use_edge_labels) {
+  if (q.num_vertices() == 0) return;
+  OracleState s;
+  s.q = &q;
+  s.g = &g;
+  s.elabels = use_edge_labels;
+  s.order = vertex_rooted_order(q, g);
+  if (s.order.size() != q.num_vertices()) return;  // disconnected query
+  s.map.assign(q.num_vertices(), graph::kInvalidVertex);
+  recurse(s, sink);
+}
+
+std::uint64_t count_all_matches(const QueryGraph& q, const DataGraph& g,
+                                bool use_edge_labels) {
+  MatchSink sink;
+  enumerate_all_matches(q, g, sink, use_edge_labels);
+  return sink.matches;
+}
+
+}  // namespace paracosm::csm

@@ -1,0 +1,28 @@
+// Brute-force matching oracle (an IncIsoMatch-style recompute baseline).
+//
+// Enumerates ALL matches of Q in G with plain backtracking and no auxiliary
+// structure. It is the ground truth for the property tests — for an edge
+// insertion, |ΔM⁺| must equal count_after − count_before — and doubles as
+// the offline Find_Initial_Matches step of Algorithm 1.
+#pragma once
+
+#include <cstdint>
+
+#include "csm/match.hpp"
+#include "graph/data_graph.hpp"
+#include "graph/query_graph.hpp"
+
+namespace paracosm::csm {
+
+/// Count every subgraph-isomorphism mapping of q into g. When
+/// `use_edge_labels` is false, edge labels are ignored (CaLiG semantics).
+/// Honors the sink's deadline; matches/nodes are accumulated into it.
+void enumerate_all_matches(const graph::QueryGraph& q, const graph::DataGraph& g,
+                           MatchSink& sink, bool use_edge_labels = true);
+
+/// Convenience wrapper returning just the count (no deadline).
+[[nodiscard]] std::uint64_t count_all_matches(const graph::QueryGraph& q,
+                                              const graph::DataGraph& g,
+                                              bool use_edge_labels = true);
+
+}  // namespace paracosm::csm

@@ -1,0 +1,65 @@
+#include "csm/order.hpp"
+
+#include <stdexcept>
+
+namespace paracosm::csm {
+
+std::vector<VertexId> edge_rooted_order(const QueryGraph& q, VertexId u1, VertexId u2,
+                                        OrderPolicy policy) {
+  const std::uint32_t n = q.num_vertices();
+  std::vector<VertexId> order{u1, u2};
+  std::vector<bool> placed(n, false);
+  placed[u1] = placed[u2] = true;
+  // connected_to[w] = number of already-placed neighbors of w.
+  std::vector<std::uint32_t> connected_to(n, 0);
+  const auto absorb = [&](VertexId u) {
+    for (const auto& nb : q.neighbors(u))
+      if (!placed[nb.v]) ++connected_to[nb.v];
+  };
+  absorb(u1);
+  absorb(u2);
+  const auto is_leaf = [&](VertexId w) {
+    return policy == OrderPolicy::kCoreFirst && q.degree(w) == 1;
+  };
+  while (order.size() < n) {
+    VertexId best = graph::kInvalidVertex;
+    for (VertexId w = 0; w < n; ++w) {
+      if (placed[w] || connected_to[w] == 0) continue;
+      if (best == graph::kInvalidVertex) {
+        best = w;
+        continue;
+      }
+      // Core-first: any non-leaf beats any leaf; within a class fall back to
+      // the connectivity heuristic.
+      if (is_leaf(w) != is_leaf(best)) {
+        if (!is_leaf(w)) best = w;
+        continue;
+      }
+      if (connected_to[w] > connected_to[best] ||
+          (connected_to[w] == connected_to[best] && q.degree(w) > q.degree(best)))
+        best = w;
+    }
+    if (best == graph::kInvalidVertex)
+      throw std::invalid_argument("edge_rooted_order: query graph is disconnected");
+    placed[best] = true;
+    order.push_back(best);
+    absorb(best);
+  }
+  return order;
+}
+
+OrderTable::OrderTable(const QueryGraph& q, OrderPolicy policy) {
+  for (const auto& e : q.edges()) {
+    orders_.emplace(key(e.u, e.v), edge_rooted_order(q, e.u, e.v, policy));
+    orders_.emplace(key(e.v, e.u), edge_rooted_order(q, e.v, e.u, policy));
+  }
+}
+
+const std::vector<VertexId>& OrderTable::order_for(VertexId u1, VertexId u2) const {
+  const auto it = orders_.find(key(u1, u2));
+  if (it == orders_.end())
+    throw std::invalid_argument("OrderTable: no order for the given query edge");
+  return it->second;
+}
+
+}  // namespace paracosm::csm

@@ -1,0 +1,55 @@
+// Matching-order construction (the Build_Match_Order step of the general CSM
+// framework, paper Algorithm 1).
+//
+// CSM searches are rooted at the two endpoints of the updated edge, so the
+// offline stage precomputes one order per directed query edge: a permutation
+// of V(Q) starting with (u1, u2) in which every later vertex has at least one
+// earlier neighbor (connectivity keeps candidate sets intersection-based).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/query_graph.hpp"
+
+namespace paracosm::csm {
+
+using graph::QueryGraph;
+using graph::VertexId;
+
+enum class OrderPolicy {
+  /// Greedy connectivity (GraphFlow/TurboFlux/Symbi style).
+  kConnectivity,
+  /// RapidFlow-style query reduction: the dense core of the query is
+  /// matched first and degree-1 vertices are deferred to the end, where
+  /// their candidates are cheap adjacency scans.
+  kCoreFirst,
+};
+
+/// Greedy connected order rooted at the directed edge (u1, u2): repeatedly
+/// append the unplaced vertex with the most already-placed neighbors
+/// (tie-break: higher degree, then lower id). kCoreFirst defers leaves.
+[[nodiscard]] std::vector<VertexId> edge_rooted_order(
+    const QueryGraph& q, VertexId u1, VertexId u2,
+    OrderPolicy policy = OrderPolicy::kConnectivity);
+
+/// All 2|E(Q)| edge-rooted orders, indexed by directed query edge.
+class OrderTable {
+ public:
+  OrderTable() = default;
+  explicit OrderTable(const QueryGraph& q,
+                      OrderPolicy policy = OrderPolicy::kConnectivity);
+
+  [[nodiscard]] const std::vector<VertexId>& order_for(VertexId u1,
+                                                       VertexId u2) const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<VertexId>> orders_;
+
+  [[nodiscard]] static std::uint64_t key(VertexId u1, VertexId u2) noexcept {
+    return (static_cast<std::uint64_t>(u1) << 32) | u2;
+  }
+};
+
+}  // namespace paracosm::csm

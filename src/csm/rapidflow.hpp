@@ -1,0 +1,55 @@
+// RapidFlow (Sun et al., VLDB'22): query-reduction continuous matching —
+// paper Table 1, row "RapidFlow" (the one prior CPU system with (partial)
+// parallel support).
+//
+// RapidFlow's core idea is *query reduction*: enumerate the dense core of
+// the query first and defer degree-1 vertices to the very end, where their
+// candidates are plain adjacency scans — partial matches never fan out over
+// leaf choices before the core is fixed. We realize the reduction as the
+// kCoreFirst matching-order policy over the same full-DAG dynamic candidate
+// space Symbi uses (RapidFlow also maintains an O(|E(G)||E(Q)|) index).
+// The original's dual-matching optimization (deduplicating automorphic
+// seeds) is not modeled.
+#pragma once
+
+#include "csm/backtrack.hpp"
+#include "csm/candidate_index.hpp"
+
+namespace paracosm::csm {
+
+class RapidFlow final : public BacktrackBase {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "rapidflow"; }
+
+  void on_edge_inserted(const GraphUpdate& upd) override {
+    index_.on_edge_inserted(upd.u, upd.v, upd.label);
+  }
+  void on_edge_removed(const GraphUpdate& upd) override {
+    index_.on_edge_removed(upd.u, upd.v, upd.label);
+  }
+  void on_vertex_added(graph::VertexId id) override { index_.on_vertex_added(id); }
+  void on_vertex_removed(graph::VertexId id) override { index_.on_vertex_removed(id); }
+
+  [[nodiscard]] bool has_ads() const noexcept override { return true; }
+  [[nodiscard]] bool ads_safe(const GraphUpdate& upd) const override {
+    if (!upd.is_edge_op()) return false;
+    return upd.is_insert() ? index_.safe_insert(upd.u, upd.v, upd.label)
+                           : index_.safe_remove(upd.u, upd.v, upd.label);
+  }
+
+ protected:
+  [[nodiscard]] bool candidate_ok(VertexId u, VertexId v) const override {
+    return index_.candidate(u, v);
+  }
+  [[nodiscard]] OrderPolicy order_policy() const noexcept override {
+    return OrderPolicy::kCoreFirst;
+  }
+  void rebuild_index() override {
+    index_.build(*query_, *graph_, /*spanning_tree_only=*/false);
+  }
+
+ private:
+  DagCandidateIndex index_;
+};
+
+}  // namespace paracosm::csm

@@ -1,0 +1,32 @@
+#include "csm/algorithm.hpp"
+#include "csm/calig.hpp"
+#include "csm/graphflow.hpp"
+#include "csm/iedyn.hpp"
+#include "csm/incisomatch.hpp"
+#include "csm/newsp.hpp"
+#include "csm/rapidflow.hpp"
+#include "csm/symbi.hpp"
+#include "csm/turboflux.hpp"
+
+namespace paracosm::csm {
+
+std::unique_ptr<CsmAlgorithm> make_algorithm(std::string_view name) {
+  if (name == "graphflow") return std::make_unique<GraphFlow>();
+  if (name == "turboflux") return std::make_unique<TurboFlux>();
+  if (name == "symbi") return std::make_unique<Symbi>();
+  if (name == "calig") return std::make_unique<CaLiG>();
+  if (name == "newsp") return std::make_unique<NewSP>();
+  if (name == "incisomatch") return std::make_unique<IncIsoMatch>();
+  if (name == "iedyn") return std::make_unique<IEDyn>();
+  if (name == "rapidflow") return std::make_unique<RapidFlow>();
+  return nullptr;
+}
+
+// The five incremental algorithms the paper parallelizes. The recomputation
+// baseline ("incisomatch") is constructible by name but intentionally not in
+// the default sweep — it recounts the whole graph per update.
+std::vector<std::string_view> algorithm_names() {
+  return {"graphflow", "turboflux", "symbi", "calig", "newsp"};
+}
+
+}  // namespace paracosm::csm

@@ -1,0 +1,237 @@
+#include "csm/support_index.hpp"
+
+#include <algorithm>
+
+#include "csm/filters.hpp"
+
+namespace paracosm::csm {
+
+// The implementation stores three acyclic layers:
+//   l0 = stat (label + degree), re-evaluated from the graph but also cached
+//        implicitly via flips at the update endpoints;
+//   cnt1/l1 and cnt2/l2 as documented in the header.
+// Convention for maintenance (shared with DagCandidateIndex): direct counter
+// deltas for the updated edge use PRE-update flag values, then flags at the
+// endpoints are re-evaluated, and flips propagate over POST-update adjacency.
+
+bool SupportIndex::stat(VertexId u, VertexId v) const noexcept {
+  // Label-only (degree is enforced at enumeration time): since labels are
+  // immutable, stat never flips on edge updates, so flips cascade only
+  // stat -> cnt1 -> L1 -> cnt2 -> L2.
+  return g_->has_vertex(v) && g_->label(v) == q_->label(u);
+}
+
+bool SupportIndex::eval_l1(VertexId u, VertexId v) const noexcept {
+  if (!stat(u, v)) return false;
+  const std::size_t d = q_->neighbors(u).size();
+  const std::uint32_t* cnt = cnt1_[u].data() + static_cast<std::size_t>(v) * d;
+  for (std::size_t i = 0; i < d; ++i)
+    if (cnt[i] == 0) return false;
+  return true;
+}
+
+bool SupportIndex::eval_l2(VertexId u, VertexId v) const noexcept {
+  if (!stat(u, v)) return false;
+  const std::size_t d = q_->neighbors(u).size();
+  const std::uint32_t* cnt = cnt2_[u].data() + static_cast<std::size_t>(v) * d;
+  for (std::size_t i = 0; i < d; ++i)
+    if (cnt[i] == 0) return false;
+  return true;
+}
+
+void SupportIndex::build(const QueryGraph& q, const DataGraph& g) {
+  q_ = &q;
+  g_ = &g;
+  cap_ = g.vertex_capacity();
+  const std::uint32_t n = q.num_vertices();
+  l1_.assign(n, {});
+  l2_.assign(n, {});
+  cnt1_.assign(n, {});
+  cnt2_.assign(n, {});
+  for (VertexId u = 0; u < n; ++u) {
+    const std::size_t d = q.neighbors(u).size();
+    l1_[u].assign(cap_, 0);
+    l2_[u].assign(cap_, 0);
+    cnt1_[u].assign(static_cast<std::size_t>(cap_) * d, 0);
+    cnt2_[u].assign(static_cast<std::size_t>(cap_) * d, 0);
+  }
+  // cnt1 from stat, then l1; cnt2 from l1, then l2.
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = q.neighbors(u);
+    for (VertexId v = 0; v < cap_; ++v) {
+      if (!g.has_vertex(v)) continue;
+      std::uint32_t* cnt = cnt1_[u].data() + static_cast<std::size_t>(v) * nbrs.size();
+      for (std::size_t i = 0; i < nbrs.size(); ++i)
+        for (const auto& w : g.neighbors(v))
+          if (stat(nbrs[i].v, w.v)) ++cnt[i];
+    }
+    for (VertexId v = 0; v < cap_; ++v) l1_[u][v] = eval_l1(u, v) ? 1 : 0;
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = q.neighbors(u);
+    for (VertexId v = 0; v < cap_; ++v) {
+      if (!g.has_vertex(v)) continue;
+      std::uint32_t* cnt = cnt2_[u].data() + static_cast<std::size_t>(v) * nbrs.size();
+      for (std::size_t i = 0; i < nbrs.size(); ++i)
+        for (const auto& w : g.neighbors(v))
+          if (l1_[nbrs[i].v][w.v]) ++cnt[i];
+    }
+    for (VertexId v = 0; v < cap_; ++v) l2_[u][v] = eval_l2(u, v) ? 1 : 0;
+  }
+}
+
+void SupportIndex::on_vertex_added(VertexId id) {
+  if (id >= cap_) {
+    cap_ = id + 1;
+    for (VertexId u = 0; u < q_->num_vertices(); ++u) {
+      const std::size_t d = q_->neighbors(u).size();
+      l1_[u].resize(cap_, 0);
+      l2_[u].resize(cap_, 0);
+      cnt1_[u].resize(static_cast<std::size_t>(cap_) * d, 0);
+      cnt2_[u].resize(static_cast<std::size_t>(cap_) * d, 0);
+    }
+  }
+  // Isolated vertex: flags evaluate directly, nothing propagates.
+  for (VertexId u = 0; u < q_->num_vertices(); ++u) {
+    l1_[u][id] = eval_l1(u, id) ? 1 : 0;
+    l2_[u][id] = eval_l2(u, id) ? 1 : 0;
+  }
+}
+
+void SupportIndex::on_vertex_removed(VertexId id) {
+  for (VertexId u = 0; u < q_->num_vertices(); ++u) {
+    l1_[u][id] = 0;
+    l2_[u][id] = 0;
+  }
+}
+
+void SupportIndex::direct_deltas(VertexId a, VertexId b, std::int32_t sign) {
+  // Data vertex b became/ceased to be a neighbor of a: adjust a's counters
+  // using b's pre-update layer values (stat is label-only, hence immutable).
+  for (VertexId u = 0; u < q_->num_vertices(); ++u) {
+    const auto nbrs = q_->neighbors(u);
+    std::uint32_t* c1 = cnt1_[u].data() + static_cast<std::size_t>(a) * nbrs.size();
+    std::uint32_t* c2 = cnt2_[u].data() + static_cast<std::size_t>(a) * nbrs.size();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId up = nbrs[i].v;
+      if (stat(up, b))
+        c1[i] = static_cast<std::uint32_t>(static_cast<std::int64_t>(c1[i]) + sign);
+      if (l1_[up][b])
+        c2[i] = static_cast<std::uint32_t>(static_cast<std::int64_t>(c2[i]) + sign);
+    }
+  }
+}
+
+void SupportIndex::refresh(VertexId v1, VertexId v2) {
+  struct Flip {
+    VertexId u;
+    VertexId v;
+    bool on;
+  };
+  std::vector<Flip> l1_flips;
+
+  // Re-evaluate all pairs at the endpoints (covers the direct deltas).
+  for (const VertexId v : {v1, v2}) {
+    for (VertexId x = 0; x < q_->num_vertices(); ++x) {
+      const bool nv = eval_l1(x, v);
+      if (nv != (l1_[x][v] != 0)) {
+        l1_[x][v] = nv ? 1 : 0;
+        l1_flips.push_back({x, v, nv});
+      }
+    }
+  }
+  // Propagate L1 flips into cnt2 of neighbors; re-evaluate kernel flags.
+  for (const Flip& f : l1_flips) {
+    for (const auto& nb : g_->neighbors(f.v)) {
+      for (VertexId x = 0; x < q_->num_vertices(); ++x) {
+        const auto xn = q_->neighbors(x);
+        std::uint32_t* c2 =
+            cnt2_[x].data() + static_cast<std::size_t>(nb.v) * xn.size();
+        for (std::size_t i = 0; i < xn.size(); ++i) {
+          if (xn[i].v != f.u) continue;
+          c2[i] += f.on ? 1u : ~0u;
+          l2_[x][nb.v] = eval_l2(x, nb.v) ? 1 : 0;
+        }
+      }
+    }
+    l2_[f.u][f.v] = eval_l2(f.u, f.v) ? 1 : 0;
+  }
+  for (const VertexId v : {v1, v2})
+    for (VertexId x = 0; x < q_->num_vertices(); ++x)
+      l2_[x][v] = eval_l2(x, v) ? 1 : 0;
+}
+
+void SupportIndex::on_edge_inserted(VertexId v1, VertexId v2) {
+  direct_deltas(v1, v2, +1);
+  direct_deltas(v2, v1, +1);
+  refresh(v1, v2);
+}
+
+void SupportIndex::on_edge_removed(VertexId v1, VertexId v2) {
+  direct_deltas(v1, v2, -1);
+  direct_deltas(v2, v1, -1);
+  refresh(v1, v2);
+}
+
+bool SupportIndex::safe_edge(VertexId v1, VertexId v2, std::int32_t sign) const {
+  // Endpoint flags must not flip (so nothing propagates) and no query edge
+  // may see kernel candidates at both endpoints (so no match uses the edge).
+  // One data edge can bump several slots of the same entry — any
+  // label-compatible query neighbor — hence whole-vector evaluation.
+  for (VertexId u = 0; u < q_->num_vertices(); ++u) {
+    const auto nbrs = q_->neighbors(u);
+    for (const auto& [at, other] : {std::pair{v1, v2}, std::pair{v2, v1}}) {
+      bool would_l1 = stat(u, at);
+      bool would_l2 = would_l1;
+      const std::uint32_t* c1 =
+          cnt1_[u].data() + static_cast<std::size_t>(at) * nbrs.size();
+      const std::uint32_t* c2 =
+          cnt2_[u].data() + static_cast<std::size_t>(at) * nbrs.size();
+      for (std::size_t i = 0; i < nbrs.size() && (would_l1 || would_l2); ++i) {
+        const VertexId up = nbrs[i].v;
+        const std::int64_t b1 =
+            static_cast<std::int64_t>(c1[i]) + (stat(up, other) ? sign : 0);
+        const std::int64_t b2 =
+            static_cast<std::int64_t>(c2[i]) + (l1_[up][other] ? sign : 0);
+        if (b1 <= 0) would_l1 = false;
+        if (b2 <= 0) would_l2 = false;
+      }
+      if (would_l1 != (l1_[u][at] != 0)) return false;
+      if (would_l2 != (l2_[u][at] != 0)) return false;
+    }
+    // Match-pair check, refined by the degree/NLF feasibility filters the
+    // enumeration applies anyway (CaLiG is edge-label blind, so only vertex
+    // labels and degrees feed the refinement).
+    const bool insert = sign > 0;
+    const auto feasible = [&](VertexId qu, VertexId dv, VertexId other) {
+      return kernel(qu, dv) && match_endpoint_ok(*q_, *g_, qu, dv, other, insert);
+    };
+    for (const auto& nb : nbrs) {
+      if (feasible(u, v1, v2) && feasible(nb.v, v2, v1)) return false;
+      if (feasible(u, v2, v1) && feasible(nb.v, v1, v2)) return false;
+    }
+  }
+  return true;
+}
+
+bool SupportIndex::safe_insert(VertexId v1, VertexId v2) const {
+  return safe_edge(v1, v2, +1);
+}
+
+bool SupportIndex::safe_remove(VertexId v1, VertexId v2) const {
+  return safe_edge(v1, v2, -1);
+}
+
+std::uint64_t SupportIndex::num_kernel_pairs() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& column : l2_)
+    total += static_cast<std::uint64_t>(
+        std::count(column.begin(), column.end(), std::uint8_t{1}));
+  return total;
+}
+
+bool SupportIndex::states_equal(const SupportIndex& other) const noexcept {
+  return l1_ == other.l1_ && l2_ == other.l2_;
+}
+
+}  // namespace paracosm::csm

@@ -1,0 +1,83 @@
+// Layered mutual-support index: the CaLiG-style kernel/light candidate
+// classification.
+//
+// CaLiG classifies candidate vertices by how well their neighborhoods support
+// the *whole* query neighborhood (not a tree or DAG like DCG/DCS). We realize
+// this with a two-layer refinement, a standard over-approximation of the
+// mutual-support greatest fixpoint that stays exactly maintainable:
+//
+//   stat(u,v)   = label(u)==label(v)                             ("light")
+//   L1(u,v)     = stat(u,v) && for every query neighbor u' of u some data
+//                 neighbor w of v has stat(u',w)
+//   L2(u,v)     = stat(u,v) && for every u' some w has L1(u',w) ("kernel")
+//
+// Search seeds only from kernel (L2) vertices. The layering is acyclic
+// (stat -> L1 -> L2), so insertions flip flags only on and deletions only
+// off, and flips propagate at most two layers — O(affected) maintenance.
+//
+// Faithful to the original system, the index is EDGE-LABEL-BLIND: CaLiG has
+// no edge-label matching, and the paper strips edge labels from datasets
+// when evaluating it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/data_graph.hpp"
+#include "graph/query_graph.hpp"
+
+namespace paracosm::csm {
+
+using graph::DataGraph;
+using graph::Label;
+using graph::QueryGraph;
+using graph::VertexId;
+
+class SupportIndex {
+ public:
+  void build(const QueryGraph& q, const DataGraph& g);
+
+  /// Maintenance hooks; the data graph must already reflect the change.
+  void on_edge_inserted(VertexId v1, VertexId v2);
+  void on_edge_removed(VertexId v1, VertexId v2);
+  void on_vertex_added(VertexId id);
+  void on_vertex_removed(VertexId id);
+
+  /// Kernel membership — the candidate filter used during search.
+  [[nodiscard]] bool kernel(VertexId u, VertexId v) const noexcept {
+    return l2_[u][v] != 0;
+  }
+  /// Light membership (passes static filters and one support round).
+  [[nodiscard]] bool light(VertexId u, VertexId v) const noexcept {
+    return l1_[u][v] != 0;
+  }
+
+  /// Classifier stage 3, evaluated BEFORE the update is applied.
+  [[nodiscard]] bool safe_insert(VertexId v1, VertexId v2) const;
+  [[nodiscard]] bool safe_remove(VertexId v1, VertexId v2) const;
+
+  [[nodiscard]] std::uint64_t num_kernel_pairs() const noexcept;
+  [[nodiscard]] bool states_equal(const SupportIndex& other) const noexcept;
+
+ private:
+  const QueryGraph* q_ = nullptr;
+  const DataGraph* g_ = nullptr;
+  std::uint32_t cap_ = 0;
+
+  // Flags per (query vertex, data vertex).
+  std::vector<std::vector<std::uint8_t>> l1_, l2_;
+  // cnt1_[u][v * deg_Q(u) + i]: |{w in N(v) : stat(nbr_i(u), w)}|; cnt2_
+  // likewise over L1. nbr_i(u) is q_->neighbors(u)[i].v.
+  std::vector<std::vector<std::uint32_t>> cnt1_, cnt2_;
+
+  [[nodiscard]] bool stat(VertexId u, VertexId v) const noexcept;
+  [[nodiscard]] bool eval_l1(VertexId u, VertexId v) const noexcept;
+  [[nodiscard]] bool eval_l2(VertexId u, VertexId v) const noexcept;
+  [[nodiscard]] bool safe_edge(VertexId v1, VertexId v2, std::int32_t sign) const;
+
+  void direct_deltas(VertexId a, VertexId b, std::int32_t sign);
+  /// Re-evaluate endpoint flags and propagate L1 flips into cnt2/L2.
+  void refresh(VertexId v1, VertexId v2);
+};
+
+}  // namespace paracosm::csm

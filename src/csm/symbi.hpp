@@ -1,0 +1,48 @@
+// Symbi (Min et al., VLDB'21): DCS-backed continuous matching with
+// bidirectional dynamic programming.
+//
+// The dynamic candidate space is the DagCandidateIndex over the full BFS DAG
+// of the query (every query edge constrains the index), giving stronger
+// pruning at O(|E(G)||E(Q)|)-style maintenance cost.
+#pragma once
+
+#include "csm/backtrack.hpp"
+#include "csm/candidate_index.hpp"
+
+namespace paracosm::csm {
+
+class Symbi final : public BacktrackBase {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "symbi"; }
+
+  void on_edge_inserted(const GraphUpdate& upd) override {
+    index_.on_edge_inserted(upd.u, upd.v, upd.label);
+  }
+  void on_edge_removed(const GraphUpdate& upd) override {
+    index_.on_edge_removed(upd.u, upd.v, upd.label);
+  }
+  void on_vertex_added(graph::VertexId id) override { index_.on_vertex_added(id); }
+  void on_vertex_removed(graph::VertexId id) override { index_.on_vertex_removed(id); }
+
+  [[nodiscard]] bool has_ads() const noexcept override { return true; }
+  [[nodiscard]] bool ads_safe(const GraphUpdate& upd) const override {
+    if (!upd.is_edge_op()) return false;
+    return upd.is_insert() ? index_.safe_insert(upd.u, upd.v, upd.label)
+                           : index_.safe_remove(upd.u, upd.v, upd.label);
+  }
+
+  [[nodiscard]] const DagCandidateIndex& index() const noexcept { return index_; }
+
+ protected:
+  [[nodiscard]] bool candidate_ok(VertexId u, VertexId v) const override {
+    return index_.candidate(u, v);
+  }
+  void rebuild_index() override {
+    index_.build(*query_, *graph_, /*spanning_tree_only=*/false);
+  }
+
+ private:
+  DagCandidateIndex index_;
+};
+
+}  // namespace paracosm::csm

@@ -1,0 +1,48 @@
+// TurboFlux (Kim et al., SIGMOD'18): DCG-backed continuous matching.
+//
+// The data-centric graph is realized as a DagCandidateIndex over the BFS
+// *spanning tree* of the query: cheap O(|E(G)||V(Q)|)-style maintenance,
+// weaker pruning than Symbi's full-DAG DCS — the trade-off the paper's
+// Table 1 records.
+#pragma once
+
+#include "csm/backtrack.hpp"
+#include "csm/candidate_index.hpp"
+
+namespace paracosm::csm {
+
+class TurboFlux final : public BacktrackBase {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "turboflux"; }
+
+  void on_edge_inserted(const GraphUpdate& upd) override {
+    index_.on_edge_inserted(upd.u, upd.v, upd.label);
+  }
+  void on_edge_removed(const GraphUpdate& upd) override {
+    index_.on_edge_removed(upd.u, upd.v, upd.label);
+  }
+  void on_vertex_added(graph::VertexId id) override { index_.on_vertex_added(id); }
+  void on_vertex_removed(graph::VertexId id) override { index_.on_vertex_removed(id); }
+
+  [[nodiscard]] bool has_ads() const noexcept override { return true; }
+  [[nodiscard]] bool ads_safe(const GraphUpdate& upd) const override {
+    if (!upd.is_edge_op()) return false;
+    return upd.is_insert() ? index_.safe_insert(upd.u, upd.v, upd.label)
+                           : index_.safe_remove(upd.u, upd.v, upd.label);
+  }
+
+  [[nodiscard]] const DagCandidateIndex& index() const noexcept { return index_; }
+
+ protected:
+  [[nodiscard]] bool candidate_ok(VertexId u, VertexId v) const override {
+    return index_.candidate(u, v);
+  }
+  void rebuild_index() override {
+    index_.build(*query_, *graph_, /*spanning_tree_only=*/true);
+  }
+
+ private:
+  DagCandidateIndex index_;
+};
+
+}  // namespace paracosm::csm

@@ -1,0 +1,186 @@
+#include "graph/data_graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace paracosm::graph {
+
+DataGraph::DataGraph(const DataGraph& other)
+    : vertices_(other.vertices_),
+      by_label_(other.by_label_),
+      num_edges_(other.num_edges_.load(std::memory_order_relaxed)),
+      alive_(other.alive_) {}
+
+DataGraph& DataGraph::operator=(const DataGraph& other) {
+  if (this != &other) {
+    vertices_ = other.vertices_;
+    by_label_ = other.by_label_;
+    num_edges_.store(other.num_edges_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    alive_ = other.alive_;
+  }
+  return *this;
+}
+
+VertexId DataGraph::add_vertex(Label label) {
+  const auto id = static_cast<VertexId>(vertices_.size());
+  add_vertex_with_id(id, label);
+  return id;
+}
+
+void DataGraph::add_vertex_with_id(VertexId id, Label label) {
+  if (id >= vertices_.size()) vertices_.resize(id + 1);
+  VertexRec& rec = vertices_[id];
+  if (!rec.alive) {
+    rec.alive = true;
+    ++alive_;
+  }
+  rec.label = label;
+  if (label >= by_label_.size()) by_label_.resize(label + 1);
+  by_label_[label].push_back(id);
+}
+
+std::size_t DataGraph::remove_vertex(VertexId id) {
+  if (!has_vertex(id)) return 0;
+  VertexRec& rec = vertices_[id];
+  const std::size_t removed = rec.nbrs.size();
+  for (const Neighbor& nb : rec.nbrs) erase_directed(nb.v, id);
+  num_edges_.fetch_sub(removed, std::memory_order_relaxed);
+  rec.nbrs.clear();
+  rec.alive = false;
+  --alive_;
+  auto& bucket = by_label_[rec.label];
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+  return removed;
+}
+
+bool DataGraph::add_edge(VertexId u, VertexId v, Label elabel) {
+  if (u == v || !has_vertex(u) || !has_vertex(v)) return false;
+  if (has_edge(u, v)) return false;
+  insert_directed(u, v, elabel);
+  insert_directed(v, u, elabel);
+  num_edges_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<Label> DataGraph::remove_edge(VertexId u, VertexId v) {
+  if (!has_vertex(u) || !has_vertex(v)) return std::nullopt;
+  const auto label = edge_label(u, v);
+  if (!label) return std::nullopt;
+  erase_directed(u, v);
+  erase_directed(v, u);
+  num_edges_.fetch_sub(1, std::memory_order_relaxed);
+  return label;
+}
+
+bool DataGraph::apply(const GraphUpdate& upd) {
+  switch (upd.op) {
+    case UpdateOp::kInsertEdge:
+      return add_edge(upd.u, upd.v, upd.label);
+    case UpdateOp::kRemoveEdge:
+      return remove_edge(upd.u, upd.v).has_value();
+    case UpdateOp::kInsertVertex:
+      add_vertex_with_id(upd.u, upd.label);
+      return true;
+    case UpdateOp::kRemoveVertex:
+      if (!has_vertex(upd.u)) return false;
+      remove_vertex(upd.u);
+      return true;
+  }
+  return false;
+}
+
+bool DataGraph::has_edge(VertexId u, VertexId v) const noexcept {
+  return edge_label(u, v).has_value();
+}
+
+std::optional<Label> DataGraph::edge_label(VertexId u, VertexId v) const noexcept {
+  if (u >= vertices_.size()) return std::nullopt;
+  const auto& list = vertices_[u].nbrs;
+  const auto it = std::lower_bound(list.begin(), list.end(), Neighbor{v, 0});
+  if (it == list.end() || it->v != v) return std::nullopt;
+  return it->elabel;
+}
+
+std::uint32_t DataGraph::nlf(VertexId v, Label l) const noexcept {
+  std::uint32_t count = 0;
+  for (const Neighbor& nb : vertices_[v].nbrs)
+    if (vertices_[nb.v].label == l) ++count;
+  return count;
+}
+
+std::vector<VertexId> DataGraph::vertices_with_label(Label l) const {
+  std::vector<VertexId> out;
+  if (l >= by_label_.size()) return out;
+  for (const VertexId id : by_label_[l])
+    if (vertices_[id].alive && vertices_[id].label == l) out.push_back(id);
+  return out;
+}
+
+std::vector<Edge> DataGraph::edge_list() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (VertexId u = 0; u < vertices_.size(); ++u) {
+    if (!vertices_[u].alive) continue;
+    for (const Neighbor& nb : vertices_[u].nbrs)
+      if (u < nb.v) out.push_back({u, nb.v, nb.elabel});
+  }
+  return out;
+}
+
+std::uint32_t DataGraph::max_degree() const noexcept {
+  std::uint32_t best = 0;
+  for (const VertexRec& rec : vertices_)
+    if (rec.alive) best = std::max(best, static_cast<std::uint32_t>(rec.nbrs.size()));
+  return best;
+}
+
+std::uint32_t DataGraph::num_vertex_labels() const {
+  std::unordered_set<Label> labels;
+  for (const VertexRec& rec : vertices_)
+    if (rec.alive) labels.insert(rec.label);
+  return static_cast<std::uint32_t>(labels.size());
+}
+
+std::uint32_t DataGraph::num_edge_labels() const {
+  std::unordered_set<Label> labels;
+  for (const VertexRec& rec : vertices_)
+    if (rec.alive)
+      for (const Neighbor& nb : rec.nbrs) labels.insert(nb.elabel);
+  return static_cast<std::uint32_t>(labels.size());
+}
+
+bool DataGraph::same_structure(const DataGraph& other) const {
+  if (vertex_capacity() != other.vertex_capacity()) return false;
+  if (num_edges() != other.num_edges()) return false;
+  for (VertexId u = 0; u < vertices_.size(); ++u) {
+    const VertexRec& a = vertices_[u];
+    const VertexRec& b = other.vertices_[u];
+    if (a.alive != b.alive) return false;
+    if (!a.alive) continue;
+    if (a.label != b.label) return false;
+    if (a.nbrs.size() != b.nbrs.size()) return false;
+    for (std::size_t i = 0; i < a.nbrs.size(); ++i)
+      if (a.nbrs[i].v != b.nbrs[i].v || a.nbrs[i].elabel != b.nbrs[i].elabel)
+        return false;
+  }
+  return true;
+}
+
+bool DataGraph::insert_directed(VertexId from, VertexId to, Label elabel) {
+  auto& list = vertices_[from].nbrs;
+  const auto it = std::lower_bound(list.begin(), list.end(), Neighbor{to, 0});
+  if (it != list.end() && it->v == to) return false;
+  list.insert(it, Neighbor{to, elabel});
+  return true;
+}
+
+bool DataGraph::erase_directed(VertexId from, VertexId to) noexcept {
+  auto& list = vertices_[from].nbrs;
+  const auto it = std::lower_bound(list.begin(), list.end(), Neighbor{to, 0});
+  if (it == list.end() || it->v != to) return false;
+  list.erase(it);
+  return true;
+}
+
+}  // namespace paracosm::graph

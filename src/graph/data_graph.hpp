@@ -1,0 +1,107 @@
+// Dynamic labeled data graph G.
+//
+// Sorted per-vertex adjacency vectors give O(log d) edge lookup and O(d)
+// insertion — the layout every published CSM system uses for its streaming
+// graph. Mutation is single-writer by default; the batch executor applies
+// *safe* updates concurrently under external striped per-vertex locks (safe
+// updates touch pairwise-disjoint endpoints in strict mode, see DESIGN.md §4),
+// so the edge counter is the only shared field and is atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace paracosm::graph {
+
+class DataGraph {
+ public:
+  DataGraph() = default;
+
+  DataGraph(const DataGraph& other);
+  DataGraph& operator=(const DataGraph& other);
+  DataGraph(DataGraph&&) noexcept = default;
+  DataGraph& operator=(DataGraph&&) noexcept = default;
+
+  /// Append a vertex with the given label; returns its id.
+  VertexId add_vertex(Label label);
+  /// Ensure vertex `id` exists (filling gaps with dead vertices) and set its
+  /// label — used by file loaders with explicit ids.
+  void add_vertex_with_id(VertexId id, Label label);
+  /// Remove a vertex and all incident edges. Returns number of edges removed.
+  std::size_t remove_vertex(VertexId id);
+
+  /// Insert undirected edge (u,v) with label. Returns false if it already
+  /// exists or endpoints are invalid (duplicate inserts are ignored, matching
+  /// streaming-benchmark semantics).
+  bool add_edge(VertexId u, VertexId v, Label elabel);
+  /// Remove edge (u,v); returns its label if it existed.
+  std::optional<Label> remove_edge(VertexId u, VertexId v);
+
+  /// Apply or revert a GraphUpdate. Returns true if the graph changed.
+  bool apply(const GraphUpdate& upd);
+
+  [[nodiscard]] bool has_vertex(VertexId id) const noexcept {
+    return id < vertices_.size() && vertices_[id].alive;
+  }
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const noexcept;
+  [[nodiscard]] std::optional<Label> edge_label(VertexId u, VertexId v) const noexcept;
+
+  [[nodiscard]] Label label(VertexId u) const noexcept { return vertices_[u].label; }
+  [[nodiscard]] std::uint32_t degree(VertexId u) const noexcept {
+    return static_cast<std::uint32_t>(vertices_[u].nbrs.size());
+  }
+  [[nodiscard]] std::span<const Neighbor> neighbors(VertexId u) const noexcept {
+    return vertices_[u].nbrs;
+  }
+
+  /// Number of vertex slots ever allocated (ids are dense in [0, size)).
+  [[nodiscard]] std::uint32_t vertex_capacity() const noexcept {
+    return static_cast<std::uint32_t>(vertices_.size());
+  }
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept { return alive_; }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return num_edges_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double average_degree() const noexcept {
+    return alive_ ? 2.0 * static_cast<double>(num_edges()) / alive_ : 0.0;
+  }
+
+  /// Number of neighbors of `v` with vertex label `l` (data-side NLF; O(d)).
+  [[nodiscard]] std::uint32_t nlf(VertexId v, Label l) const noexcept;
+
+  /// All alive vertices with the given label (scan of the label bucket).
+  [[nodiscard]] std::vector<VertexId> vertices_with_label(Label l) const;
+
+  /// Materialized edge list (u < v), e.g. for building update streams.
+  [[nodiscard]] std::vector<Edge> edge_list() const;
+
+  [[nodiscard]] std::uint32_t max_degree() const noexcept;
+  [[nodiscard]] std::uint32_t num_vertex_labels() const;
+  [[nodiscard]] std::uint32_t num_edge_labels() const;
+
+  /// Structural equality (labels + adjacency of alive vertices) — used by
+  /// tests to verify that "safe" updates leave indices consistent.
+  [[nodiscard]] bool same_structure(const DataGraph& other) const;
+
+ private:
+  struct VertexRec {
+    Label label = 0;
+    bool alive = false;
+    std::vector<Neighbor> nbrs;
+  };
+
+  std::vector<VertexRec> vertices_;
+  std::vector<std::vector<VertexId>> by_label_;  // may contain dead ids; filtered on read
+  std::atomic<std::uint64_t> num_edges_{0};
+  std::uint32_t alive_ = 0;
+
+  bool insert_directed(VertexId from, VertexId to, Label elabel);
+  bool erase_directed(VertexId from, VertexId to) noexcept;
+};
+
+}  // namespace paracosm::graph

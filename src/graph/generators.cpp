@@ -1,0 +1,240 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace paracosm::graph {
+
+DatasetSpec DatasetSpec::scaled(double factor) const {
+  DatasetSpec out = *this;
+  out.num_vertices = std::max<std::uint32_t>(
+      16, static_cast<std::uint32_t>(std::lround(num_vertices * factor)));
+  return out;
+}
+
+// Default vertex counts are ~1/250th of the real datasets, keeping the
+// between-dataset size ordering (Amazon < Orkut < LiveJournal ≈ LSBench).
+DatasetSpec amazon_spec(double scale) {
+  return DatasetSpec{"amazon", 1600, 12.06, 6, 1}.scaled(scale);
+}
+DatasetSpec livejournal_spec(double scale) {
+  return DatasetSpec{"livejournal", 19400, 17.68, 30, 1}.scaled(scale);
+}
+DatasetSpec lsbench_spec(double scale) {
+  return DatasetSpec{"lsbench", 20800, 7.78, 1, 44}.scaled(scale);
+}
+DatasetSpec orkut_spec(double scale) {
+  return DatasetSpec{"orkut", 12300, 20.0, 20, 20}.scaled(scale);
+}
+
+std::vector<DatasetSpec> all_dataset_specs(double scale) {
+  return {amazon_spec(scale), livejournal_spec(scale), lsbench_spec(scale),
+          orkut_spec(scale)};
+}
+
+std::optional<DatasetSpec> dataset_spec_by_name(const std::string& name, double scale) {
+  for (DatasetSpec& spec : all_dataset_specs(scale))
+    if (spec.name == name) return spec;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Quadratically skewed label draw: real co-purchase/social labels are far
+/// from uniform, and the skew is what routes a realistic share of updates
+/// to the classifier's ADS stage instead of stage-1 label filtering.
+[[nodiscard]] Label skewed_label(util::Rng& rng, std::uint32_t count) {
+  const double u = rng.uniform();
+  return static_cast<Label>(
+      std::min<std::uint32_t>(count - 1, static_cast<std::uint32_t>(std::pow(u, 1.5) * count)));
+}
+
+}  // namespace
+
+DataGraph generate_power_law(const DatasetSpec& spec, util::Rng& rng) {
+  DataGraph g;
+  const std::uint32_t n = spec.num_vertices;
+  for (std::uint32_t i = 0; i < n; ++i)
+    g.add_vertex(skewed_label(rng, spec.num_vertex_labels));
+
+  // Each new vertex attaches m ≈ avg_degree / 2 edges. Attachment targets are
+  // drawn from a pool containing each vertex once per incident edge (plus one
+  // base occurrence), which yields the classic preferential-attachment
+  // heavy-tailed degree distribution.
+  const auto m = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(spec.avg_degree / 2.0)));
+  std::vector<VertexId> pool;
+  pool.reserve(static_cast<std::size_t>(n) * (m + 1));
+  const std::uint32_t seed_size = std::min<std::uint32_t>(n, m + 1);
+  for (std::uint32_t u = 0; u < seed_size; ++u) {
+    for (std::uint32_t v = 0; v < u; ++v) {
+      if (g.add_edge(u, v, skewed_label(rng, spec.num_edge_labels))) {
+        pool.push_back(u);
+        pool.push_back(v);
+      }
+    }
+  }
+  for (std::uint32_t u = seed_size; u < n; ++u) {
+    std::uint32_t attached = 0;
+    std::uint32_t attempts = 0;
+    while (attached < m && attempts < 8 * m) {
+      ++attempts;
+      // Mix preferential attachment with a uniform component so low-degree
+      // vertices keep receiving edges (real co-purchase/social graphs are
+      // heavy-tailed but not star-dominated).
+      const VertexId target = (!pool.empty() && rng.chance(0.75))
+                                  ? pool[rng.bounded(pool.size())]
+                                  : static_cast<VertexId>(rng.bounded(u));
+      if (target == u) continue;
+      if (g.add_edge(u, target, skewed_label(rng, spec.num_edge_labels))) {
+        pool.push_back(u);
+        pool.push_back(target);
+        ++attached;
+      }
+    }
+  }
+  return g;
+}
+
+DataGraph generate_erdos_renyi(std::uint32_t num_vertices, std::uint64_t num_edges,
+                               std::uint32_t num_vertex_labels,
+                               std::uint32_t num_edge_labels, util::Rng& rng) {
+  DataGraph g;
+  for (std::uint32_t i = 0; i < num_vertices; ++i)
+    g.add_vertex(static_cast<Label>(rng.bounded(num_vertex_labels)));
+  std::uint64_t added = 0;
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 20 * num_edges + 100;
+  while (added < num_edges && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng.bounded(num_vertices));
+    const auto v = static_cast<VertexId>(rng.bounded(num_vertices));
+    if (u == v) continue;
+    if (g.add_edge(u, v, static_cast<Label>(rng.bounded(num_edge_labels)))) ++added;
+  }
+  return g;
+}
+
+std::optional<QueryGraph> extract_query(const DataGraph& g, std::uint32_t size,
+                                        util::Rng& rng,
+                                        const QueryExtractOptions& opts) {
+  if (g.num_vertices() < size || size < 2) return std::nullopt;
+  const std::uint32_t cap = g.vertex_capacity();
+
+  for (int attempt = 0; attempt < 48; ++attempt) {
+    VertexId seed = static_cast<VertexId>(rng.bounded(cap));
+    if (opts.degree_biased_seed) {
+      // Endpoint of a random walk step from a uniform vertex ~ degree bias.
+      const VertexId anchor = static_cast<VertexId>(rng.bounded(cap));
+      if (g.has_vertex(anchor) && g.degree(anchor) > 0) {
+        const auto nbrs = g.neighbors(anchor);
+        seed = nbrs[rng.bounded(nbrs.size())].v;
+      }
+    }
+    if (!g.has_vertex(seed) || g.degree(seed) == 0) continue;
+
+    std::vector<VertexId> order;        // visit order = query vertex ids
+    std::unordered_set<VertexId> seen;
+    order.push_back(seed);
+    seen.insert(seed);
+    VertexId cur = seed;
+    std::uint32_t steps = 0;
+    const std::uint32_t max_steps = 200 * size;
+    while (order.size() < size && steps < max_steps) {
+      ++steps;
+      const auto nbrs = g.neighbors(cur);
+      if (nbrs.empty()) break;
+      const VertexId next = nbrs[rng.bounded(nbrs.size())].v;
+      if (seen.insert(next).second) order.push_back(next);
+      // Occasional restart to a random visited vertex avoids dead ends.
+      cur = rng.chance(0.15) ? order[rng.bounded(order.size())] : next;
+    }
+    if (order.size() < size) continue;
+
+    std::vector<Label> labels(size);
+    std::vector<Edge> edges;
+    for (std::uint32_t i = 0; i < size; ++i) labels[i] = g.label(order[i]);
+    for (std::uint32_t i = 0; i < size; ++i)
+      for (std::uint32_t j = i + 1; j < size; ++j)
+        if (const auto el = g.edge_label(order[i], order[j]))
+          edges.push_back({i, j, *el});
+    if (edges.size() < opts.min_edges) continue;
+    QueryGraph q(std::move(labels), std::move(edges));
+    if (q.connected()) return q;
+  }
+  return std::nullopt;
+}
+
+std::vector<QueryGraph> extract_queries(const DataGraph& g, std::uint32_t size,
+                                        std::uint32_t count, util::Rng& rng,
+                                        const QueryExtractOptions& opts) {
+  std::vector<QueryGraph> out;
+  std::uint32_t failures = 0;
+  while (out.size() < count && failures < 4 * count + 16) {
+    if (auto q = extract_query(g, size, rng, opts))
+      out.push_back(std::move(*q));
+    else
+      ++failures;
+  }
+  return out;
+}
+
+std::vector<GraphUpdate> make_insert_stream(DataGraph& g, double fraction,
+                                            util::Rng& rng) {
+  std::vector<Edge> edges = g.edge_list();
+  rng.shuffle(edges);
+  const auto take = static_cast<std::size_t>(
+      std::llround(static_cast<double>(edges.size()) * fraction));
+  std::vector<GraphUpdate> stream;
+  stream.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const Edge& e = edges[i];
+    g.remove_edge(e.u, e.v);
+    stream.push_back(GraphUpdate::insert_edge(e.u, e.v, e.elabel));
+  }
+  return stream;
+}
+
+std::vector<GraphUpdate> make_mixed_stream(DataGraph& g, double insert_fraction,
+                                           double delete_fraction, util::Rng& rng) {
+  const std::vector<GraphUpdate> inserts = make_insert_stream(g, insert_fraction, rng);
+  const auto deletes = static_cast<std::size_t>(
+      std::llround(static_cast<double>(inserts.size()) * delete_fraction));
+
+  // Mark which inserted edges will be re-deleted.
+  std::vector<std::size_t> idx(inserts.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  std::vector<bool> marked(inserts.size(), false);
+  for (std::size_t i = 0; i < deletes; ++i) marked[idx[i]] = true;
+
+  // Interleave: deletions are emitted at random points after their
+  // insertion, so truncated prefixes of the stream still contain both ops.
+  std::vector<GraphUpdate> stream;
+  stream.reserve(inserts.size() + deletes);
+  std::vector<GraphUpdate> pending;  // inserted & marked, not yet deleted
+  const double target_ratio =
+      deletes > 0 ? static_cast<double>(deletes) /
+                        static_cast<double>(inserts.size() + deletes)
+                  : 0.0;
+  std::size_t next = 0;
+  while (next < inserts.size() || !pending.empty()) {
+    const bool emit_delete =
+        !pending.empty() && (next >= inserts.size() || rng.chance(target_ratio));
+    if (emit_delete) {
+      const std::size_t pick = static_cast<std::size_t>(rng.bounded(pending.size()));
+      const GraphUpdate& ins = pending[pick];
+      stream.push_back(GraphUpdate::remove_edge(ins.u, ins.v, ins.label));
+      pending[pick] = pending.back();
+      pending.pop_back();
+    } else {
+      stream.push_back(inserts[next]);
+      if (marked[next]) pending.push_back(inserts[next]);
+      ++next;
+    }
+  }
+  return stream;
+}
+
+}  // namespace paracosm::graph

@@ -1,0 +1,90 @@
+// Synthetic dataset generation and query extraction.
+//
+// The paper evaluates on Amazon, LiveJournal, LSBench and Orkut (Table 5).
+// Those graphs are not redistributable inside this repository, so we generate
+// scaled-down stand-ins that reproduce the properties the ParaCOSM results
+// depend on: the vertex/edge label alphabet sizes and the average degree of
+// each dataset (see DESIGN.md §2). Queries are extracted exactly as in the
+// paper: random walks from random seed vertices, taking the induced subgraph.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.hpp"
+#include "graph/query_graph.hpp"
+#include "util/rng.hpp"
+
+namespace paracosm::graph {
+
+struct DatasetSpec {
+  std::string name;
+  std::uint32_t num_vertices = 1000;
+  double avg_degree = 8.0;
+  std::uint32_t num_vertex_labels = 4;
+  std::uint32_t num_edge_labels = 1;
+
+  /// Multiply vertex count (degree/labels are intensive quantities).
+  [[nodiscard]] DatasetSpec scaled(double factor) const;
+};
+
+/// Table 5 stand-ins. `scale` multiplies the (already scaled-down) default
+/// vertex counts; scale = 1 keeps every bench comfortably inside CI budgets.
+[[nodiscard]] DatasetSpec amazon_spec(double scale = 1.0);
+[[nodiscard]] DatasetSpec livejournal_spec(double scale = 1.0);
+[[nodiscard]] DatasetSpec lsbench_spec(double scale = 1.0);
+[[nodiscard]] DatasetSpec orkut_spec(double scale = 1.0);
+[[nodiscard]] std::vector<DatasetSpec> all_dataset_specs(double scale = 1.0);
+[[nodiscard]] std::optional<DatasetSpec> dataset_spec_by_name(const std::string& name,
+                                                              double scale = 1.0);
+
+/// Preferential-attachment graph (Barabási–Albert flavour) with uniform
+/// vertex/edge labels: heavy-tailed degrees like the real social networks.
+[[nodiscard]] DataGraph generate_power_law(const DatasetSpec& spec, util::Rng& rng);
+
+/// Uniform random graph (used by tests for unbiased structure).
+[[nodiscard]] DataGraph generate_erdos_renyi(std::uint32_t num_vertices,
+                                             std::uint64_t num_edges,
+                                             std::uint32_t num_vertex_labels,
+                                             std::uint32_t num_edge_labels,
+                                             util::Rng& rng);
+
+struct QueryExtractOptions {
+  /// Start walks at a random endpoint of a random edge (probability
+  /// proportional to degree) instead of a uniform vertex. Hub-anchored
+  /// queries are what long random walks on the full-size graphs produce,
+  /// and they drive the search-cost growth with query size.
+  bool degree_biased_seed = false;
+  /// Reject extracted queries with fewer edges (0 = trees allowed).
+  std::uint32_t min_edges = 0;
+};
+
+/// Extract a connected query of `size` vertices by random walk + induced
+/// subgraph. Returns nullopt if the walk cannot reach `size` distinct
+/// vertices (tiny or fragmented graphs).
+[[nodiscard]] std::optional<QueryGraph> extract_query(const DataGraph& g,
+                                                      std::uint32_t size,
+                                                      util::Rng& rng,
+                                                      const QueryExtractOptions& opts = {});
+
+/// Extract `count` queries (retrying failed walks up to a bounded number of
+/// attempts); may return fewer on pathological graphs.
+[[nodiscard]] std::vector<QueryGraph> extract_queries(
+    const DataGraph& g, std::uint32_t size, std::uint32_t count, util::Rng& rng,
+    const QueryExtractOptions& opts = {});
+
+/// The evaluation protocol of Sun et al. (followed by the paper): remove a
+/// random `fraction` of edges from `g` and return them as a shuffled
+/// insertion stream.
+[[nodiscard]] std::vector<GraphUpdate> make_insert_stream(DataGraph& g, double fraction,
+                                                          util::Rng& rng);
+
+/// Insertions as above plus re-deletion of a random `delete_fraction` of the
+/// inserted edges appended at the tail — exercises negative matches.
+[[nodiscard]] std::vector<GraphUpdate> make_mixed_stream(DataGraph& g,
+                                                         double insert_fraction,
+                                                         double delete_fraction,
+                                                         util::Rng& rng);
+
+}  // namespace paracosm::graph

@@ -1,0 +1,174 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace paracosm::graph {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t line_no,
+                       const std::string& line) {
+  throw std::runtime_error("graph_io: " + what + " at line " +
+                           std::to_string(line_no) + ": '" + line + "'");
+}
+
+struct ParsedGraph {
+  std::vector<std::pair<VertexId, Label>> vertices;
+  std::vector<Edge> edges;
+};
+
+[[nodiscard]] ParsedGraph parse_graph(std::istream& in) {
+  ParsedGraph out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%' || line[0] == 't') continue;
+    std::istringstream ss(line);
+    char tag = 0;
+    ss >> tag;
+    if (tag == 'v') {
+      std::uint64_t id = 0, label = 0;
+      if (!(ss >> id >> label)) fail("malformed vertex", line_no, line);
+      out.vertices.emplace_back(static_cast<VertexId>(id), static_cast<Label>(label));
+    } else if (tag == 'e') {
+      std::uint64_t u = 0, v = 0, elabel = 0;
+      if (!(ss >> u >> v)) fail("malformed edge", line_no, line);
+      ss >> elabel;  // optional
+      out.edges.push_back(
+          {static_cast<VertexId>(u), static_cast<VertexId>(v), static_cast<Label>(elabel)});
+    } else {
+      fail("unknown record tag", line_no, line);
+    }
+  }
+  return out;
+}
+
+template <typename T>
+[[nodiscard]] T load_from_file(const std::string& path, T (*loader)(std::istream&)) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("graph_io: cannot open " + path);
+  return loader(in);
+}
+
+}  // namespace
+
+DataGraph load_data_graph(std::istream& in) {
+  const ParsedGraph parsed = parse_graph(in);
+  DataGraph g;
+  for (const auto& [id, label] : parsed.vertices) g.add_vertex_with_id(id, label);
+  for (const Edge& e : parsed.edges) g.add_edge(e.u, e.v, e.elabel);
+  return g;
+}
+
+QueryGraph load_query_graph(std::istream& in) {
+  const ParsedGraph parsed = parse_graph(in);
+  std::vector<Label> labels;
+  for (const auto& [id, label] : parsed.vertices) {
+    if (id >= labels.size()) labels.resize(id + 1);
+    labels[id] = label;
+  }
+  return QueryGraph(std::move(labels), parsed.edges);
+}
+
+std::vector<GraphUpdate> load_update_stream(std::istream& in) {
+  std::vector<GraphUpdate> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    bool insert = true;
+    if (tag.size() == 2 && (tag[0] == '+' || tag[0] == '-')) {
+      insert = tag[0] == '+';
+      tag.erase(0, 1);
+    }
+    if (tag == "e") {
+      std::uint64_t u = 0, v = 0, elabel = 0;
+      if (!(ss >> u >> v)) fail("malformed edge update", line_no, line);
+      ss >> elabel;
+      out.push_back(insert
+                        ? GraphUpdate::insert_edge(static_cast<VertexId>(u),
+                                                   static_cast<VertexId>(v),
+                                                   static_cast<Label>(elabel))
+                        : GraphUpdate::remove_edge(static_cast<VertexId>(u),
+                                                   static_cast<VertexId>(v),
+                                                   static_cast<Label>(elabel)));
+    } else if (tag == "v") {
+      std::uint64_t id = 0, label = 0;
+      if (!(ss >> id)) fail("malformed vertex update", line_no, line);
+      ss >> label;
+      out.push_back(insert ? GraphUpdate::insert_vertex(static_cast<VertexId>(id),
+                                                        static_cast<Label>(label))
+                           : GraphUpdate::remove_vertex(static_cast<VertexId>(id)));
+    } else {
+      fail("unknown update tag", line_no, line);
+    }
+  }
+  return out;
+}
+
+DataGraph load_data_graph_file(const std::string& path) {
+  return load_from_file(path, load_data_graph);
+}
+QueryGraph load_query_graph_file(const std::string& path) {
+  return load_from_file(path, load_query_graph);
+}
+std::vector<GraphUpdate> load_update_stream_file(const std::string& path) {
+  return load_from_file(path, load_update_stream);
+}
+
+void save_data_graph(const DataGraph& g, std::ostream& out) {
+  for (VertexId u = 0; u < g.vertex_capacity(); ++u)
+    if (g.has_vertex(u))
+      out << "v " << u << ' ' << g.label(u) << ' ' << g.degree(u) << '\n';
+  for (const Edge& e : g.edge_list())
+    out << "e " << e.u << ' ' << e.v << ' ' << e.elabel << '\n';
+}
+
+void save_query_graph(const QueryGraph& q, std::ostream& out) {
+  for (VertexId u = 0; u < q.num_vertices(); ++u)
+    out << "v " << u << ' ' << q.label(u) << ' ' << q.degree(u) << '\n';
+  for (const Edge& e : q.edges())
+    out << "e " << e.u << ' ' << e.v << ' ' << e.elabel << '\n';
+}
+
+void save_update_stream(const std::vector<GraphUpdate>& stream, std::ostream& out) {
+  for (const GraphUpdate& upd : stream) {
+    const char sign = upd.is_insert() ? '+' : '-';
+    if (upd.is_edge_op())
+      out << sign << "e " << upd.u << ' ' << upd.v << ' ' << upd.label << '\n';
+    else
+      out << sign << "v " << upd.u << ' ' << upd.label << '\n';
+  }
+}
+
+namespace {
+template <typename Fn, typename T>
+void save_to_file(const T& value, const std::string& path, Fn saver) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("graph_io: cannot open " + path);
+  saver(value, out);
+}
+}  // namespace
+
+void save_data_graph_file(const DataGraph& g, const std::string& path) {
+  save_to_file(g, path, [](const DataGraph& x, std::ostream& o) { save_data_graph(x, o); });
+}
+void save_query_graph_file(const QueryGraph& q, const std::string& path) {
+  save_to_file(q, path,
+               [](const QueryGraph& x, std::ostream& o) { save_query_graph(x, o); });
+}
+void save_update_stream_file(const std::vector<GraphUpdate>& stream,
+                             const std::string& path) {
+  save_to_file(stream, path, [](const std::vector<GraphUpdate>& x, std::ostream& o) {
+    save_update_stream(x, o);
+  });
+}
+
+}  // namespace paracosm::graph

@@ -1,0 +1,41 @@
+// Text I/O in the format shared by the public CSM benchmarks
+// (TurboFlux / SymBi / RapidFlow / the Sun et al. in-depth study):
+//
+//   graph file:   "v <id> <vlabel> [degree]"  then  "e <u> <v> [elabel]"
+//   stream file:  "<op>e <u> <v> [elabel]" / "<op>v <id> [vlabel]"
+//                 where <op> is '+' (insertion) or '-' (deletion); a missing
+//                 op on an edge line means insertion.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.hpp"
+#include "graph/query_graph.hpp"
+#include "graph/types.hpp"
+
+namespace paracosm::graph {
+
+/// Parse a data graph. Throws std::runtime_error on malformed input.
+[[nodiscard]] DataGraph load_data_graph(std::istream& in);
+[[nodiscard]] DataGraph load_data_graph_file(const std::string& path);
+
+/// Parse a query graph (same format; ids must be dense from 0).
+[[nodiscard]] QueryGraph load_query_graph(std::istream& in);
+[[nodiscard]] QueryGraph load_query_graph_file(const std::string& path);
+
+/// Parse an update stream.
+[[nodiscard]] std::vector<GraphUpdate> load_update_stream(std::istream& in);
+[[nodiscard]] std::vector<GraphUpdate> load_update_stream_file(const std::string& path);
+
+void save_data_graph(const DataGraph& g, std::ostream& out);
+void save_query_graph(const QueryGraph& q, std::ostream& out);
+void save_update_stream(const std::vector<GraphUpdate>& stream, std::ostream& out);
+
+void save_data_graph_file(const DataGraph& g, const std::string& path);
+void save_query_graph_file(const QueryGraph& q, const std::string& path);
+void save_update_stream_file(const std::vector<GraphUpdate>& stream,
+                             const std::string& path);
+
+}  // namespace paracosm::graph

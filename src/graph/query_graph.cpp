@@ -1,0 +1,101 @@
+#include "graph/query_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace paracosm::graph {
+
+QueryGraph::QueryGraph(std::vector<Label> vertex_labels, std::vector<Edge> edges)
+    : labels_(std::move(vertex_labels)), edges_(std::move(edges)) {
+  const auto n = static_cast<VertexId>(labels_.size());
+  adj_.resize(n);
+  nlf_.resize(n);
+  for (const Edge& e : edges_) {
+    if (e.u >= n || e.v >= n)
+      throw std::invalid_argument("QueryGraph: edge endpoint out of range");
+    if (e.u == e.v) throw std::invalid_argument("QueryGraph: self-loop");
+    if (has_edge(e.u, e.v)) throw std::invalid_argument("QueryGraph: duplicate edge");
+    adj_[e.u].push_back({e.v, e.elabel});
+    adj_[e.v].push_back({e.u, e.elabel});
+  }
+  for (auto& list : adj_) std::sort(list.begin(), list.end());
+  for (VertexId u = 0; u < n; ++u)
+    for (const Neighbor& nb : adj_[u]) ++nlf_[u][labels_[nb.v]];
+  for (const Edge& e : edges_) {
+    triples_.insert(pack_triple(labels_[e.u], labels_[e.v], e.elabel));
+    triples_.insert(pack_triple(labels_[e.v], labels_[e.u], e.elabel));
+  }
+}
+
+bool QueryGraph::has_edge(VertexId u, VertexId v) const noexcept {
+  return edge_label(u, v).has_value();
+}
+
+std::optional<Label> QueryGraph::edge_label(VertexId u, VertexId v) const noexcept {
+  if (u >= adj_.size()) return std::nullopt;
+  const auto& list = adj_[u];
+  const auto it = std::lower_bound(list.begin(), list.end(), Neighbor{v, 0});
+  if (it == list.end() || it->v != v) return std::nullopt;
+  return it->elabel;
+}
+
+bool QueryGraph::connected() const {
+  if (labels_.empty()) return true;
+  std::vector<bool> seen(labels_.size(), false);
+  std::vector<VertexId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    for (const Neighbor& nb : adj_[u]) {
+      if (!seen[nb.v]) {
+        seen[nb.v] = true;
+        ++visited;
+        stack.push_back(nb.v);
+      }
+    }
+  }
+  return visited == labels_.size();
+}
+
+std::uint32_t QueryGraph::nlf(VertexId u, Label l) const noexcept {
+  const auto& map = nlf_[u];
+  const auto it = map.find(l);
+  return it == map.end() ? 0 : it->second;
+}
+
+bool QueryGraph::label_triple_exists(Label lu, Label lv, Label le) const noexcept {
+  return triples_.contains(pack_triple(lu, lv, le));
+}
+
+std::vector<std::pair<VertexId, VertexId>> QueryGraph::matching_edges(
+    Label lu, Label lv, Label le, bool ignore_edge_labels) const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  for (const Edge& e : edges_) {
+    const bool label_ok = ignore_edge_labels || e.elabel == le;
+    if (!label_ok) continue;
+    if (labels_[e.u] == lu && labels_[e.v] == lv) out.emplace_back(e.u, e.v);
+    if (labels_[e.v] == lu && labels_[e.u] == lv) out.emplace_back(e.v, e.u);
+  }
+  return out;
+}
+
+std::string QueryGraph::describe() const {
+  std::string out = "Q(|V|=" + std::to_string(num_vertices()) +
+                    ", |E|=" + std::to_string(num_edges()) + "):";
+  for (const Edge& e : edges_) {
+    out += " (" + std::to_string(e.u) + "-" + std::to_string(e.v) + ":" +
+           std::to_string(e.elabel) + ")";
+  }
+  return out;
+}
+
+std::uint64_t QueryGraph::pack_triple(Label lu, Label lv, Label le) noexcept {
+  // 21 bits per component is ample for benchmark label alphabets.
+  return (static_cast<std::uint64_t>(lu) << 42) ^
+         (static_cast<std::uint64_t>(lv & 0x1fffff) << 21) ^
+         static_cast<std::uint64_t>(le & 0x1fffff);
+}
+
+}  // namespace paracosm::graph

@@ -1,0 +1,81 @@
+// Query graph Q: a small, immutable, connected labeled pattern.
+//
+// Beyond plain adjacency the query graph precomputes the pruning metadata the
+// CSM algorithms share: per-vertex neighbor-label-frequency (NLF) signatures
+// and the set of (label(u), label(v), elabel) triples of its edges — the
+// first stage of ParaCOSM's update type classifier.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace paracosm::graph {
+
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  /// Build from explicit vertex labels and edges. Throws std::invalid_argument
+  /// on self-loops, duplicate edges, or out-of-range endpoints.
+  QueryGraph(std::vector<Label> vertex_labels, std::vector<Edge> edges);
+
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept {
+    return static_cast<std::uint32_t>(labels_.size());
+  }
+  [[nodiscard]] std::uint32_t num_edges() const noexcept {
+    return static_cast<std::uint32_t>(edges_.size());
+  }
+
+  [[nodiscard]] Label label(VertexId u) const noexcept { return labels_[u]; }
+  [[nodiscard]] std::uint32_t degree(VertexId u) const noexcept {
+    return static_cast<std::uint32_t>(adj_[u].size());
+  }
+  [[nodiscard]] std::span<const Neighbor> neighbors(VertexId u) const noexcept {
+    return adj_[u];
+  }
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const noexcept;
+  /// Label of edge (u,v), or nullopt if absent.
+  [[nodiscard]] std::optional<Label> edge_label(VertexId u, VertexId v) const noexcept;
+
+  /// True iff the pattern is connected (queries must be; generators ensure it).
+  [[nodiscard]] bool connected() const;
+
+  /// Number of query-vertex neighbors of `u` carrying vertex label `l`
+  /// (the NLF signature used by degree/NLF filters).
+  [[nodiscard]] std::uint32_t nlf(VertexId u, Label l) const noexcept;
+
+  /// True iff some query edge has this (endpoint label, endpoint label, edge
+  /// label) triple in either orientation — classifier stage 1.
+  [[nodiscard]] bool label_triple_exists(Label lu, Label lv, Label le) const noexcept;
+
+  /// Query edges (in both orientations) whose label triple matches the data
+  /// edge (lu, lv, le): pairs (u1, u2) with label(u1)==lu, label(u2)==lv.
+  /// When `ignore_edge_labels`, `le` is not constrained (CaLiG mode).
+  [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> matching_edges(
+      Label lu, Label lv, Label le, bool ignore_edge_labels = false) const;
+
+  /// Human-readable description (for logs and examples).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<std::vector<Neighbor>> adj_;
+  std::vector<Edge> edges_;
+  // nlf_[u] maps vertex label -> count among u's neighbors.
+  std::vector<std::unordered_map<Label, std::uint32_t>> nlf_;
+  // Packed (lu, lv, le) triples for O(1) stage-1 classification.
+  std::unordered_set<std::uint64_t> triples_;
+
+  [[nodiscard]] static std::uint64_t pack_triple(Label lu, Label lv, Label le) noexcept;
+};
+
+}  // namespace paracosm::graph

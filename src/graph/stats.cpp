@@ -1,0 +1,108 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace paracosm::graph {
+
+DegreeStats degree_stats(const DataGraph& g) {
+  std::vector<std::uint32_t> degrees;
+  degrees.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.vertex_capacity(); ++v)
+    if (g.has_vertex(v)) degrees.push_back(g.degree(v));
+  DegreeStats out;
+  if (degrees.empty()) return out;
+  std::sort(degrees.begin(), degrees.end());
+  out.min = degrees.front();
+  out.max = degrees.back();
+  std::uint64_t sum = 0;
+  for (const auto d : degrees) sum += d;
+  out.mean = static_cast<double>(sum) / static_cast<double>(degrees.size());
+  const auto pct = [&](double p) {
+    return degrees[static_cast<std::size_t>(p * (degrees.size() - 1))];
+  };
+  out.p50 = pct(0.50);
+  out.p90 = pct(0.90);
+  out.p99 = pct(0.99);
+  return out;
+}
+
+std::map<Label, std::uint32_t> label_histogram(const DataGraph& g) {
+  std::map<Label, std::uint32_t> hist;
+  for (VertexId v = 0; v < g.vertex_capacity(); ++v)
+    if (g.has_vertex(v)) ++hist[g.label(v)];
+  return hist;
+}
+
+double label_concentration(const DataGraph& g) {
+  const auto hist = label_histogram(g);
+  const double n = g.num_vertices();
+  if (n == 0) return 0;
+  double sum = 0;
+  for (const auto& [label, count] : hist) {
+    const double p = static_cast<double>(count) / n;
+    sum += p * p;
+  }
+  return sum;
+}
+
+double clustering_coefficient(const DataGraph& g, std::uint32_t samples,
+                              util::Rng& rng) {
+  if (g.num_vertices() == 0) return 0;
+  double total = 0;
+  std::uint32_t counted = 0;
+  for (std::uint32_t s = 0; s < 4 * samples && counted < samples; ++s) {
+    const auto v = static_cast<VertexId>(rng.bounded(g.vertex_capacity()));
+    if (!g.has_vertex(v) || g.degree(v) < 2) continue;
+    ++counted;
+    const auto nbrs = g.neighbors(v);
+    std::uint32_t closed = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+        if (g.has_edge(nbrs[i].v, nbrs[j].v)) ++closed;
+    const double pairs =
+        static_cast<double>(nbrs.size()) * (static_cast<double>(nbrs.size()) - 1) / 2;
+    total += static_cast<double>(closed) / pairs;
+  }
+  return counted ? total / counted : 0.0;
+}
+
+std::uint32_t connected_components(const DataGraph& g) {
+  std::vector<bool> seen(g.vertex_capacity(), false);
+  std::uint32_t components = 0;
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < g.vertex_capacity(); ++start) {
+    if (!g.has_vertex(start) || seen[start]) continue;
+    ++components;
+    seen[start] = true;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const auto& nb : g.neighbors(u)) {
+        if (!seen[nb.v]) {
+          seen[nb.v] = true;
+          stack.push_back(nb.v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::string describe(const DataGraph& g, util::Rng& rng) {
+  const DegreeStats deg = degree_stats(g);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "|V|=%u |E|=%llu |L(V)|=%u |L(E)|=%u components=%u\n"
+      "degree: mean=%.2f p50=%u p90=%u p99=%u max=%u (tail %.1fx)\n"
+      "label concentration Σp²=%.4f, clustering≈%.4f",
+      g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+      g.num_vertex_labels(), g.num_edge_labels(), connected_components(g), deg.mean,
+      deg.p50, deg.p90, deg.p99, deg.max, deg.tail_ratio(),
+      label_concentration(g), clustering_coefficient(g, 200, rng));
+  return buf;
+}
+
+}  // namespace paracosm::graph

@@ -1,0 +1,52 @@
+// Structural statistics for data graphs: used to validate that the dataset
+// stand-ins reproduce the characteristics the paper's effects depend on
+// (degree distribution shape, label balance, local clustering).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.hpp"
+#include "util/rng.hpp"
+
+namespace paracosm::graph {
+
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0;
+  std::uint32_t p50 = 0;
+  std::uint32_t p90 = 0;
+  std::uint32_t p99 = 0;
+  /// Simple heavy-tail indicator: max / mean.
+  [[nodiscard]] double tail_ratio() const noexcept {
+    return mean > 0 ? static_cast<double>(max) / mean : 0.0;
+  }
+};
+
+/// Degree distribution over alive vertices.
+[[nodiscard]] DegreeStats degree_stats(const DataGraph& g);
+
+/// Vertex-label histogram (label -> count), alive vertices only.
+[[nodiscard]] std::map<Label, std::uint32_t> label_histogram(const DataGraph& g);
+
+/// Herfindahl concentration of the label histogram: Σ p_i². 1/|L| for a
+/// uniform distribution, → 1 as one label dominates. This is exactly the
+/// probability that two random vertices collide on labels — the quantity
+/// behind the classifier's stage-1 effectiveness (paper §4.3).
+[[nodiscard]] double label_concentration(const DataGraph& g);
+
+/// Estimated average local clustering coefficient over `samples` random
+/// alive vertices (deterministic in rng).
+[[nodiscard]] double clustering_coefficient(const DataGraph& g, std::uint32_t samples,
+                                            util::Rng& rng);
+
+/// Number of connected components among alive vertices.
+[[nodiscard]] std::uint32_t connected_components(const DataGraph& g);
+
+/// Multi-line human-readable summary.
+[[nodiscard]] std::string describe(const DataGraph& g, util::Rng& rng);
+
+}  // namespace paracosm::graph

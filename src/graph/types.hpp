@@ -1,0 +1,78 @@
+// Fundamental identifiers and the graph-update vocabulary (paper Def. 2.3).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace paracosm::graph {
+
+using VertexId = std::uint32_t;
+using Label = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Adjacency entry: neighbor id plus the label of the connecting edge.
+/// Kept sorted by `v` inside each adjacency list for O(log d) edge lookup.
+struct Neighbor {
+  VertexId v;
+  Label elabel;
+
+  [[nodiscard]] friend constexpr bool operator<(const Neighbor& a,
+                                                const Neighbor& b) noexcept {
+    return a.v < b.v;
+  }
+};
+
+/// Undirected labeled edge (u < v is not enforced; helpers normalize).
+struct Edge {
+  VertexId u;
+  VertexId v;
+  Label elabel = 0;
+
+  [[nodiscard]] friend constexpr bool operator==(const Edge&, const Edge&) noexcept =
+      default;
+};
+
+/// One element of the update stream ΔG (Def. 2.3): a single edge or vertex
+/// insertion or deletion.
+enum class UpdateOp : std::uint8_t {
+  kInsertEdge,
+  kRemoveEdge,
+  kInsertVertex,
+  kRemoveVertex,
+};
+
+struct GraphUpdate {
+  UpdateOp op = UpdateOp::kInsertEdge;
+  VertexId u = kInvalidVertex;  ///< first endpoint, or the vertex for vertex ops
+  VertexId v = kInvalidVertex;  ///< second endpoint (edge ops only)
+  Label label = 0;              ///< edge label for edge ops, vertex label otherwise
+
+  [[nodiscard]] static constexpr GraphUpdate insert_edge(VertexId u, VertexId v,
+                                                         Label elabel = 0) noexcept {
+    return {UpdateOp::kInsertEdge, u, v, elabel};
+  }
+  [[nodiscard]] static constexpr GraphUpdate remove_edge(VertexId u, VertexId v,
+                                                         Label elabel = 0) noexcept {
+    return {UpdateOp::kRemoveEdge, u, v, elabel};
+  }
+  [[nodiscard]] static constexpr GraphUpdate insert_vertex(VertexId id,
+                                                           Label vlabel) noexcept {
+    return {UpdateOp::kInsertVertex, id, kInvalidVertex, vlabel};
+  }
+  [[nodiscard]] static constexpr GraphUpdate remove_vertex(VertexId id) noexcept {
+    return {UpdateOp::kRemoveVertex, id, kInvalidVertex, 0};
+  }
+
+  [[nodiscard]] constexpr bool is_edge_op() const noexcept {
+    return op == UpdateOp::kInsertEdge || op == UpdateOp::kRemoveEdge;
+  }
+  [[nodiscard]] constexpr bool is_insert() const noexcept {
+    return op == UpdateOp::kInsertEdge || op == UpdateOp::kInsertVertex;
+  }
+
+  [[nodiscard]] friend constexpr bool operator==(const GraphUpdate&,
+                                                 const GraphUpdate&) noexcept = default;
+};
+
+}  // namespace paracosm::graph

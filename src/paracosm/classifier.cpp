@@ -1,0 +1,57 @@
+#include "paracosm/classifier.hpp"
+
+namespace paracosm::engine {
+
+UpdateClass UpdateClassifier::classify(const graph::GraphUpdate& upd) const {
+  using graph::UpdateOp;
+  // Vertex operations are trivial but touch index storage; the sequential
+  // path handles them (they are rare in CSM streams).
+  if (!upd.is_edge_op()) return UpdateClass::kUnsafe;
+  if (!g_.has_vertex(upd.u) || !g_.has_vertex(upd.v) || upd.u == upd.v)
+    return UpdateClass::kUnsafe;
+  // Duplicate inserts / phantom removals are no-ops; route them through the
+  // sequential path, which detects and skips them.
+  const bool insert = upd.op == UpdateOp::kInsertEdge;
+  if (insert == g_.has_edge(upd.u, upd.v)) return UpdateClass::kUnsafe;
+
+  // Stage 1: label filtering.
+  const auto pairs = q_.matching_edges(g_.label(upd.u), g_.label(upd.v), upd.label,
+                                       !alg_.uses_edge_labels());
+  if (pairs.empty()) return UpdateClass::kSafeLabel;
+
+  // Stage 2: degree filtering (with degrees as they will be once the edge
+  // exists: insertion adds one to both endpoints).
+  const std::uint32_t du = g_.degree(upd.u) + (insert ? 1 : 0);
+  const std::uint32_t dv = g_.degree(upd.v) + (insert ? 1 : 0);
+  bool degree_feasible = false;
+  for (const auto& [u1, u2] : pairs) {
+    if (du >= q_.degree(u1) && dv >= q_.degree(u2)) {
+      degree_feasible = true;
+      break;
+    }
+  }
+
+  if (!alg_.has_ads()) {
+    if (!degree_feasible) return UpdateClass::kSafeDegree;
+    return alg_.ads_safe(upd) ? UpdateClass::kSafeAds : UpdateClass::kUnsafe;
+  }
+  // ADS-bearing algorithm: stage 3 must always confirm the index is
+  // untouched; stage 2 only contributes the attribution.
+  if (!alg_.ads_safe(upd)) return UpdateClass::kUnsafe;
+  return degree_feasible ? UpdateClass::kSafeAds : UpdateClass::kSafeDegree;
+}
+
+UpdateClass UpdateClassifier::classify_counted(const graph::GraphUpdate& upd,
+                                               ClassifierStats& stats) const {
+  const UpdateClass c = classify(upd);
+  ++stats.total;
+  switch (c) {
+    case UpdateClass::kSafeLabel: ++stats.safe_label; break;
+    case UpdateClass::kSafeDegree: ++stats.safe_degree; break;
+    case UpdateClass::kSafeAds: ++stats.safe_ads; break;
+    case UpdateClass::kUnsafe: ++stats.unsafe_updates; break;
+  }
+  return c;
+}
+
+}  // namespace paracosm::engine

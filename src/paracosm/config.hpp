@@ -1,0 +1,65 @@
+// Framework configuration knobs (paper §4 and DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace paracosm::engine {
+
+/// Inner-update scheduling strategy.
+enum class Scheduler : std::uint8_t {
+  /// The paper's Algorithm 2: one concurrent queue, idle-triggered
+  /// re-splitting.
+  kCentralQueue,
+  /// Per-worker deques with stealing (see steal_executor.hpp); often faster
+  /// when updates produce plentiful fan-out.
+  kWorkStealing,
+};
+
+/// Semantics of the inter-update batch executor.
+enum class BatchMode : std::uint8_t {
+  /// Paper-faithful: every update of a batch is classified against the
+  /// batch-start snapshot; all safe updates are applied.
+  kPaper,
+  /// Default: additionally defers any update whose endpoints were already
+  /// touched inside the current batch, making parallel batches provably
+  /// equivalent to sequential processing (DESIGN.md §4).
+  kStrict,
+};
+
+struct Config {
+  /// Worker threads for both executors. 0 -> hardware concurrency.
+  unsigned threads = 0;
+
+  /// Maximum search-tree depth at which the inner-update executor may still
+  /// split a task into subtasks (SPLIT_DEPTH in Algorithm 2).
+  std::uint32_t split_depth = 4;
+
+  /// Updates per inter-update batch (k in §4.2). 0 -> same as threads.
+  unsigned batch_size = 0;
+
+  /// Enable inner-update parallelism (parallel search-tree exploration).
+  bool inner_parallelism = true;
+
+  /// Enable inter-update parallelism (classifier + batch executor).
+  bool inter_parallelism = true;
+
+  /// Dynamic task re-splitting / load balancing. Disabling reproduces the
+  /// "unbalanced" baseline of the paper's Figure 10 (static seed partition).
+  bool dynamic_balance = true;
+
+  BatchMode batch_mode = BatchMode::kStrict;
+
+  Scheduler scheduler = Scheduler::kCentralQueue;
+
+  [[nodiscard]] unsigned effective_threads() const noexcept {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+  }
+  [[nodiscard]] unsigned effective_batch_size() const noexcept {
+    return batch_size != 0 ? batch_size : effective_threads();
+  }
+};
+
+}  // namespace paracosm::engine

@@ -1,0 +1,172 @@
+#include "paracosm/inner_executor.hpp"
+
+#include <mutex>
+
+#include "paracosm/task_queue.hpp"
+#include "util/timer.hpp"
+
+namespace paracosm::engine {
+
+namespace {
+
+/// Split hook handed to the traversal routine during the parallel phase:
+/// the paper's `HasIdleThreads() && CQ.is_empty() && depth < SPLIT_DEPTH`.
+class AdaptiveHook final : public csm::SplitHook {
+ public:
+  AdaptiveHook(TaskQueue& queue, std::uint32_t split_depth) noexcept
+      : queue_(queue), split_depth_(split_depth) {}
+
+  [[nodiscard]] bool want_offload(std::uint32_t depth) noexcept override {
+    return depth < split_depth_ && queue_.approx_size() == 0 &&
+           queue_.has_idle_workers();
+  }
+  void offload(csm::SearchTask&& task) override { queue_.push(std::move(task)); }
+
+ private:
+  TaskQueue& queue_;
+  std::uint32_t split_depth_;
+};
+
+/// Initialization-phase hook: Traverse_Next_Layer — always offload the
+/// direct children of the task being expanded.
+class ForcedSplitHook final : public csm::SplitHook {
+ public:
+  ForcedSplitHook(TaskQueue& queue, std::uint32_t at_depth) noexcept
+      : queue_(queue), at_depth_(at_depth) {}
+
+  [[nodiscard]] bool want_offload(std::uint32_t depth) noexcept override {
+    return depth == at_depth_;
+  }
+  void offload(csm::SearchTask&& task) override { queue_.push(std::move(task)); }
+
+ private:
+  TaskQueue& queue_;
+  std::uint32_t at_depth_;
+};
+
+}  // namespace
+
+InnerRunResult InnerExecutor::run(
+    const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
+    util::Clock::time_point deadline,
+    const std::function<void(std::span<const csm::Assignment>)>* on_match) {
+  if (seeds.empty()) return {};
+  return dynamic_balance_ ? run_dynamic(alg, std::move(seeds), deadline, on_match)
+                          : run_static(alg, std::move(seeds), deadline, on_match);
+}
+
+InnerRunResult InnerExecutor::run_dynamic(
+    const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
+    util::Clock::time_point deadline,
+    const std::function<void(std::span<const csm::Assignment>)>* on_match) {
+  InnerRunResult result;
+  result.stats.ensure_size(pool_.size());
+
+  TaskQueue queue;
+  std::mutex match_mutex;
+  const auto guarded_match = [&](std::span<const csm::Assignment> m) {
+    const std::lock_guard lock(match_mutex);
+    (*on_match)(m);
+  };
+
+  util::ThreadCpuTimer serial_timer;
+  for (csm::SearchTask& seed : seeds) queue.push(std::move(seed));
+
+  // Initialization phase: BFS-expand shallow tasks until there is enough
+  // fan-out for every worker. Tasks at or beyond SPLIT_DEPTH are parked —
+  // further splitting is not allowed for them anyway.
+  csm::MatchSink init_sink;
+  init_sink.deadline = deadline;
+  if (on_match != nullptr) init_sink.on_match = guarded_match;
+  std::vector<csm::SearchTask> parked;
+  while (queue.approx_size() + parked.size() < pool_.size()) {
+    auto task = queue.try_pop();
+    if (!task) break;
+    if (task->depth() >= split_depth_) {
+      parked.push_back(std::move(*task));
+      continue;  // in_flight stays raised; re-pushed below
+    }
+    ForcedSplitHook hook(queue, task->depth());
+    alg.expand(*task, init_sink, &hook);
+    queue.retire();
+    if (init_sink.timed_out()) break;
+  }
+  // Re-queue parked tasks without double-counting in_flight.
+  for (csm::SearchTask& task : parked) {
+    queue.push(std::move(task));
+    queue.retire();
+  }
+  result.matches += init_sink.matches;
+  result.nodes += init_sink.nodes;
+  result.timed_out = result.timed_out || init_sink.timed_out();
+  result.stats.serial_ns += serial_timer.elapsed_ns();
+
+  pool_.run([&](unsigned wid) {
+    WorkerStats& ws = result.stats.workers[wid];
+    csm::MatchSink sink;
+    sink.deadline = deadline;
+    if (on_match != nullptr) sink.on_match = guarded_match;
+    AdaptiveHook hook(queue, split_depth_);
+    util::ThreadCpuTimer timer;
+    while (auto task = queue.pop_or_finish()) {
+      alg.expand(*task, sink, &hook);
+      queue.retire();
+      ++ws.tasks;
+    }
+    ws.busy_ns += timer.elapsed_ns();
+    ws.nodes += sink.nodes;
+    ws.matches += sink.matches;
+    {
+      const std::lock_guard lock(match_mutex);
+      result.matches += sink.matches;
+      result.nodes += sink.nodes;
+      result.timed_out = result.timed_out || sink.timed_out();
+    }
+  });
+  return result;
+}
+
+InnerRunResult InnerExecutor::run_static(
+    const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
+    util::Clock::time_point deadline,
+    const std::function<void(std::span<const csm::Assignment>)>* on_match) {
+  InnerRunResult result;
+  result.stats.ensure_size(pool_.size());
+
+  // Round-robin partition, no queue, no splitting: each worker owns a fixed
+  // share of the root tasks regardless of how skewed their subtrees are.
+  std::vector<std::vector<csm::SearchTask>> shares(pool_.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    shares[i % shares.size()].push_back(std::move(seeds[i]));
+
+  std::mutex merge_mutex;
+  const auto guarded_match = [&](std::span<const csm::Assignment> m) {
+    const std::lock_guard lock(merge_mutex);
+    (*on_match)(m);
+  };
+
+  pool_.run([&](unsigned wid) {
+    WorkerStats& ws = result.stats.workers[wid];
+    csm::MatchSink sink;
+    sink.deadline = deadline;
+    if (on_match != nullptr) sink.on_match = guarded_match;
+    util::ThreadCpuTimer timer;
+    for (const csm::SearchTask& task : shares[wid]) {
+      alg.expand(task, sink, nullptr);
+      ++ws.tasks;
+      if (sink.timed_out()) break;
+    }
+    ws.busy_ns += timer.elapsed_ns();
+    ws.nodes += sink.nodes;
+    ws.matches += sink.matches;
+    {
+      const std::lock_guard lock(merge_mutex);
+      result.matches += sink.matches;
+      result.nodes += sink.nodes;
+      result.timed_out = result.timed_out || sink.timed_out();
+    }
+  });
+  return result;
+}
+
+}  // namespace paracosm::engine

@@ -1,0 +1,58 @@
+// Inner-update executor (paper §4.1, Algorithm 2).
+//
+// Initialization phase: root-level tasks (the update's seeds) are expanded
+// breadth-first on the main thread until the concurrent queue holds at least
+// one task per worker, decomposing the search tree into independent
+// subtrees. Parallel phase: workers pop tasks and run the algorithm's own
+// traversal routine; the injected split hook re-offloads direct subtasks
+// whenever idle workers are observed, the queue is empty, and the depth is
+// below SPLIT_DEPTH — the paper's adaptive task-sharing rule.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "csm/algorithm.hpp"
+#include "paracosm/config.hpp"
+#include "paracosm/stats.hpp"
+#include "paracosm/worker_pool.hpp"
+
+namespace paracosm::engine {
+
+struct InnerRunResult {
+  std::uint64_t matches = 0;
+  std::uint64_t nodes = 0;
+  bool timed_out = false;
+  ParallelStats stats;
+};
+
+class InnerExecutor {
+ public:
+  InnerExecutor(WorkerPool& pool, std::uint32_t split_depth, bool dynamic_balance)
+      : pool_(pool), split_depth_(split_depth), dynamic_balance_(dynamic_balance) {}
+
+  /// Explore all seeds' subtrees in parallel. `on_match` (optional) may be
+  /// invoked from any worker; it is serialized internally.
+  [[nodiscard]] InnerRunResult run(
+      const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
+      util::Clock::time_point deadline = {},
+      const std::function<void(std::span<const csm::Assignment>)>* on_match = nullptr);
+
+ private:
+  [[nodiscard]] InnerRunResult run_dynamic(
+      const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
+      util::Clock::time_point deadline,
+      const std::function<void(std::span<const csm::Assignment>)>* on_match);
+  /// Static round-robin seed partition with no re-balancing — the
+  /// "unbalanced" baseline of Figure 10.
+  [[nodiscard]] InnerRunResult run_static(
+      const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
+      util::Clock::time_point deadline,
+      const std::function<void(std::span<const csm::Assignment>)>* on_match);
+
+  WorkerPool& pool_;
+  std::uint32_t split_depth_;
+  bool dynamic_balance_;
+};
+
+}  // namespace paracosm::engine

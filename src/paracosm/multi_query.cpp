@@ -1,0 +1,211 @@
+#include "paracosm/multi_query.hpp"
+
+#include <atomic>
+#include <unordered_set>
+
+#include "util/timer.hpp"
+
+namespace paracosm::engine {
+
+using graph::GraphUpdate;
+using graph::UpdateOp;
+using graph::VertexId;
+
+MultiQueryEngine::MultiQueryEngine(graph::DataGraph& g, Config config)
+    : g_(g),
+      config_(config),
+      pool_(config.effective_threads()),
+      inner_(pool_, config.split_depth, config.dynamic_balance) {}
+
+std::size_t MultiQueryEngine::add_query(std::string_view algorithm,
+                                        graph::QueryGraph query) {
+  Registered reg;
+  reg.query = std::make_unique<graph::QueryGraph>(std::move(query));
+  reg.algorithm = csm::make_algorithm(algorithm);
+  if (!reg.algorithm)
+    throw std::invalid_argument("MultiQueryEngine: unknown algorithm " +
+                                std::string(algorithm));
+  reg.algorithm->attach(*reg.query, g_);
+  reg.classifier =
+      std::make_unique<UpdateClassifier>(*reg.query, g_, *reg.algorithm);
+  queries_.push_back(std::move(reg));
+  return queries_.size() - 1;
+}
+
+bool MultiQueryEngine::safe_for_all(const GraphUpdate& upd) const {
+  for (const Registered& reg : queries_)
+    if (!is_safe(reg.classifier->classify(upd))) return false;
+  return true;
+}
+
+void MultiQueryEngine::apply_safe(const GraphUpdate& upd) {
+  if (upd.op == UpdateOp::kInsertEdge) {
+    g_.add_edge(upd.u, upd.v, upd.label);
+    for (Registered& reg : queries_) reg.algorithm->on_edge_inserted(upd);
+  } else {
+    const auto removed = g_.remove_edge(upd.u, upd.v);
+    if (removed) {
+      GraphUpdate applied = upd;
+      applied.label = *removed;
+      for (Registered& reg : queries_) reg.algorithm->on_edge_removed(applied);
+    }
+  }
+}
+
+void MultiQueryEngine::process_unsafe(const GraphUpdate& upd,
+                                      util::Clock::time_point deadline,
+                                      MultiStreamResult& result) {
+  // Vertex operations: trivial for matching; keep graph + indexes aligned.
+  if (upd.op == UpdateOp::kInsertVertex) {
+    const bool existed = g_.has_vertex(upd.u);
+    g_.add_vertex_with_id(upd.u, upd.label);
+    if (!existed)
+      for (Registered& reg : queries_) reg.algorithm->on_vertex_added(upd.u);
+    return;
+  }
+  if (upd.op == UpdateOp::kRemoveVertex) {
+    if (!g_.has_vertex(upd.u)) return;
+    std::vector<GraphUpdate> removals;
+    for (const auto& nb : g_.neighbors(upd.u))
+      removals.push_back(GraphUpdate::remove_edge(upd.u, nb.v, nb.elabel));
+    for (const GraphUpdate& rm : removals) process_unsafe(rm, deadline, result);
+    g_.remove_vertex(upd.u);
+    for (Registered& reg : queries_) reg.algorithm->on_vertex_removed(upd.u);
+    return;
+  }
+
+  const bool insert = upd.op == UpdateOp::kInsertEdge;
+  const auto search = [&](std::size_t qi) {
+    Registered& reg = queries_[qi];
+    std::vector<csm::SearchTask> seeds;
+    reg.algorithm->seeds(upd, seeds);
+    if (seeds.empty()) return std::uint64_t{0};
+    if (config_.inner_parallelism) {
+      InnerRunResult run = inner_.run(*reg.algorithm, std::move(seeds), deadline);
+      result.stats.merge(run.stats);
+      result.timed_out = result.timed_out || run.timed_out;
+      return run.matches;
+    }
+    util::ThreadCpuTimer timer;
+    csm::MatchSink sink;
+    sink.deadline = deadline;
+    for (const auto& task : seeds) {
+      reg.algorithm->expand(task, sink, nullptr);
+      if (sink.timed_out()) break;
+    }
+    result.stats.serial_ns += timer.elapsed_ns();
+    result.timed_out = result.timed_out || sink.timed_out();
+    return sink.matches;
+  };
+
+  if (insert) {
+    if (!g_.add_edge(upd.u, upd.v, upd.label)) return;
+    for (Registered& reg : queries_) reg.algorithm->on_edge_inserted(upd);
+    for (std::size_t qi = 0; qi < queries_.size(); ++qi)
+      result.positive[qi] += search(qi);
+  } else {
+    if (!g_.has_edge(upd.u, upd.v)) return;
+    for (std::size_t qi = 0; qi < queries_.size(); ++qi)
+      result.negative[qi] += search(qi);
+    const auto removed = g_.remove_edge(upd.u, upd.v);
+    if (removed) {
+      GraphUpdate applied = upd;
+      applied.label = *removed;
+      for (Registered& reg : queries_) reg.algorithm->on_edge_removed(applied);
+    }
+  }
+}
+
+MultiStreamResult MultiQueryEngine::process_stream(
+    std::span<const GraphUpdate> stream, util::Clock::time_point deadline) {
+  MultiStreamResult result;
+  result.positive.assign(queries_.size(), 0);
+  result.negative.assign(queries_.size(), 0);
+  const unsigned nthreads = pool_.size();
+  result.stats.ensure_size(nthreads);
+
+  const auto expired = [&] {
+    return deadline != util::Clock::time_point{} && util::Clock::now() >= deadline;
+  };
+
+  const unsigned k = config_.effective_batch_size();
+  std::size_t i = 0;
+  std::vector<std::uint8_t> safe;
+  while (i < stream.size()) {
+    if (expired()) {
+      result.timed_out = true;
+      break;
+    }
+    const std::size_t count = std::min<std::size_t>(k, stream.size() - i);
+
+    // Phase 1 — parallel combined classification.
+    safe.assign(count, 0);
+    if (nthreads > 1 && count > 1) {
+      pool_.run([&](unsigned wid) {
+        util::ThreadCpuTimer timer;
+        for (std::size_t j = wid; j < count; j += nthreads)
+          safe[j] = safe_for_all(stream[i + j]) ? 1 : 0;
+        result.stats.workers[wid].busy_ns += timer.elapsed_ns();
+      });
+    } else {
+      util::ThreadCpuTimer timer;
+      for (std::size_t j = 0; j < count; ++j)
+        safe[j] = safe_for_all(stream[i + j]) ? 1 : 0;
+      result.stats.serial_ns += timer.elapsed_ns();
+    }
+
+    // Phase 2 — strict-mode safe prefix, applied in parallel.
+    std::unordered_set<VertexId> touched;
+    std::size_t prefix = 0;
+    bool hit_unsafe = false;
+    while (prefix < count) {
+      const GraphUpdate& upd = stream[i + prefix];
+      if (!safe[prefix]) {
+        hit_unsafe = true;
+        break;
+      }
+      if (upd.is_edge_op() &&
+          (touched.contains(upd.u) || touched.contains(upd.v)))
+        break;
+      if (upd.is_edge_op()) {
+        touched.insert(upd.u);
+        touched.insert(upd.v);
+      }
+      ++prefix;
+    }
+    if (prefix > 0) {
+      if (nthreads > 1 && prefix > 1) {
+        std::atomic<std::size_t> cursor{0};
+        pool_.run([&](unsigned wid) {
+          util::ThreadCpuTimer timer;
+          for (;;) {
+            const std::size_t j = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (j >= prefix) break;
+            const GraphUpdate& upd = stream[i + j];
+            locks_.lock_pair(upd.u, upd.v);
+            apply_safe(upd);
+            locks_.unlock_pair(upd.u, upd.v);
+          }
+          result.stats.workers[wid].busy_ns += timer.elapsed_ns();
+        });
+      } else {
+        util::ThreadCpuTimer timer;
+        for (std::size_t j = 0; j < prefix; ++j) apply_safe(stream[i + j]);
+        result.stats.serial_ns += timer.elapsed_ns();
+      }
+      result.safe_applied += prefix;
+      result.updates_processed += prefix;
+    }
+    i += prefix;
+
+    if (hit_unsafe) {
+      ++result.unsafe_sequential;
+      process_unsafe(stream[i], deadline, result);
+      ++result.updates_processed;
+      ++i;
+    }
+  }
+  return result;
+}
+
+}  // namespace paracosm::engine

@@ -1,0 +1,78 @@
+// Multi-query ParaCOSM (extension): continuous matching of MANY query
+// patterns over one shared update stream — the deployment shape of the
+// paper's motivating applications (a fraud system monitors a catalogue of
+// patterns, not one).
+//
+// The two-level parallel structure carries over: per update, the search
+// trees of all affected queries feed one inner-update executor; per batch,
+// an update is safe iff every registered query's classifier says so, and
+// safe updates apply the graph once plus each algorithm's counter-cache
+// deltas. Queries may use different CSM algorithms.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "paracosm/classifier.hpp"
+#include "paracosm/config.hpp"
+#include "paracosm/inner_executor.hpp"
+#include "paracosm/worker_pool.hpp"
+#include "util/sync.hpp"
+
+namespace paracosm::engine {
+
+struct MultiStreamResult {
+  std::vector<std::uint64_t> positive;  ///< per registered query
+  std::vector<std::uint64_t> negative;
+  std::uint64_t updates_processed = 0;
+  std::uint64_t safe_applied = 0;
+  std::uint64_t unsafe_sequential = 0;
+  bool timed_out = false;
+  ParallelStats stats;
+
+  [[nodiscard]] std::uint64_t total_matches() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < positive.size(); ++i)
+      total += positive[i] + negative[i];
+    return total;
+  }
+};
+
+class MultiQueryEngine {
+ public:
+  MultiQueryEngine(graph::DataGraph& g, Config config = {});
+
+  /// Register a pattern with its own algorithm instance. Returns the query
+  /// handle (index into MultiStreamResult vectors). The query graph is
+  /// copied and owned by the engine.
+  std::size_t add_query(std::string_view algorithm, graph::QueryGraph query);
+
+  [[nodiscard]] std::size_t num_queries() const noexcept { return queries_.size(); }
+
+  /// Process a whole stream with batched classification. An update is safe
+  /// iff safe for every query.
+  MultiStreamResult process_stream(std::span<const graph::GraphUpdate> stream,
+                                   util::Clock::time_point deadline = {});
+
+ private:
+  struct Registered {
+    std::unique_ptr<graph::QueryGraph> query;  // stable address for the alg
+    std::unique_ptr<csm::CsmAlgorithm> algorithm;
+    std::unique_ptr<UpdateClassifier> classifier;
+  };
+
+  [[nodiscard]] bool safe_for_all(const graph::GraphUpdate& upd) const;
+  void apply_safe(const graph::GraphUpdate& upd);
+  void process_unsafe(const graph::GraphUpdate& upd, util::Clock::time_point deadline,
+                      MultiStreamResult& result);
+
+  graph::DataGraph& g_;
+  Config config_;
+  WorkerPool pool_;
+  InnerExecutor inner_;
+  util::StripedLocks<64> locks_;
+  std::vector<Registered> queries_;
+};
+
+}  // namespace paracosm::engine

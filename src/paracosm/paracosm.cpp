@@ -1,0 +1,284 @@
+#include "paracosm/paracosm.hpp"
+
+#include <atomic>
+#include <unordered_set>
+
+#include "util/timer.hpp"
+
+namespace paracosm::engine {
+
+using graph::GraphUpdate;
+using graph::UpdateOp;
+using graph::VertexId;
+
+ParaCosm::ParaCosm(csm::CsmAlgorithm& alg, const graph::QueryGraph& q,
+                   graph::DataGraph& g, Config config)
+    : alg_(alg),
+      q_(q),
+      g_(g),
+      config_(config),
+      pool_(config.effective_threads()),
+      inner_(pool_, config.split_depth, config.dynamic_balance),
+      stealing_(pool_, config.split_depth),
+      classifier_(q, g, alg) {
+  alg_.attach(q_, g_);
+}
+
+csm::UpdateOutcome ParaCosm::process(const GraphUpdate& upd,
+                                     util::Clock::time_point deadline) {
+  return process_into(upd, deadline, loose_stats_);
+}
+
+csm::UpdateOutcome ParaCosm::process_into(const GraphUpdate& upd,
+                                          util::Clock::time_point deadline,
+                                          ParallelStats& stats) {
+  switch (upd.op) {
+    case UpdateOp::kInsertEdge:
+    case UpdateOp::kRemoveEdge:
+      return process_edge(upd, deadline, stats);
+    case UpdateOp::kInsertVertex: {
+      csm::UpdateOutcome out;
+      const bool existed = g_.has_vertex(upd.u);
+      g_.add_vertex_with_id(upd.u, upd.label);
+      if (!existed) alg_.on_vertex_added(upd.u);
+      out.applied = true;
+      return out;
+    }
+    case UpdateOp::kRemoveVertex: {
+      csm::UpdateOutcome out;
+      if (!g_.has_vertex(upd.u)) return out;
+      std::vector<GraphUpdate> removals;
+      for (const auto& nb : g_.neighbors(upd.u))
+        removals.push_back(GraphUpdate::remove_edge(upd.u, nb.v, nb.elabel));
+      for (const GraphUpdate& rm : removals) {
+        const csm::UpdateOutcome sub = process_edge(rm, deadline, stats);
+        out.negative += sub.negative;
+        out.nodes += sub.nodes;
+        out.timed_out = out.timed_out || sub.timed_out;
+      }
+      g_.remove_vertex(upd.u);
+      alg_.on_vertex_removed(upd.u);
+      out.applied = true;
+      return out;
+    }
+  }
+  return {};
+}
+
+csm::UpdateOutcome ParaCosm::process_edge(const GraphUpdate& upd,
+                                          util::Clock::time_point deadline,
+                                          ParallelStats& stats) {
+  csm::UpdateOutcome out;
+  const bool insert = upd.op == UpdateOp::kInsertEdge;
+
+  const auto explore = [&](const std::vector<csm::SearchTask>& roots)
+      -> std::pair<std::uint64_t, std::uint64_t> {
+    if (roots.empty()) return {0, 0};
+    if (config_.inner_parallelism) {
+      const auto* cb = on_match_ ? &on_match_ : nullptr;
+      InnerRunResult run = config_.scheduler == Scheduler::kWorkStealing
+                               ? stealing_.run(alg_, roots, deadline, cb)
+                               : inner_.run(alg_, roots, deadline, cb);
+      stats.merge(run.stats);
+      out.timed_out = out.timed_out || run.timed_out;
+      return {run.matches, run.nodes};
+    }
+    util::ThreadCpuTimer timer;
+    csm::MatchSink sink;
+    sink.deadline = deadline;
+    if (on_match_) sink.on_match = on_match_;
+    for (const csm::SearchTask& task : roots) {
+      alg_.expand(task, sink, nullptr);
+      if (sink.timed_out()) break;
+    }
+    stats.serial_ns += timer.elapsed_ns();
+    out.timed_out = out.timed_out || sink.timed_out();
+    return {sink.matches, sink.nodes};
+  };
+
+  if (insert) {
+    util::ThreadCpuTimer serial;
+    if (!g_.add_edge(upd.u, upd.v, upd.label)) return out;
+    alg_.on_edge_inserted(upd);
+    std::vector<csm::SearchTask> roots;
+    alg_.seeds(upd, roots);
+    stats.serial_ns += serial.elapsed_ns();
+    out.applied = true;
+    const auto [matches, nodes] = explore(roots);
+    out.positive = matches;
+    out.nodes = nodes;
+  } else {
+    if (!g_.has_edge(upd.u, upd.v)) return out;
+    util::ThreadCpuTimer serial;
+    std::vector<csm::SearchTask> roots;
+    alg_.seeds(upd, roots);
+    stats.serial_ns += serial.elapsed_ns();
+    const auto [matches, nodes] = explore(roots);
+    out.negative = matches;
+    out.nodes = nodes;
+    util::ThreadCpuTimer serial2;
+    const auto removed = g_.remove_edge(upd.u, upd.v);
+    if (removed) {
+      GraphUpdate applied = upd;
+      applied.label = *removed;
+      alg_.on_edge_removed(applied);
+      out.applied = true;
+    }
+    stats.serial_ns += serial2.elapsed_ns();
+  }
+  return out;
+}
+
+void ParaCosm::apply_safe(const GraphUpdate& upd) {
+  if (upd.op == UpdateOp::kInsertEdge) {
+    g_.add_edge(upd.u, upd.v, upd.label);
+    alg_.on_edge_inserted(upd);  // counter-cache deltas only; no flips by proof
+  } else {
+    const auto removed = g_.remove_edge(upd.u, upd.v);
+    if (removed) {
+      GraphUpdate applied = upd;
+      applied.label = *removed;
+      alg_.on_edge_removed(applied);
+    }
+  }
+}
+
+StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
+                                      util::Clock::time_point deadline) {
+  StreamResult result;
+  util::WallTimer wall;
+
+  const auto expired = [&] {
+    return deadline != util::Clock::time_point{} && util::Clock::now() >= deadline;
+  };
+  const auto absorb = [&](const csm::UpdateOutcome& out) {
+    result.positive += out.positive;
+    result.negative += out.negative;
+    result.nodes += out.nodes;
+    result.timed_out = result.timed_out || out.timed_out;
+  };
+
+  if (!config_.inter_parallelism) {
+    for (const GraphUpdate& upd : stream) {
+      if (expired()) {
+        result.timed_out = true;
+        break;
+      }
+      absorb(process_into(upd, deadline, result.stats));
+      ++result.updates_processed;
+    }
+    result.wall_ns = wall.elapsed_ns();
+    return result;
+  }
+
+  const unsigned k = config_.effective_batch_size();
+  const unsigned nthreads = pool_.size();
+  std::size_t i = 0;
+  std::vector<UpdateClass> verdicts;
+  result.stats.ensure_size(nthreads);
+
+  while (i < stream.size()) {
+    if (expired()) {
+      result.timed_out = true;
+      break;
+    }
+    const std::size_t count = std::min<std::size_t>(k, stream.size() - i);
+    ++result.batches;
+
+    // Phase 1 — parallel classification against the batch-start snapshot
+    // (read-only on graph and ADS).
+    verdicts.assign(count, UpdateClass::kUnsafe);
+    if (nthreads > 1 && count > 1) {
+      pool_.run([&](unsigned wid) {
+        util::ThreadCpuTimer timer;
+        for (std::size_t j = wid; j < count; j += nthreads)
+          verdicts[j] = classifier_.classify(stream[i + j]);
+        result.stats.workers[wid].busy_ns += timer.elapsed_ns();
+      });
+    } else {
+      util::ThreadCpuTimer timer;
+      for (std::size_t j = 0; j < count; ++j)
+        verdicts[j] = classifier_.classify(stream[i + j]);
+      result.stats.serial_ns += timer.elapsed_ns();
+    }
+
+    // Phase 2a — commit plan (cheap, sequential): the safe prefix up to the
+    // first unsafe update (Figure 6) or, in strict mode, the first update
+    // whose endpoints were already touched in this batch (DESIGN.md §4).
+    std::unordered_set<VertexId> touched;
+    std::size_t safe_prefix = 0;
+    bool hit_unsafe = false;
+    while (safe_prefix < count) {
+      const GraphUpdate& upd = stream[i + safe_prefix];
+      const UpdateClass verdict = verdicts[safe_prefix];
+      if (!is_safe(verdict)) {
+        hit_unsafe = true;
+        break;
+      }
+      if (config_.batch_mode == BatchMode::kStrict && upd.is_edge_op() &&
+          (touched.contains(upd.u) || touched.contains(upd.v))) {
+        // Snapshot verdict may be stale: defer for re-classification.
+        ++result.deferred_conflicts;
+        break;
+      }
+      if (upd.is_edge_op()) {
+        touched.insert(upd.u);
+        touched.insert(upd.v);
+      }
+      ++safe_prefix;
+    }
+    for (std::size_t j = 0; j < safe_prefix + (hit_unsafe ? 1 : 0); ++j) {
+      ++result.classifier.total;
+      switch (verdicts[j]) {
+        case UpdateClass::kSafeLabel: ++result.classifier.safe_label; break;
+        case UpdateClass::kSafeDegree: ++result.classifier.safe_degree; break;
+        case UpdateClass::kSafeAds: ++result.classifier.safe_ads; break;
+        case UpdateClass::kUnsafe: ++result.classifier.unsafe_updates; break;
+      }
+    }
+
+    // Phase 2b — apply the safe prefix in parallel: safety guarantees
+    // confine each application to its endpoints' adjacency and counter
+    // caches, and the striped per-vertex locks serialize the rare stripe
+    // collisions (in strict mode the endpoints are pairwise disjoint).
+    if (safe_prefix > 0) {
+      if (nthreads > 1 && safe_prefix > 1) {
+        std::atomic<std::size_t> cursor{0};
+        pool_.run([&](unsigned wid) {
+          util::ThreadCpuTimer timer;
+          for (;;) {
+            const std::size_t j = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (j >= safe_prefix) break;
+            const GraphUpdate& upd = stream[i + j];
+            locks_.lock_pair(upd.u, upd.v);
+            apply_safe(upd);
+            locks_.unlock_pair(upd.u, upd.v);
+          }
+          result.stats.workers[wid].busy_ns += timer.elapsed_ns();
+        });
+      } else {
+        util::ThreadCpuTimer timer;
+        for (std::size_t j = 0; j < safe_prefix; ++j) apply_safe(stream[i + j]);
+        result.stats.serial_ns += timer.elapsed_ns();
+      }
+      result.safe_applied += safe_prefix;
+      result.updates_processed += safe_prefix;
+    }
+    i += safe_prefix;
+
+    // Phase 2c — the unsafe update runs sequentially (ADS) with the
+    // inner-update executor searching; the batch remainder is deferred.
+    if (hit_unsafe) {
+      ++result.unsafe_sequential;
+      absorb(process_into(stream[i], deadline, result.stats));
+      ++result.updates_processed;
+      ++i;
+      result.deferred_after_unsafe += count - safe_prefix - 1;
+    }
+  }
+
+  result.wall_ns = wall.elapsed_ns();
+  return result;
+}
+
+}  // namespace paracosm::engine

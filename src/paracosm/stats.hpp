@@ -1,0 +1,91 @@
+// Execution statistics for the two executors.
+//
+// This container is also where the single-core substitution of DESIGN.md §2
+// lives: every worker accounts its CPU busy time via CLOCK_THREAD_CPUTIME_ID,
+// and `simulated makespan = serial CPU + max worker CPU` projects what the
+// wall clock would be on an unloaded multicore. On real multicore hardware
+// the same numbers reproduce wall-clock behaviour, so nothing is lost.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace paracosm::engine {
+
+struct WorkerStats {
+  std::int64_t busy_ns = 0;     ///< CPU time spent expanding tasks
+  std::uint64_t tasks = 0;      ///< tasks popped from CQ
+  std::uint64_t nodes = 0;      ///< search-tree nodes expanded
+  std::uint64_t matches = 0;
+
+  void merge(const WorkerStats& other) noexcept {
+    busy_ns += other.busy_ns;
+    tasks += other.tasks;
+    nodes += other.nodes;
+    matches += other.matches;
+  }
+};
+
+struct ParallelStats {
+  std::vector<WorkerStats> workers;
+  std::int64_t serial_ns = 0;  ///< CPU time of sequential sections
+
+  void ensure_size(std::size_t n) {
+    if (workers.size() < n) workers.resize(n);
+  }
+
+  void merge(const ParallelStats& other) {
+    ensure_size(other.workers.size());
+    for (std::size_t i = 0; i < other.workers.size(); ++i)
+      workers[i].merge(other.workers[i]);
+    serial_ns += other.serial_ns;
+  }
+
+  [[nodiscard]] std::int64_t max_worker_ns() const noexcept {
+    std::int64_t best = 0;
+    for (const WorkerStats& w : workers) best = std::max(best, w.busy_ns);
+    return best;
+  }
+  [[nodiscard]] std::int64_t total_worker_ns() const noexcept {
+    std::int64_t total = 0;
+    for (const WorkerStats& w : workers) total += w.busy_ns;
+    return total;
+  }
+  /// Projected multicore wall time (see header comment).
+  [[nodiscard]] std::int64_t simulated_makespan_ns() const noexcept {
+    return serial_ns + max_worker_ns();
+  }
+  /// Work that would run on one thread.
+  [[nodiscard]] std::int64_t sequential_equivalent_ns() const noexcept {
+    return serial_ns + total_worker_ns();
+  }
+};
+
+/// Per-stage tallies of the update type classifier (Figure 12 / Table 4).
+struct ClassifierStats {
+  std::uint64_t total = 0;
+  std::uint64_t safe_label = 0;   ///< filtered by stage 1 (label)
+  std::uint64_t safe_degree = 0;  ///< filtered by stage 2 (degree)
+  std::uint64_t safe_ads = 0;     ///< filtered by stage 3 (candidate/ADS)
+  std::uint64_t unsafe_updates = 0;
+
+  [[nodiscard]] std::uint64_t safe() const noexcept {
+    return safe_label + safe_degree + safe_ads;
+  }
+  [[nodiscard]] double unsafe_percent() const noexcept {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(unsafe_updates) /
+                            static_cast<double>(total);
+  }
+
+  void merge(const ClassifierStats& other) noexcept {
+    total += other.total;
+    safe_label += other.safe_label;
+    safe_degree += other.safe_degree;
+    safe_ads += other.safe_ads;
+    unsafe_updates += other.unsafe_updates;
+  }
+};
+
+}  // namespace paracosm::engine

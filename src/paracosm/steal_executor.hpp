@@ -1,0 +1,41 @@
+// Work-stealing alternative to the paper's central-queue inner executor.
+//
+// ParaCOSM's Algorithm 2 routes all subtasks through one concurrent queue
+// CQ. A classic alternative is per-worker deques with stealing: owners push
+// and pop LIFO (cache-friendly, deepest subtree first), thieves steal FIFO
+// (largest remaining subtrees first). The ablation bench
+// (`ablation_scheduler`) compares the two under identical workloads; the
+// central queue wins when updates produce few, skewed subtrees (its
+// idle-triggered re-splitting targets exactly the straggler), stealing wins
+// when fan-out is plentiful and queue contention dominates.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "csm/algorithm.hpp"
+#include "paracosm/stats.hpp"
+#include "paracosm/worker_pool.hpp"
+
+namespace paracosm::engine {
+
+struct InnerRunResult;  // defined in inner_executor.hpp
+
+class StealingExecutor {
+ public:
+  StealingExecutor(WorkerPool& pool, std::uint32_t split_depth) noexcept
+      : pool_(pool), split_depth_(split_depth) {}
+
+  /// Same contract as InnerExecutor::run: explore every seed's subtree,
+  /// return aggregated matches/nodes plus per-worker accounting.
+  [[nodiscard]] InnerRunResult run(
+      const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
+      util::Clock::time_point deadline = {},
+      const std::function<void(std::span<const csm::Assignment>)>* on_match = nullptr);
+
+ private:
+  WorkerPool& pool_;
+  std::uint32_t split_depth_;
+};
+
+}  // namespace paracosm::engine

@@ -1,0 +1,95 @@
+// The concurrent task queue CQ of Algorithm 2.
+//
+// A mutex-protected deque with the two signals the paper's split predicate
+// needs, exposed as lock-free reads: the current queue length and the number
+// of workers blocked waiting for work ("HasIdleThreads"). `in_flight` counts
+// queued plus executing tasks; the pop side uses it to detect global
+// completion (a task's children are always pushed before the task itself
+// retires, so in_flight only reaches zero when the whole tree is explored).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "csm/match.hpp"
+
+namespace paracosm::engine {
+
+class TaskQueue {
+ public:
+  void push(csm::SearchTask&& task) {
+    // in_flight is raised BEFORE the task becomes poppable: otherwise a fast
+    // consumer could pop + retire it first and drive in_flight to zero while
+    // work still exists.
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(task));
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.notify_one();
+  }
+
+  /// Pop the next task, blocking while the tree is still being explored.
+  /// Returns nullopt once every task has retired.
+  [[nodiscard]] std::optional<csm::SearchTask> pop_or_finish() {
+    std::unique_lock lock(mutex_);
+    while (queue_.empty()) {
+      if (in_flight_.load(std::memory_order_relaxed) == 0) return std::nullopt;
+      idle_.fetch_add(1, std::memory_order_relaxed);
+      cv_.wait(lock, [this] {
+        return !queue_.empty() || in_flight_.load(std::memory_order_relaxed) == 0;
+      });
+      idle_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    csm::SearchTask task = std::move(queue_.front());
+    queue_.pop_front();
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return task;
+  }
+
+  /// Non-blocking pop used by the initialization phase (single-threaded).
+  [[nodiscard]] std::optional<csm::SearchTask> try_pop() {
+    const std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    csm::SearchTask task = std::move(queue_.front());
+    queue_.pop_front();
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return task;
+  }
+
+  /// A task has been fully expanded (its offloaded children were pushed
+  /// beforehand). Wakes everyone when the tree is exhausted.
+  void retire() {
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Take the mutex before notifying: a waiter that just evaluated the
+      // predicate still holds it, so this cannot race into a lost wakeup.
+      const std::lock_guard lock(mutex_);
+      cv_.notify_all();
+    }
+  }
+
+  [[nodiscard]] std::uint32_t approx_size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool has_idle_workers() const noexcept {
+    return idle_.load(std::memory_order_relaxed) > 0;
+  }
+  [[nodiscard]] std::int64_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<csm::SearchTask> queue_;
+  std::atomic<std::uint32_t> size_{0};
+  std::atomic<std::uint32_t> idle_{0};
+  std::atomic<std::int64_t> in_flight_{0};
+};
+
+}  // namespace paracosm::engine

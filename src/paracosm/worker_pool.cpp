@@ -1,0 +1,53 @@
+#include "paracosm/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace paracosm::engine {
+
+WorkerPool::WorkerPool(unsigned num_threads) {
+  const unsigned n = std::max(1u, num_threads);
+  threads_.reserve(n);
+  for (unsigned id = 0; id < n; ++id)
+    threads_.emplace_back([this, id] { worker_loop(id); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(const std::function<void(unsigned)>& job) {
+  std::unique_lock lock(mutex_);
+  job_ = &job;
+  remaining_ = size();
+  ++epoch_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void WorkerPool::worker_loop(unsigned id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || (job_ != nullptr && epoch_ != seen_epoch); });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(id);
+    {
+      const std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace paracosm::engine

@@ -1,0 +1,46 @@
+// Persistent worker pool with fork/join "parallel region" semantics.
+//
+// CSM streams contain many thousands of updates; spawning threads per update
+// would dominate runtime, so workers are parked on a condition variable and
+// woken per region. run() blocks until every worker finished the job.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paracosm::engine {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(unsigned num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Execute job(worker_id) on every worker; blocks until all return.
+  /// The job must not call run() recursively.
+  void run(const std::function<void(unsigned)>& job);
+
+ private:
+  void worker_loop(unsigned id);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  unsigned remaining_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace paracosm::engine

@@ -1,0 +1,104 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace paracosm::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Cli& Cli::option(std::string name, std::string default_value, std::string help) {
+  options_[std::move(name)] = Option{std::move(default_value), std::move(help), false};
+  return *this;
+}
+
+Cli& Cli::flag(std::string name, std::string help) {
+  options_[std::move(name)] = Option{"false", std::move(help), true};
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      exit_code_ = 0;
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n",
+                   program_.c_str(), std::string(arg).c_str());
+      exit_code_ = 2;
+      return false;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+      has_value = true;
+    } else {
+      name = std::string(arg);
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "%s: unknown option '--%s' (try --help)\n",
+                   program_.c_str(), name.c_str());
+      exit_code_ = 2;
+      return false;
+    }
+    if (it->second.is_flag) {
+      values_[name] = has_value ? value : "true";
+    } else if (has_value) {
+      values_[name] = value;
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: option '--%s' expects a value\n",
+                     program_.c_str(), name.c_str());
+        exit_code_ = 2;
+        return false;
+      }
+      values_[name] = argv[++i];
+    }
+  }
+  return true;
+}
+
+std::string Cli::get(std::string_view name) const {
+  if (const auto it = values_.find(name); it != values_.end()) return it->second;
+  if (const auto it = options_.find(name); it != options_.end())
+    return it->second.default_value;
+  throw std::invalid_argument("Cli: option not registered: " + std::string(name));
+}
+
+std::int64_t Cli::get_int(std::string_view name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double Cli::get_double(std::string_view name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool Cli::get_bool(std::string_view name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Cli::help_text() const {
+  std::string out = program_ + " — " + description_ + "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out += "  --" + name;
+    if (!opt.is_flag) out += " <value>";
+    out += "\n      " + opt.help;
+    if (!opt.is_flag) out += " (default: " + opt.default_value + ")";
+    out += "\n";
+  }
+  out += "  --help\n      Show this message.\n";
+  return out;
+}
+
+}  // namespace paracosm::util

@@ -1,0 +1,53 @@
+// Minimal command-line parser for bench/example binaries.
+//
+// Supports "--name value", "--name=value" and boolean "--flag" forms, prints
+// a generated --help, and rejects unknown options so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paracosm::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Register an option with a default value (all values are strings
+  /// internally; typed getters convert on access).
+  Cli& option(std::string name, std::string default_value, std::string help);
+  /// Register a boolean flag (defaults to false).
+  Cli& flag(std::string name, std::string help);
+
+  /// Parse argv. Returns false (after printing help or an error) if the
+  /// program should exit; exit_code() then says how.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+  [[nodiscard]] int exit_code() const noexcept { return exit_code_; }
+
+  [[nodiscard]] std::string get(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string program_;
+  std::string description_;
+  // Ordered map keeps --help output stable and alphabetical.
+  std::map<std::string, Option, std::less<>> options_;
+  std::map<std::string, std::string, std::less<>> values_;
+  int exit_code_ = 0;
+};
+
+}  // namespace paracosm::util

@@ -1,0 +1,36 @@
+// CSV output for experiment results (one file per bench under results/).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paracosm::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (parent directories are created) and writes
+  /// the header row. Throws std::runtime_error on I/O failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; values are quoted if they contain commas/quotes.
+  void row(const std::vector<std::string>& values);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Format helpers so call sites stay tidy.
+  [[nodiscard]] static std::string num(double v, int precision = 4);
+  [[nodiscard]] static std::string num(std::int64_t v);
+  [[nodiscard]] static std::string num(std::uint64_t v);
+
+ private:
+  [[nodiscard]] static std::string escape(std::string_view value);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace paracosm::util

@@ -1,0 +1,68 @@
+// Small synchronization helpers used by the executors.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace paracosm::util {
+
+/// Test-and-test-and-set spinlock. Used for the striped per-vertex locks in
+/// the batch executor, where critical sections are a few dozen instructions
+/// and a std::mutex would dominate.
+class Spinlock {
+ public:
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) std::this_thread::yield();
+    }
+  }
+  [[nodiscard]] bool try_lock() noexcept {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Fixed array of spinlocks addressed by hash — protects per-vertex adjacency
+/// mutation when safe updates are applied concurrently.
+template <std::size_t N = 64>
+class StripedLocks {
+  static_assert((N & (N - 1)) == 0, "stripe count must be a power of two");
+
+ public:
+  [[nodiscard]] Spinlock& for_key(std::size_t key) noexcept {
+    // Fibonacci hashing spreads consecutive vertex ids across stripes.
+    return locks_[(key * 0x9e3779b97f4a7c15ULL >> 32) & (N - 1)];
+  }
+
+  /// Lock two stripes in address order (deadlock-free for edge endpoints).
+  void lock_pair(std::size_t a, std::size_t b) noexcept {
+    Spinlock* x = &for_key(a);
+    Spinlock* y = &for_key(b);
+    if (x == y) {
+      x->lock();
+      return;
+    }
+    if (x > y) std::swap(x, y);
+    x->lock();
+    y->lock();
+  }
+  void unlock_pair(std::size_t a, std::size_t b) noexcept {
+    Spinlock* x = &for_key(a);
+    Spinlock* y = &for_key(b);
+    if (x == y) {
+      x->unlock();
+      return;
+    }
+    x->unlock();
+    y->unlock();
+  }
+
+ private:
+  Spinlock locks_[N];
+};
+
+}  // namespace paracosm::util

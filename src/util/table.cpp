@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace paracosm::util {
+
+namespace {
+
+[[nodiscard]] bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != '%' && c != 'e' && c != 'x')
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::row(std::vector<std::string> values) {
+  if (values.size() != header_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(values));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  const auto emit = [&](const std::vector<std::string>& r, std::string& out) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      const std::size_t pad = width[c] - r[c].size();
+      out += "  ";
+      if (looks_numeric(r[c])) {
+        out.append(pad, ' ');
+        out += r[c];
+      } else {
+        out += r[c];
+        out.append(pad, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit(header_, out);
+  std::size_t total = 0;
+  for (const auto w : width) total += w + 2;
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit(r, out);
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace paracosm::util

@@ -1,0 +1,29 @@
+// Aligned plain-text tables: the bench binaries print rows that mirror the
+// paper's tables and figures, so output must stay readable in a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace paracosm::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void row(std::vector<std::string> values);
+
+  /// Render with per-column alignment (numbers right, text left).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render straight to stdout.
+  void print() const;
+
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace paracosm::util

@@ -1,0 +1,21 @@
+#include "util/timer.hpp"
+
+#include <ctime>
+
+namespace paracosm::util {
+
+namespace {
+
+[[nodiscard]] std::int64_t clock_ns(clockid_t id) noexcept {
+  timespec ts{};
+  if (clock_gettime(id, &ts) != 0) return 0;
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+std::int64_t thread_cpu_ns() noexcept { return clock_ns(CLOCK_THREAD_CPUTIME_ID); }
+
+std::int64_t process_cpu_ns() noexcept { return clock_ns(CLOCK_PROCESS_CPUTIME_ID); }
+
+}  // namespace paracosm::util

@@ -1,0 +1,63 @@
+// Wall-clock and CPU-time measurement.
+//
+// ThreadCpuClock reads CLOCK_THREAD_CPUTIME_ID: on an oversubscribed machine
+// (this container has a single core) it measures the work a thread actually
+// performed, independent of scheduling. The executors use it to compute the
+// simulated parallel makespan described in DESIGN.md §2.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace paracosm::util {
+
+using Clock = std::chrono::steady_clock;
+using Duration = std::chrono::nanoseconds;
+
+/// Nanoseconds of CPU time consumed by the calling thread so far.
+[[nodiscard]] std::int64_t thread_cpu_ns() noexcept;
+
+/// Nanoseconds of CPU time consumed by the whole process so far.
+[[nodiscard]] std::int64_t process_cpu_ns() noexcept;
+
+/// Simple wall-clock stopwatch (monotonic).
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+        .count();
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e9;
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Stopwatch over the calling thread's CPU time.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() noexcept : start_(thread_cpu_ns()) {}
+
+  void reset() noexcept { start_ = thread_cpu_ns(); }
+
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
+    return thread_cpu_ns() - start_;
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace paracosm::util

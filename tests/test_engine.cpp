@@ -1,0 +1,138 @@
+// Tests for the sequential engine: maintenance contract, breakdown
+// accounting, no-op handling, vertex cascades and timeouts.
+#include <gtest/gtest.h>
+
+#include "tests/test_support.hpp"
+
+namespace paracosm::csm {
+namespace {
+
+using testing::make_workload;
+using testing::SmallWorkload;
+
+TEST(SequentialEngine, DuplicateInsertAndPhantomRemoveAreNoOps) {
+  SmallWorkload wl = make_workload(10, 24, 50, 2, 1, 4, 0.0, 0.0);
+  auto alg = make_algorithm("graphflow");
+  SequentialEngine engine(*alg, wl.query, wl.graph);
+  const auto edges = wl.graph.edge_list();
+  ASSERT_FALSE(edges.empty());
+  const auto& e = edges.front();
+
+  const auto dup =
+      engine.process(graph::GraphUpdate::insert_edge(e.u, e.v, e.elabel));
+  EXPECT_FALSE(dup.applied);
+  EXPECT_EQ(dup.delta_matches(), 0u);
+
+  graph::VertexId missing_v = 0;
+  for (graph::VertexId v = 1; v < wl.graph.vertex_capacity(); ++v)
+    if (!wl.graph.has_edge(0, v) && v != 0) {
+      missing_v = v;
+      break;
+    }
+  const auto phantom =
+      engine.process(graph::GraphUpdate::remove_edge(0, missing_v, 0));
+  EXPECT_FALSE(phantom.applied);
+}
+
+TEST(SequentialEngine, BreakdownAccumulatesAndResets) {
+  SmallWorkload wl = make_workload(11, 32, 80, 2, 1, 4);
+  auto alg = make_algorithm("symbi");
+  SequentialEngine engine(*alg, wl.query, wl.graph);
+  for (const auto& upd : wl.stream) engine.process(upd);
+  EXPECT_GT(engine.ads_update_ns(), 0);
+  EXPECT_GT(engine.find_matches_ns(), 0);
+  engine.reset_breakdown();
+  EXPECT_EQ(engine.ads_update_ns(), 0);
+  EXPECT_EQ(engine.find_matches_ns(), 0);
+}
+
+TEST(SequentialEngine, VertexRemoveExpiresMatchesThroughIt) {
+  // Triangle query on a triangle: removing a corner expires all mappings.
+  graph::DataGraph g;
+  for (int i = 0; i < 3; ++i) g.add_vertex(0);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(0, 2, 0);
+  graph::QueryGraph q({0, 0, 0}, {{0, 1, 0}, {1, 2, 0}, {0, 2, 0}});
+  auto alg = make_algorithm("turboflux");
+  SequentialEngine engine(*alg, q, g);
+  EXPECT_EQ(engine.initial_matches(), 6u);
+  const auto out = engine.process(graph::GraphUpdate::remove_vertex(1));
+  EXPECT_EQ(out.negative, 6u);
+  EXPECT_FALSE(g.has_vertex(1));
+  EXPECT_EQ(engine.initial_matches(), 0u);
+}
+
+TEST(SequentialEngine, VertexInsertThenConnect) {
+  graph::DataGraph g;
+  g.add_vertex(0);
+  g.add_vertex(1);
+  g.add_edge(0, 1, 0);
+  graph::QueryGraph q({0, 1, 0}, {{0, 1, 0}, {1, 2, 0}});
+  auto alg = make_algorithm("symbi");
+  SequentialEngine engine(*alg, q, g);
+  const auto ins = engine.process(graph::GraphUpdate::insert_vertex(2, 0));
+  EXPECT_TRUE(ins.applied);
+  const auto connect = engine.process(graph::GraphUpdate::insert_edge(1, 2, 0));
+  // u0 and u2 both carry label 0, so the v0-v1-v2 path hosts two mappings.
+  EXPECT_EQ(connect.positive, 2u);
+}
+
+TEST(SequentialEngine, TimeoutFlagsOutcome) {
+  util::Rng rng(12);
+  graph::DataGraph g = graph::generate_erdos_renyi(64, 1400, 1, 1, rng);
+  const auto q = graph::extract_query(g, 8, rng);
+  ASSERT_TRUE(q.has_value());
+  auto stream = graph::make_insert_stream(g, 0.05, rng);
+  auto alg = make_algorithm("graphflow");
+  SequentialEngine engine(*alg, *q, g);
+  bool timed_out = false;
+  for (const auto& upd : stream) {
+    const auto out =
+        engine.process(upd, util::Clock::now() - std::chrono::milliseconds(1));
+    timed_out = timed_out || out.timed_out;
+  }
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(SequentialEngine, ReattachResetsState) {
+  SmallWorkload wl = make_workload(13, 24, 60, 2, 1, 4);
+  auto alg = make_algorithm("calig");
+  std::uint64_t first_total = 0, second_total = 0;
+  {
+    graph::DataGraph g = wl.graph;
+    SequentialEngine engine(*alg, wl.query, g);
+    for (const auto& upd : wl.stream) first_total += engine.process(upd).delta_matches();
+  }
+  {
+    graph::DataGraph g = wl.graph;
+    SequentialEngine engine(*alg, wl.query, g);  // re-attach same instance
+    for (const auto& upd : wl.stream)
+      second_total += engine.process(upd).delta_matches();
+  }
+  EXPECT_EQ(first_total, second_total);
+}
+
+TEST(AlgorithmRegistry, NamesAndFactoriesAgree) {
+  const auto names = algorithm_names();
+  EXPECT_EQ(names.size(), 5u);
+  for (const auto name : names) {
+    auto alg = make_algorithm(name);
+    ASSERT_NE(alg, nullptr) << name;
+    EXPECT_EQ(alg->name(), name);
+  }
+  EXPECT_EQ(make_algorithm("does-not-exist"), nullptr);
+}
+
+TEST(AlgorithmTraits, AdsAndEdgeLabelFlags) {
+  EXPECT_FALSE(make_algorithm("graphflow")->has_ads());
+  EXPECT_FALSE(make_algorithm("newsp")->has_ads());
+  EXPECT_TRUE(make_algorithm("turboflux")->has_ads());
+  EXPECT_TRUE(make_algorithm("symbi")->has_ads());
+  EXPECT_TRUE(make_algorithm("calig")->has_ads());
+  EXPECT_FALSE(make_algorithm("calig")->uses_edge_labels());
+  EXPECT_TRUE(make_algorithm("symbi")->uses_edge_labels());
+}
+
+}  // namespace
+}  // namespace paracosm::csm

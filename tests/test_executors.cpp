@@ -1,0 +1,245 @@
+// Tests for the parallel building blocks: task queue, worker pool, and the
+// inner-update executor (Algorithm 2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "paracosm/inner_executor.hpp"
+#include "paracosm/steal_executor.hpp"
+#include "paracosm/task_queue.hpp"
+#include "paracosm/worker_pool.hpp"
+#include "tests/test_support.hpp"
+
+namespace paracosm::engine {
+namespace {
+
+csm::SearchTask make_task(std::uint32_t depth) {
+  csm::SearchTask t;
+  for (std::uint32_t i = 0; i < depth; ++i) t.assigned.push_back({i, i});
+  return t;
+}
+
+TEST(TaskQueue, PushPopRetireSingleThread) {
+  TaskQueue queue;
+  queue.push(make_task(2));
+  queue.push(make_task(3));
+  EXPECT_EQ(queue.approx_size(), 2u);
+  EXPECT_EQ(queue.in_flight(), 2);
+  auto t1 = queue.try_pop();
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ(t1->depth(), 2u);  // FIFO
+  queue.retire();
+  auto t2 = queue.pop_or_finish();
+  ASSERT_TRUE(t2.has_value());
+  queue.retire();
+  EXPECT_EQ(queue.in_flight(), 0);
+  EXPECT_FALSE(queue.pop_or_finish().has_value());
+}
+
+TEST(TaskQueue, TryPopOnEmptyReturnsNullopt) {
+  TaskQueue queue;
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(TaskQueue, MpmcStressCompletesAllTasks) {
+  TaskQueue queue;
+  constexpr int kSeeds = 64;
+  constexpr int kChildrenPerSeed = 16;
+  for (int i = 0; i < kSeeds; ++i) queue.push(make_task(1));
+
+  std::atomic<int> executed{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      while (auto task = queue.pop_or_finish()) {
+        if (task->depth() == 1)
+          for (int c = 0; c < kChildrenPerSeed; ++c) queue.push(make_task(2));
+        executed.fetch_add(1, std::memory_order_relaxed);
+        queue.retire();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(executed.load(), kSeeds + kSeeds * kChildrenPerSeed);
+  EXPECT_EQ(queue.in_flight(), 0);
+}
+
+TEST(WorkerPool, RunsJobOnEveryWorker) {
+  WorkerPool pool(5);
+  EXPECT_EQ(pool.size(), 5u);
+  std::vector<std::atomic<int>> hits(5);
+  pool.run([&](unsigned wid) { hits[wid].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, SequentialRunsReuseWorkers) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.run([&](unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(WorkerPool, ZeroThreadsClampedToOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  bool ran = false;
+  pool.run([&](unsigned) { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+struct ExecCase {
+  unsigned threads;
+  std::uint32_t split_depth;
+  bool dynamic;
+};
+
+class InnerExecutorTest : public ::testing::TestWithParam<ExecCase> {};
+
+TEST_P(InnerExecutorTest, MatchesSequentialEnumeration) {
+  const ExecCase& c = GetParam();
+  testing::SmallWorkload wl = testing::make_workload(321, 48, 140, 2, 1, 5, 0.0, 0.0);
+  auto alg = csm::make_algorithm("graphflow");
+  alg->attach(wl.query, wl.graph);
+
+  // Collect per-update seeds over a synthetic set of probe edges: use real
+  // stream updates applied to the graph.
+  util::Rng rng(5);
+  auto stream = graph::make_insert_stream(wl.graph, 0.25, rng);
+  WorkerPool pool(c.threads);
+  InnerExecutor executor(pool, c.split_depth, c.dynamic);
+
+  for (const auto& upd : stream) {
+    ASSERT_TRUE(wl.graph.add_edge(upd.u, upd.v, upd.label));
+    alg->on_edge_inserted(upd);
+    std::vector<csm::SearchTask> seeds;
+    alg->seeds(upd, seeds);
+
+    csm::MatchSink seq;
+    for (const auto& task : seeds) alg->expand(task, seq, nullptr);
+
+    const InnerRunResult par = executor.run(*alg, seeds);
+    EXPECT_EQ(par.matches, seq.matches);
+    EXPECT_FALSE(par.timed_out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InnerExecutorTest,
+    ::testing::Values(ExecCase{1, 4, true}, ExecCase{2, 4, true},
+                      ExecCase{4, 0, true}, ExecCase{4, 2, true},
+                      ExecCase{4, 8, true}, ExecCase{8, 3, true},
+                      ExecCase{4, 4, false}, ExecCase{2, 0, false}),
+    [](const ::testing::TestParamInfo<ExecCase>& info) {
+      return "t" + std::to_string(info.param.threads) + "_d" +
+             std::to_string(info.param.split_depth) +
+             (info.param.dynamic ? "_dyn" : "_static");
+    });
+
+class StealingExecutorTest
+    : public ::testing::TestWithParam<std::pair<unsigned, std::uint32_t>> {};
+
+TEST_P(StealingExecutorTest, MatchesSequentialEnumeration) {
+  const auto& [threads, split_depth] = GetParam();
+  testing::SmallWorkload wl = testing::make_workload(876, 48, 140, 2, 1, 5, 0.0, 0.0);
+  auto alg = csm::make_algorithm("symbi");
+  alg->attach(wl.query, wl.graph);
+  util::Rng rng(9);
+  auto stream = graph::make_insert_stream(wl.graph, 0.25, rng);
+  WorkerPool pool(threads);
+  StealingExecutor executor(pool, split_depth);
+  for (const auto& upd : stream) {
+    ASSERT_TRUE(wl.graph.add_edge(upd.u, upd.v, upd.label));
+    alg->on_edge_inserted(upd);
+    std::vector<csm::SearchTask> seeds;
+    alg->seeds(upd, seeds);
+    csm::MatchSink seq;
+    for (const auto& task : seeds) alg->expand(task, seq, nullptr);
+    const InnerRunResult par = executor.run(*alg, seeds);
+    EXPECT_EQ(par.matches, seq.matches);
+    EXPECT_FALSE(par.timed_out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StealingExecutorTest,
+                         ::testing::Values(std::pair{1u, 4u}, std::pair{2u, 0u},
+                                           std::pair{4u, 2u}, std::pair{4u, 8u},
+                                           std::pair{8u, 3u}),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param.first) + "_d" +
+                                  std::to_string(info.param.second);
+                         });
+
+TEST(StealingExecutor, EmptySeedsAreANoOp) {
+  WorkerPool pool(2);
+  StealingExecutor executor(pool, 4);
+  auto alg = csm::make_algorithm("graphflow");
+  testing::SmallWorkload wl = testing::make_workload(2);
+  alg->attach(wl.query, wl.graph);
+  const InnerRunResult r = executor.run(*alg, {});
+  EXPECT_EQ(r.matches, 0u);
+}
+
+TEST(InnerExecutor, EmptySeedsAreANoOp) {
+  WorkerPool pool(2);
+  InnerExecutor executor(pool, 4, true);
+  auto alg = csm::make_algorithm("graphflow");
+  testing::SmallWorkload wl = testing::make_workload(1);
+  alg->attach(wl.query, wl.graph);
+  const InnerRunResult r = executor.run(*alg, {});
+  EXPECT_EQ(r.matches, 0u);
+  EXPECT_EQ(r.nodes, 0u);
+}
+
+TEST(InnerExecutor, WorkerStatsAccountAllNodes) {
+  testing::SmallWorkload wl = testing::make_workload(654, 40, 120, 1, 1, 4, 0.0, 0.0);
+  auto alg = csm::make_algorithm("graphflow");
+  alg->attach(wl.query, wl.graph);
+  util::Rng rng(6);
+  auto stream = graph::make_insert_stream(wl.graph, 0.2, rng);
+  WorkerPool pool(4);
+  InnerExecutor executor(pool, 3, true);
+  for (const auto& upd : stream) {
+    wl.graph.add_edge(upd.u, upd.v, upd.label);
+    std::vector<csm::SearchTask> seeds;
+    alg->seeds(upd, seeds);
+    if (seeds.empty()) continue;
+    const InnerRunResult r = executor.run(*alg, seeds);
+    std::uint64_t worker_nodes = 0, worker_matches = 0;
+    for (const auto& w : r.stats.workers) {
+      worker_nodes += w.nodes;
+      worker_matches += w.matches;
+    }
+    // Total = init-phase nodes + worker nodes.
+    EXPECT_GE(r.nodes, worker_nodes);
+    EXPECT_GE(r.matches, worker_matches);
+    EXPECT_GE(r.stats.sequential_equivalent_ns(), r.stats.simulated_makespan_ns());
+  }
+}
+
+TEST(InnerExecutor, DeadlineAbortsAndTerminates) {
+  util::Rng rng(77);
+  graph::DataGraph g = graph::generate_erdos_renyi(64, 1400, 1, 1, rng);
+  auto q = graph::extract_query(g, 8, rng);
+  ASSERT_TRUE(q.has_value());
+  auto alg = csm::make_algorithm("graphflow");
+  auto stream = graph::make_insert_stream(g, 0.05, rng);
+  alg->attach(*q, g);
+  WorkerPool pool(4);
+  InnerExecutor executor(pool, 4, true);
+  bool saw_timeout = false;
+  for (const auto& upd : stream) {
+    g.add_edge(upd.u, upd.v, upd.label);
+    std::vector<csm::SearchTask> seeds;
+    alg->seeds(upd, seeds);
+    if (seeds.empty()) continue;
+    const InnerRunResult r =
+        executor.run(*alg, seeds, util::Clock::now() - std::chrono::milliseconds(1));
+    saw_timeout = saw_timeout || r.timed_out;
+  }
+  EXPECT_TRUE(saw_timeout);
+}
+
+}  // namespace
+}  // namespace paracosm::engine

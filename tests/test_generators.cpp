@@ -1,0 +1,136 @@
+// Tests for the dataset stand-in generators and the query/stream extraction
+// protocol (paper §5.1).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace paracosm::graph {
+namespace {
+
+TEST(DatasetSpecs, PresetsMatchTable5Characteristics) {
+  const auto lj = livejournal_spec();
+  EXPECT_EQ(lj.num_vertex_labels, 30u);
+  EXPECT_EQ(lj.num_edge_labels, 1u);
+  EXPECT_NEAR(lj.avg_degree, 17.68, 0.01);
+  const auto ls = lsbench_spec();
+  EXPECT_EQ(ls.num_vertex_labels, 1u);
+  EXPECT_EQ(ls.num_edge_labels, 44u);
+  const auto ok = orkut_spec();
+  EXPECT_EQ(ok.num_vertex_labels, 20u);
+  EXPECT_EQ(ok.num_edge_labels, 20u);
+  EXPECT_EQ(all_dataset_specs().size(), 4u);
+  EXPECT_TRUE(dataset_spec_by_name("amazon").has_value());
+  EXPECT_FALSE(dataset_spec_by_name("unknown").has_value());
+}
+
+TEST(DatasetSpecs, ScalingAffectsOnlyVertexCount) {
+  const auto base = amazon_spec();
+  const auto half = amazon_spec(0.5);
+  EXPECT_NEAR(half.num_vertices, base.num_vertices / 2, 2);
+  EXPECT_EQ(half.num_vertex_labels, base.num_vertex_labels);
+  EXPECT_DOUBLE_EQ(half.avg_degree, base.avg_degree);
+}
+
+TEST(PowerLawGenerator, HitsTargetDegreeAndLabels) {
+  util::Rng rng(1);
+  const auto spec = livejournal_spec(0.1);
+  const DataGraph g = generate_power_law(spec, rng);
+  EXPECT_EQ(g.num_vertices(), spec.num_vertices);
+  EXPECT_NEAR(g.average_degree(), spec.avg_degree, spec.avg_degree * 0.25);
+  EXPECT_LE(g.num_vertex_labels(), spec.num_vertex_labels);
+  EXPECT_GT(g.num_vertex_labels(), spec.num_vertex_labels / 2);
+  // Heavy tail: the max degree should far exceed the average.
+  EXPECT_GT(g.max_degree(), static_cast<std::uint32_t>(3 * spec.avg_degree));
+}
+
+TEST(PowerLawGenerator, DeterministicForSeed) {
+  util::Rng a(5), b(5);
+  const DataGraph ga = generate_power_law(amazon_spec(0.1), a);
+  const DataGraph gb = generate_power_law(amazon_spec(0.1), b);
+  EXPECT_TRUE(ga.same_structure(gb));
+}
+
+TEST(ErdosRenyi, ProducesRequestedEdges) {
+  util::Rng rng(2);
+  const DataGraph g = generate_erdos_renyi(100, 300, 4, 2, rng);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(QueryExtraction, ProducesConnectedInducedSubgraph) {
+  util::Rng rng(3);
+  const DataGraph g = generate_power_law(amazon_spec(0.2), rng);
+  for (const std::uint32_t size : {4u, 6u, 8u, 10u}) {
+    const auto q = extract_query(g, size, rng);
+    ASSERT_TRUE(q.has_value()) << "size " << size;
+    EXPECT_EQ(q->num_vertices(), size);
+    EXPECT_TRUE(q->connected());
+    EXPECT_GE(q->num_edges(), size - 1);  // at least a tree
+  }
+}
+
+TEST(QueryExtraction, LabelsComeFromDataGraph) {
+  util::Rng rng(4);
+  const DataGraph g = generate_power_law(orkut_spec(0.1), rng);
+  const auto q = extract_query(g, 5, rng);
+  ASSERT_TRUE(q.has_value());
+  for (VertexId u = 0; u < q->num_vertices(); ++u)
+    EXPECT_LT(q->label(u), orkut_spec().num_vertex_labels);
+}
+
+TEST(QueryExtraction, FailsGracefullyOnTinyGraph) {
+  DataGraph g;
+  g.add_vertex(0);
+  util::Rng rng(5);
+  EXPECT_FALSE(extract_query(g, 4, rng).has_value());
+}
+
+TEST(ExtractQueries, ReturnsRequestedCount) {
+  util::Rng rng(6);
+  const DataGraph g = generate_power_law(amazon_spec(0.2), rng);
+  const auto queries = extract_queries(g, 6, 10, rng);
+  EXPECT_EQ(queries.size(), 10u);
+}
+
+TEST(InsertStream, RemovesSampledEdgesFromGraph) {
+  util::Rng rng(7);
+  DataGraph g = generate_erdos_renyi(200, 1000, 3, 2, rng);
+  const auto before = g.num_edges();
+  const auto stream = make_insert_stream(g, 0.10, rng);
+  EXPECT_EQ(stream.size(), 100u);
+  EXPECT_EQ(g.num_edges(), before - stream.size());
+  for (const auto& upd : stream) {
+    EXPECT_EQ(upd.op, UpdateOp::kInsertEdge);
+    EXPECT_FALSE(g.has_edge(upd.u, upd.v));
+  }
+  // Replaying the stream restores the edge count.
+  for (const auto& upd : stream) EXPECT_TRUE(g.apply(upd));
+  EXPECT_EQ(g.num_edges(), before);
+}
+
+TEST(MixedStream, AppendsDeletionsOfInsertedEdges) {
+  util::Rng rng(8);
+  DataGraph g = generate_erdos_renyi(100, 600, 3, 2, rng);
+  const auto stream = make_mixed_stream(g, 0.2, 0.5, rng);
+  std::size_t inserts = 0, deletes = 0;
+  for (const auto& upd : stream) {
+    if (upd.op == UpdateOp::kInsertEdge) ++inserts;
+    if (upd.op == UpdateOp::kRemoveEdge) ++deletes;
+  }
+  EXPECT_EQ(inserts, 120u);
+  EXPECT_EQ(deletes, 60u);
+  // Every deletion targets an edge inserted earlier in the stream.
+  for (const auto& upd : stream) {
+    if (upd.op != UpdateOp::kRemoveEdge) continue;
+    const bool found = std::any_of(
+        stream.begin(), stream.end(), [&](const GraphUpdate& other) {
+          return other.op == UpdateOp::kInsertEdge &&
+                 ((other.u == upd.u && other.v == upd.v) ||
+                  (other.u == upd.v && other.v == upd.u));
+        });
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace paracosm::graph

@@ -1,0 +1,91 @@
+// Round-trip and error-handling tests for the benchmark text format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph_io.hpp"
+
+namespace paracosm::graph {
+namespace {
+
+TEST(GraphIo, DataGraphRoundTrip) {
+  DataGraph g;
+  for (const Label l : {0u, 1u, 2u}) g.add_vertex(l);
+  g.add_edge(0, 1, 7);
+  g.add_edge(1, 2, 8);
+  std::stringstream buffer;
+  save_data_graph(g, buffer);
+  const DataGraph loaded = load_data_graph(buffer);
+  EXPECT_TRUE(g.same_structure(loaded));
+}
+
+TEST(GraphIo, QueryGraphRoundTrip) {
+  QueryGraph q({0, 1, 2}, {{0, 1, 3}, {1, 2, 4}});
+  std::stringstream buffer;
+  save_query_graph(q, buffer);
+  const QueryGraph loaded = load_query_graph(buffer);
+  EXPECT_EQ(loaded.num_vertices(), 3u);
+  EXPECT_EQ(loaded.num_edges(), 2u);
+  EXPECT_EQ(loaded.edge_label(0, 1), 3u);
+  EXPECT_EQ(loaded.edge_label(1, 2), 4u);
+  EXPECT_EQ(loaded.label(2), 2u);
+}
+
+TEST(GraphIo, UpdateStreamRoundTrip) {
+  const std::vector<GraphUpdate> stream{
+      GraphUpdate::insert_edge(1, 2, 3), GraphUpdate::remove_edge(4, 5, 6),
+      GraphUpdate::insert_vertex(7, 8), GraphUpdate::remove_vertex(9)};
+  std::stringstream buffer;
+  save_update_stream(stream, buffer);
+  const auto loaded = load_update_stream(buffer);
+  EXPECT_EQ(loaded, stream);
+}
+
+TEST(GraphIo, ParsesOptionalFieldsAndComments) {
+  std::stringstream in(
+      "# comment\n"
+      "% another\n"
+      "t 1\n"
+      "v 0 5 3\n"      // with degree hint
+      "v 1 6\n"        // without
+      "e 0 1\n");      // edge label omitted -> 0
+  const DataGraph g = load_data_graph(in);
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.edge_label(0, 1), 0u);
+}
+
+TEST(GraphIo, StreamEdgeWithoutSignIsInsert) {
+  std::stringstream in("e 3 4 1\n");
+  const auto stream = load_update_stream(in);
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].op, UpdateOp::kInsertEdge);
+}
+
+TEST(GraphIo, MalformedInputThrows) {
+  std::stringstream bad_vertex("v abc\n");
+  EXPECT_THROW((void)load_data_graph(bad_vertex), std::runtime_error);
+  std::stringstream bad_tag("x 1 2\n");
+  EXPECT_THROW((void)load_data_graph(bad_tag), std::runtime_error);
+  std::stringstream bad_update("+q 1 2\n");
+  EXPECT_THROW((void)load_update_stream(bad_update), std::runtime_error);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_data_graph_file("/nonexistent/path.graph"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  DataGraph g;
+  g.add_vertex(1);
+  g.add_vertex(2);
+  g.add_edge(0, 1, 9);
+  const std::string path = "test_io_roundtrip.graph";
+  save_data_graph_file(g, path);
+  const DataGraph loaded = load_data_graph_file(path);
+  EXPECT_TRUE(g.same_structure(loaded));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace paracosm::graph

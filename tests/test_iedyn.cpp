@@ -1,0 +1,141 @@
+// IEDyn (tree-query specialist): correctness against the oracle, rejection
+// of cyclic queries, and the exactness property that motivates it — on
+// acyclic queries the candidate DP has no dead entries.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "csm/iedyn.hpp"
+#include "csm/oracle.hpp"
+#include "paracosm/paracosm.hpp"
+#include "tests/test_support.hpp"
+
+namespace paracosm::testing {
+namespace {
+
+/// Reduce a (possibly cyclic) extracted query to its BFS spanning tree.
+graph::QueryGraph tree_of(const graph::QueryGraph& q) {
+  std::vector<graph::Label> labels(q.num_vertices());
+  for (graph::VertexId u = 0; u < q.num_vertices(); ++u) labels[u] = q.label(u);
+  std::vector<graph::Edge> edges;
+  std::vector<bool> seen(q.num_vertices(), false);
+  std::vector<graph::VertexId> frontier{0};
+  seen[0] = true;
+  while (!frontier.empty()) {
+    const graph::VertexId u = frontier.back();
+    frontier.pop_back();
+    for (const auto& nb : q.neighbors(u)) {
+      if (seen[nb.v]) continue;
+      seen[nb.v] = true;
+      edges.push_back({u, nb.v, nb.elabel});
+      frontier.push_back(nb.v);
+    }
+  }
+  return graph::QueryGraph(std::move(labels), std::move(edges));
+}
+
+SmallWorkload tree_workload(std::uint64_t seed) {
+  SmallWorkload wl = make_workload(seed, 32, 72, 3, 2, 5);
+  wl.query = tree_of(wl.query);
+  return wl;
+}
+
+class IEDynOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IEDynOracleTest, MatchesOracleOnTreeQueries) {
+  auto alg = csm::make_algorithm("iedyn");
+  ASSERT_NE(alg, nullptr);
+  check_against_oracle(*alg, tree_workload(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IEDynOracleTest, ::testing::Values(64, 65, 66, 67));
+
+TEST(IEDyn, RejectsCyclicQueries) {
+  graph::QueryGraph triangle({0, 0, 0}, {{0, 1, 0}, {1, 2, 0}, {0, 2, 0}});
+  graph::DataGraph g;
+  for (int i = 0; i < 3; ++i) g.add_vertex(0);
+  auto alg = csm::make_algorithm("iedyn");
+  EXPECT_THROW(alg->attach(triangle, g), std::invalid_argument);
+}
+
+TEST(IEDyn, AgreesWithSymbiOnTreeQueries) {
+  for (const std::uint64_t seed : {71ULL, 72ULL}) {
+    SmallWorkload wl = tree_workload(seed);
+    std::uint64_t totals[2] = {0, 0};
+    int i = 0;
+    for (const auto name : {"iedyn", "symbi"}) {
+      auto alg = csm::make_algorithm(name);
+      graph::DataGraph g = wl.graph;
+      csm::SequentialEngine eng(*alg, wl.query, g);
+      for (const auto& upd : wl.stream) totals[i] += eng.process(upd).delta_matches();
+      ++i;
+    }
+    EXPECT_EQ(totals[0], totals[1]);
+  }
+}
+
+// The exactness property: on a tree query, every candidate pair of the index
+// appears in at least one full match (no dead candidates).
+TEST(IEDyn, CandidateDpIsExactOnTrees) {
+  // Keep the full graph (no held-out stream): the query's extraction site
+  // then guarantees at least one injective match.
+  SmallWorkload wl = make_workload(81, 32, 72, 3, 2, 5, 0.0, 0.0);
+  wl.query = tree_of(wl.query);
+  auto raw = csm::make_algorithm("iedyn");
+  auto* alg = dynamic_cast<csm::IEDyn*>(raw.get());
+  ASSERT_NE(alg, nullptr);
+  alg->attach(wl.query, wl.graph);
+
+  // Collect (u, v) participation from full enumeration.
+  std::set<std::pair<graph::VertexId, graph::VertexId>> in_matches;
+  csm::MatchSink sink;
+  sink.on_match = [&](std::span<const csm::Assignment> mapping) {
+    for (const auto& a : mapping) in_matches.emplace(a.qv, a.dv);
+  };
+  csm::enumerate_all_matches(wl.query, wl.graph, sink);
+
+  ASSERT_FALSE(in_matches.empty());
+  // Injectivity is the one constraint the DP cannot see (its guarantee is a
+  // homomorphism): a candidate may be dead only because every completion
+  // would reuse a vertex. Require the DP to be a superset with bounded
+  // injectivity slack.
+  std::uint64_t candidates = 0, dead = 0;
+  for (graph::VertexId u = 0; u < wl.query.num_vertices(); ++u) {
+    for (graph::VertexId v = 0; v < wl.graph.vertex_capacity(); ++v) {
+      const bool cand = alg->index().candidate(u, v);
+      const bool matched = in_matches.contains({u, v});
+      if (matched) {
+        EXPECT_TRUE(cand) << "candidate DP missed a real match vertex";
+      }
+      if (cand) {
+        ++candidates;
+        if (!matched) ++dead;
+      }
+    }
+  }
+  if (candidates > 0) {
+    EXPECT_LE(static_cast<double>(dead) / static_cast<double>(candidates), 0.5);
+  }
+}
+
+TEST(IEDyn, RunsUnderParaCosm) {
+  SmallWorkload wl = tree_workload(91);
+  std::uint64_t seq_total = 0;
+  {
+    auto alg = csm::make_algorithm("iedyn");
+    graph::DataGraph g = wl.graph;
+    csm::SequentialEngine eng(*alg, wl.query, g);
+    for (const auto& upd : wl.stream) seq_total += eng.process(upd).delta_matches();
+  }
+  auto alg = csm::make_algorithm("iedyn");
+  engine::Config cfg;
+  cfg.threads = 4;
+  graph::DataGraph g = wl.graph;
+  engine::ParaCosm pc(*alg, wl.query, g, cfg);
+  const engine::StreamResult r = pc.process_stream(wl.stream);
+  EXPECT_EQ(r.delta_matches(), seq_total);
+}
+
+}  // namespace
+}  // namespace paracosm::testing

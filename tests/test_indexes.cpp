@@ -1,0 +1,167 @@
+// Property tests for the incremental ADS maintenance: after ANY sequence of
+// updates, the incrementally-maintained index must be flag-for-flag identical
+// to one rebuilt from scratch on the final graph (exactness of DCG/DCS/CaLiG
+// state transitions), and the structures must behave sensibly on vertex ops.
+#include <gtest/gtest.h>
+
+#include "csm/candidate_index.hpp"
+#include "csm/support_index.hpp"
+#include "tests/test_support.hpp"
+
+namespace paracosm::testing {
+namespace {
+
+using csm::DagCandidateIndex;
+using csm::SupportIndex;
+
+struct IndexCase {
+  bool tree_only;  // TurboFlux (true) vs Symbi (false) orientation
+  std::uint64_t seed;
+};
+
+class DagIndexTest : public ::testing::TestWithParam<IndexCase> {};
+
+TEST_P(DagIndexTest, IncrementalEqualsRebuildAfterEveryUpdate) {
+  const auto& param = GetParam();
+  SmallWorkload wl = make_workload(param.seed);
+  DagCandidateIndex incremental;
+  incremental.build(wl.query, wl.graph, param.tree_only);
+  for (const auto& upd : wl.stream) {
+    if (upd.op == graph::UpdateOp::kInsertEdge) {
+      if (!wl.graph.add_edge(upd.u, upd.v, upd.label)) continue;
+      incremental.on_edge_inserted(upd.u, upd.v, upd.label);
+    } else if (upd.op == graph::UpdateOp::kRemoveEdge) {
+      const auto removed = wl.graph.remove_edge(upd.u, upd.v);
+      if (!removed) continue;
+      incremental.on_edge_removed(upd.u, upd.v, *removed);
+    }
+  }
+  DagCandidateIndex rebuilt;
+  rebuilt.build(wl.query, wl.graph, param.tree_only);
+  EXPECT_TRUE(incremental.states_equal(rebuilt));
+  EXPECT_EQ(incremental.num_candidate_pairs(), rebuilt.num_candidate_pairs());
+}
+
+TEST_P(DagIndexTest, SafeInsertImpliesNoStateChange) {
+  const auto& param = GetParam();
+  SmallWorkload wl = make_workload(param.seed + 500);
+  DagCandidateIndex index;
+  index.build(wl.query, wl.graph, param.tree_only);
+  std::uint64_t safe_checked = 0;
+  for (const auto& upd : wl.stream) {
+    if (upd.op != graph::UpdateOp::kInsertEdge) continue;
+    if (wl.graph.has_edge(upd.u, upd.v)) continue;
+    const bool safe = index.safe_insert(upd.u, upd.v, upd.label);
+    ASSERT_TRUE(wl.graph.add_edge(upd.u, upd.v, upd.label));
+    index.on_edge_inserted(upd.u, upd.v, upd.label);
+    if (safe) {
+      ++safe_checked;
+      DagCandidateIndex rebuilt;
+      rebuilt.build(wl.query, wl.graph, param.tree_only);
+      EXPECT_TRUE(index.states_equal(rebuilt))
+          << "safe-classified insert changed index state";
+    }
+  }
+  // The workload must actually exercise the property.
+  EXPECT_GT(safe_checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orientations, DagIndexTest,
+    ::testing::Values(IndexCase{true, 1}, IndexCase{true, 2}, IndexCase{true, 3},
+                      IndexCase{false, 1}, IndexCase{false, 2}, IndexCase{false, 3}),
+    [](const ::testing::TestParamInfo<IndexCase>& info) {
+      return std::string(info.param.tree_only ? "tree" : "dag") + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+class SupportIndexTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SupportIndexTest, IncrementalEqualsRebuild) {
+  SmallWorkload wl = make_workload(GetParam());
+  SupportIndex incremental;
+  incremental.build(wl.query, wl.graph);
+  for (const auto& upd : wl.stream) {
+    if (upd.op == graph::UpdateOp::kInsertEdge) {
+      if (!wl.graph.add_edge(upd.u, upd.v, upd.label)) continue;
+      incremental.on_edge_inserted(upd.u, upd.v);
+    } else if (upd.op == graph::UpdateOp::kRemoveEdge) {
+      if (!wl.graph.remove_edge(upd.u, upd.v)) continue;
+      incremental.on_edge_removed(upd.u, upd.v);
+    }
+  }
+  SupportIndex rebuilt;
+  rebuilt.build(wl.query, wl.graph);
+  EXPECT_TRUE(incremental.states_equal(rebuilt));
+  EXPECT_EQ(incremental.num_kernel_pairs(), rebuilt.num_kernel_pairs());
+}
+
+TEST_P(SupportIndexTest, KernelIsSubsetOfLight) {
+  SmallWorkload wl = make_workload(GetParam() + 100);
+  SupportIndex index;
+  index.build(wl.query, wl.graph);
+  for (graph::VertexId u = 0; u < wl.query.num_vertices(); ++u)
+    for (graph::VertexId v = 0; v < wl.graph.vertex_capacity(); ++v)
+      if (index.kernel(u, v)) {
+        EXPECT_TRUE(index.light(u, v));
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SupportIndexTest, ::testing::Values(5, 6, 7, 8));
+
+// The full-DAG (Symbi) index must prune at least as hard as the spanning
+// tree (TurboFlux) one: its constraints are a superset.
+TEST(IndexPruningPower, DagPrunesAtLeastAsMuchAsTree) {
+  for (const std::uint64_t seed : {31ULL, 32ULL, 33ULL}) {
+    SmallWorkload wl = make_workload(seed, 48, 140, 2, 1, 5);
+    DagCandidateIndex tree, dag;
+    tree.build(wl.query, wl.graph, /*spanning_tree_only=*/true);
+    dag.build(wl.query, wl.graph, /*spanning_tree_only=*/false);
+    for (graph::VertexId u = 0; u < wl.query.num_vertices(); ++u)
+      for (graph::VertexId v = 0; v < wl.graph.vertex_capacity(); ++v)
+        if (dag.candidate(u, v)) {
+          EXPECT_TRUE(tree.candidate(u, v));
+        }
+    EXPECT_LE(dag.num_candidate_pairs(), tree.num_candidate_pairs());
+  }
+}
+
+// Candidate flags must over-approximate true matchability: every data vertex
+// participating in a real match must be a candidate of its query vertex.
+TEST(IndexSoundness, CandidatesCoverAllOracleMatches) {
+  for (const std::uint64_t seed : {41ULL, 42ULL}) {
+    SmallWorkload wl = make_workload(seed, 28, 70, 2, 1, 4, 0.0, 0.0);
+    DagCandidateIndex dag;
+    dag.build(wl.query, wl.graph, false);
+    SupportIndex sup;
+    sup.build(wl.query, wl.graph);
+    csm::MatchSink sink;
+    sink.on_match = [&](std::span<const csm::Assignment> mapping) {
+      for (const auto& a : mapping) {
+        EXPECT_TRUE(dag.candidate(a.qv, a.dv));
+        EXPECT_TRUE(sup.kernel(a.qv, a.dv));
+      }
+    };
+    csm::enumerate_all_matches(wl.query, wl.graph, sink);
+  }
+}
+
+TEST(IndexVertexOps, AddAndRemoveVertexKeepsStateConsistent) {
+  SmallWorkload wl = make_workload(51);
+  DagCandidateIndex index;
+  index.build(wl.query, wl.graph, false);
+  const graph::VertexId fresh = wl.graph.add_vertex(wl.query.label(0));
+  index.on_vertex_added(fresh);
+  wl.graph.add_edge(fresh, 0, 0);
+  index.on_edge_inserted(fresh, 0, 0);
+  wl.graph.remove_edge(fresh, 0);
+  index.on_edge_removed(fresh, 0, 0);
+  wl.graph.remove_vertex(fresh);
+  index.on_vertex_removed(fresh);
+  DagCandidateIndex rebuilt;
+  rebuilt.build(wl.query, wl.graph, false);
+  EXPECT_TRUE(index.states_equal(rebuilt));
+}
+
+}  // namespace
+}  // namespace paracosm::testing

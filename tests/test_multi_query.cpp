@@ -1,0 +1,119 @@
+// Multi-query engine: per-query totals must match independent single-query
+// sequential runs over the same stream, for heterogeneous algorithm mixes.
+#include <gtest/gtest.h>
+
+#include "paracosm/multi_query.hpp"
+#include "tests/test_support.hpp"
+
+namespace paracosm::testing {
+namespace {
+
+using engine::Config;
+using engine::MultiQueryEngine;
+using engine::MultiStreamResult;
+
+struct QuerySpec {
+  std::string algorithm;
+  graph::QueryGraph query;
+};
+
+std::pair<std::uint64_t, std::uint64_t> single_query_totals(
+    const graph::DataGraph& base, const graph::QueryGraph& q,
+    const std::string& algorithm, const std::vector<graph::GraphUpdate>& stream) {
+  auto alg = csm::make_algorithm(algorithm);
+  graph::DataGraph g = base;
+  csm::SequentialEngine eng(*alg, q, g);
+  std::uint64_t pos = 0, neg = 0;
+  for (const auto& upd : stream) {
+    const auto out = eng.process(upd);
+    pos += out.positive;
+    neg += out.negative;
+  }
+  return {pos, neg};
+}
+
+TEST(MultiQueryEngine, MatchesIndependentSingleQueryRuns) {
+  util::Rng rng(777);
+  graph::DataGraph base = graph::generate_erdos_renyi(40, 100, 3, 2, rng);
+  std::vector<QuerySpec> specs;
+  for (const auto name : {"graphflow", "symbi", "turboflux"}) {
+    const auto q = graph::extract_query(base, 4, rng);
+    ASSERT_TRUE(q.has_value());
+    specs.push_back({std::string(name), *q});
+  }
+  auto stream = graph::make_mixed_stream(base, 0.3, 0.4, rng);
+
+  // Expected: independent sequential runs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> expected;
+  for (const auto& spec : specs)
+    expected.push_back(single_query_totals(base, spec.query, spec.algorithm, stream));
+
+  // Multi-query engine over one shared graph.
+  graph::DataGraph g = base;
+  Config cfg;
+  cfg.threads = 3;
+  MultiQueryEngine engine(g, cfg);
+  for (const auto& spec : specs) engine.add_query(spec.algorithm, spec.query);
+  ASSERT_EQ(engine.num_queries(), specs.size());
+  const MultiStreamResult result = engine.process_stream(stream);
+
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.updates_processed, stream.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(result.positive[i], expected[i].first) << specs[i].algorithm;
+    EXPECT_EQ(result.negative[i], expected[i].second) << specs[i].algorithm;
+  }
+}
+
+TEST(MultiQueryEngine, SafeOnlyWhenSafeForEveryQuery) {
+  // Query 1 matches label pair (0,1); query 2 matches (2,3). An edge with
+  // labels (2,3) is unsafe for query 2 even though query 1 filters it.
+  graph::DataGraph g;
+  for (const graph::Label l : {0u, 1u, 2u, 3u}) g.add_vertex(l);
+  Config cfg;
+  cfg.threads = 2;
+  MultiQueryEngine engine(g, cfg);
+  engine.add_query("graphflow", graph::QueryGraph({0, 1}, {{0, 1, 0}}));
+  engine.add_query("graphflow", graph::QueryGraph({2, 3}, {{0, 1, 0}}));
+
+  const std::vector<graph::GraphUpdate> stream{
+      graph::GraphUpdate::insert_edge(2, 3, 0)};
+  const MultiStreamResult result = engine.process_stream(stream);
+  EXPECT_EQ(result.unsafe_sequential, 1u);
+  EXPECT_EQ(result.positive[0], 0u);
+  EXPECT_EQ(result.positive[1], 1u);
+}
+
+TEST(MultiQueryEngine, HandlesVertexOps) {
+  util::Rng rng(888);
+  graph::DataGraph base = graph::generate_erdos_renyi(24, 60, 2, 1, rng);
+  const auto q = graph::extract_query(base, 3, rng);
+  ASSERT_TRUE(q.has_value());
+
+  std::vector<graph::GraphUpdate> stream{
+      graph::GraphUpdate::insert_vertex(500, 0),
+      graph::GraphUpdate::insert_edge(500, 0, 0),
+      graph::GraphUpdate::remove_vertex(500),
+  };
+  const auto expected = single_query_totals(base, *q, "symbi", stream);
+
+  graph::DataGraph g = base;
+  MultiQueryEngine engine(g, Config{.threads = 2});
+  engine.add_query("symbi", *q);
+  const MultiStreamResult result = engine.process_stream(stream);
+  EXPECT_EQ(result.positive[0], expected.first);
+  EXPECT_EQ(result.negative[0], expected.second);
+  EXPECT_FALSE(g.has_vertex(500));
+}
+
+TEST(MultiQueryEngine, RejectsUnknownAlgorithm) {
+  graph::DataGraph g;
+  g.add_vertex(0);
+  g.add_vertex(1);
+  MultiQueryEngine engine(g);
+  EXPECT_THROW(engine.add_query("nope", graph::QueryGraph({0, 1}, {{0, 1, 0}})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace paracosm::testing

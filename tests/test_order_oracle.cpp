@@ -1,0 +1,158 @@
+// Tests for matching-order construction and the brute-force oracle.
+#include <gtest/gtest.h>
+
+#include "csm/oracle.hpp"
+#include "csm/order.hpp"
+#include "graph/generators.hpp"
+#include "tests/test_support.hpp"
+
+namespace paracosm::csm {
+namespace {
+
+using graph::DataGraph;
+using graph::QueryGraph;
+
+TEST(EdgeRootedOrder, StartsWithSeedAndStaysConnected) {
+  util::Rng rng(1);
+  const DataGraph g = graph::generate_erdos_renyi(40, 120, 2, 1, rng);
+  const auto q = graph::extract_query(g, 6, rng);
+  ASSERT_TRUE(q.has_value());
+  for (const auto& e : q->edges()) {
+    const auto order = edge_rooted_order(*q, e.u, e.v);
+    ASSERT_EQ(order.size(), q->num_vertices());
+    EXPECT_EQ(order[0], e.u);
+    EXPECT_EQ(order[1], e.v);
+    // Every later vertex must touch an earlier one (connected prefix).
+    for (std::size_t i = 2; i < order.size(); ++i) {
+      bool touches = false;
+      for (std::size_t j = 0; j < i; ++j)
+        if (q->has_edge(order[i], order[j])) touches = true;
+      EXPECT_TRUE(touches) << "position " << i;
+    }
+    // And it is a permutation.
+    auto sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(EdgeRootedOrder, DisconnectedQueryThrows) {
+  // Construct a disconnected "query" via the raw constructor.
+  QueryGraph q({0, 1, 2, 3}, {{0, 1, 0}, {2, 3, 0}});
+  EXPECT_THROW((void)edge_rooted_order(q, 0, 1), std::invalid_argument);
+}
+
+TEST(OrderTable, CoversEveryDirectedEdge) {
+  QueryGraph q({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}});
+  OrderTable table(q);
+  for (const auto& e : q.edges()) {
+    EXPECT_EQ(table.order_for(e.u, e.v)[0], e.u);
+    EXPECT_EQ(table.order_for(e.v, e.u)[0], e.v);
+  }
+  EXPECT_THROW((void)table.order_for(0, 2), std::invalid_argument);
+}
+
+TEST(Oracle, CountsTrianglesExactly) {
+  // K4 with uniform labels: each labeled triangle query has 4 triangles x 6
+  // automorphic mappings = 24 matches.
+  DataGraph g;
+  for (int i = 0; i < 4; ++i) g.add_vertex(0);
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) g.add_edge(i, j, 0);
+  QueryGraph triangle({0, 0, 0}, {{0, 1, 0}, {1, 2, 0}, {0, 2, 0}});
+  EXPECT_EQ(count_all_matches(triangle, g), 24u);
+}
+
+TEST(Oracle, RespectsVertexLabels) {
+  DataGraph g;
+  g.add_vertex(0);
+  g.add_vertex(1);
+  g.add_vertex(2);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  QueryGraph path({0, 1}, {{0, 1, 0}});
+  EXPECT_EQ(count_all_matches(path, g), 1u);  // only (v0, v1)
+  QueryGraph path2({1, 2}, {{0, 1, 0}});
+  EXPECT_EQ(count_all_matches(path2, g), 1u);
+}
+
+TEST(Oracle, RespectsEdgeLabelsUnlessBlind) {
+  DataGraph g;
+  g.add_vertex(0);
+  g.add_vertex(0);
+  g.add_edge(0, 1, 5);
+  QueryGraph wrong_label({0, 0}, {{0, 1, 6}});
+  EXPECT_EQ(count_all_matches(wrong_label, g, /*use_edge_labels=*/true), 0u);
+  EXPECT_EQ(count_all_matches(wrong_label, g, /*use_edge_labels=*/false), 2u);
+}
+
+TEST(Oracle, EmptyAndImpossibleQueries) {
+  DataGraph g;
+  g.add_vertex(0);
+  g.add_vertex(0);
+  g.add_edge(0, 1, 0);
+  QueryGraph too_big({0, 0, 0}, {{0, 1, 0}, {1, 2, 0}});
+  EXPECT_EQ(count_all_matches(too_big, g), 0u);
+  QueryGraph empty({}, {});
+  EXPECT_EQ(count_all_matches(empty, g), 0u);
+}
+
+TEST(Oracle, DeadlineAborts) {
+  util::Rng rng(9);
+  // Dense single-label graph: combinatorial explosion guaranteed.
+  const DataGraph g = graph::generate_erdos_renyi(64, 1200, 1, 1, rng);
+  const auto q = graph::extract_query(g, 8, rng);
+  ASSERT_TRUE(q.has_value());
+  MatchSink sink;
+  sink.deadline = util::Clock::now() - std::chrono::seconds(1);
+  enumerate_all_matches(*q, g, sink);
+  EXPECT_TRUE(sink.timed_out());
+}
+
+TEST(Oracle, MatchCallbackReceivesValidMappings) {
+  DataGraph g;
+  for (int i = 0; i < 3; ++i) g.add_vertex(0);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  QueryGraph path({0, 0}, {{0, 1, 0}});
+  MatchSink sink;
+  std::size_t calls = 0;
+  sink.on_match = [&](std::span<const Assignment> mapping) {
+    ++calls;
+    ASSERT_EQ(mapping.size(), 2u);
+    EXPECT_TRUE(g.has_edge(mapping[0].dv, mapping[1].dv));
+  };
+  enumerate_all_matches(path, g, sink);
+  EXPECT_EQ(calls, 4u);  // two edges x two orientations
+  EXPECT_EQ(sink.matches, 4u);
+}
+
+TEST(MatchSink, MergeAccumulates) {
+  MatchSink a, b;
+  a.matches = 3;
+  a.nodes = 10;
+  b.matches = 4;
+  b.nodes = 20;
+  b.mark_timed_out();
+  a.merge(b);
+  EXPECT_EQ(a.matches, 7u);
+  EXPECT_EQ(a.nodes, 30u);
+  EXPECT_TRUE(a.timed_out());
+}
+
+TEST(MatchSink, TickHonorsDeadline) {
+  MatchSink sink;
+  sink.deadline = util::Clock::now() - std::chrono::milliseconds(1);
+  bool aborted = false;
+  for (int i = 0; i < 5000; ++i) {
+    if (!sink.tick()) {
+      aborted = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(aborted);
+  EXPECT_TRUE(sink.timed_out());
+}
+
+}  // namespace
+}  // namespace paracosm::csm

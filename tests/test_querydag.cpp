@@ -1,0 +1,72 @@
+// Structural tests for the query DAG orientation used by the candidate
+// indexes (BFS levels, arc slots, tree-vs-full arc counts).
+#include <gtest/gtest.h>
+
+#include "csm/candidate_index.hpp"
+#include "graph/generators.hpp"
+#include "tests/test_support.hpp"
+
+namespace paracosm::csm {
+namespace {
+
+using graph::QueryGraph;
+
+TEST(QueryDag, TreeKeepsExactlyNMinusOneArcs) {
+  QueryGraph q({0, 1, 2, 0, 1},
+               {{0, 1, 0}, {1, 2, 0}, {2, 3, 0}, {3, 4, 0}, {0, 4, 0}, {1, 3, 0}});
+  const QueryDag tree = QueryDag::build(q, /*spanning_tree_only=*/true);
+  const QueryDag full = QueryDag::build(q, /*spanning_tree_only=*/false);
+  std::size_t tree_arcs = 0, full_arcs = 0;
+  for (const auto& kids : tree.children) tree_arcs += kids.size();
+  for (const auto& kids : full.children) full_arcs += kids.size();
+  EXPECT_EQ(tree_arcs, q.num_vertices() - 1);
+  EXPECT_EQ(full_arcs, q.num_edges());
+}
+
+TEST(QueryDag, RootHasMaxDegree) {
+  QueryGraph q({0, 1, 2, 0}, {{0, 1, 0}, {1, 2, 0}, {1, 3, 0}});
+  const QueryDag dag = QueryDag::build(q, false);
+  EXPECT_EQ(dag.root, 1u);  // degree 3
+  EXPECT_TRUE(dag.parents[dag.root].empty());
+}
+
+TEST(QueryDag, SlotsAreConsistentInverseIndices) {
+  testing::SmallWorkload wl = testing::make_workload(17, 24, 60, 2, 1, 6);
+  for (const bool tree : {true, false}) {
+    const QueryDag dag = QueryDag::build(wl.query, tree);
+    for (graph::VertexId u = 0; u < wl.query.num_vertices(); ++u) {
+      for (std::size_t ci = 0; ci < dag.children[u].size(); ++ci) {
+        const auto& arc = dag.children[u][ci];
+        // children[u][ci].slot indexes u inside parents[arc.other].
+        ASSERT_LT(arc.slot, dag.parents[arc.other].size());
+        EXPECT_EQ(dag.parents[arc.other][arc.slot].other, u);
+        // ...and the reverse arc's slot points back at ci.
+        EXPECT_EQ(dag.parents[arc.other][arc.slot].slot, ci);
+      }
+    }
+  }
+}
+
+TEST(QueryDag, TopoRespectsArcDirections) {
+  testing::SmallWorkload wl = testing::make_workload(18, 24, 60, 2, 1, 6);
+  const QueryDag dag = QueryDag::build(wl.query, false);
+  std::vector<std::uint32_t> position(wl.query.num_vertices());
+  for (std::uint32_t i = 0; i < dag.topo.size(); ++i) position[dag.topo[i]] = i;
+  for (graph::VertexId u = 0; u < wl.query.num_vertices(); ++u)
+    for (const auto& arc : dag.children[u])
+      EXPECT_LT(position[u], position[arc.other]);
+}
+
+TEST(QueryDag, EveryNonRootVertexHasAParent) {
+  testing::SmallWorkload wl = testing::make_workload(19, 24, 60, 2, 1, 5);
+  for (const bool tree : {true, false}) {
+    const QueryDag dag = QueryDag::build(wl.query, tree);
+    for (graph::VertexId u = 0; u < wl.query.num_vertices(); ++u) {
+      if (u == dag.root) continue;
+      EXPECT_FALSE(dag.parents[u].empty()) << "vertex " << u;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paracosm::csm

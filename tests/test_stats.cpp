@@ -1,0 +1,86 @@
+// Tests for the graph statistics module on hand-built and generated graphs.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace paracosm::graph {
+namespace {
+
+DataGraph square_with_diagonal() {
+  DataGraph g;
+  for (const Label l : {0u, 0u, 1u, 1u}) g.add_vertex(l);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(2, 3, 0);
+  g.add_edge(3, 0, 0);
+  g.add_edge(0, 2, 0);  // diagonal
+  return g;
+}
+
+TEST(GraphStats, DegreeStatsOnKnownGraph) {
+  const DataGraph g = square_with_diagonal();
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min, 2u);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_GE(s.p90, s.p50);
+  EXPECT_GE(s.p99, s.p90);
+}
+
+TEST(GraphStats, LabelHistogramAndConcentration) {
+  const DataGraph g = square_with_diagonal();
+  const auto hist = label_histogram(g);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist.at(0), 2u);
+  EXPECT_EQ(hist.at(1), 2u);
+  EXPECT_DOUBLE_EQ(label_concentration(g), 0.5);  // two equal labels
+}
+
+TEST(GraphStats, ClusteringCoefficientBounds) {
+  util::Rng rng(1);
+  // Complete graph: clustering 1.
+  DataGraph complete;
+  for (int i = 0; i < 5; ++i) complete.add_vertex(0);
+  for (int i = 0; i < 5; ++i)
+    for (int j = i + 1; j < 5; ++j) complete.add_edge(i, j, 0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(complete, 50, rng), 1.0);
+  // Star graph: clustering 0.
+  DataGraph star;
+  for (int i = 0; i < 6; ++i) star.add_vertex(0);
+  for (int i = 1; i < 6; ++i) star.add_edge(0, i, 0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(star, 50, rng), 0.0);
+}
+
+TEST(GraphStats, ConnectedComponents) {
+  DataGraph g;
+  for (int i = 0; i < 6; ++i) g.add_vertex(0);
+  g.add_edge(0, 1, 0);
+  g.add_edge(2, 3, 0);
+  EXPECT_EQ(connected_components(g), 4u);  // {0,1} {2,3} {4} {5}
+  g.add_edge(1, 2, 0);
+  EXPECT_EQ(connected_components(g), 3u);
+  g.remove_vertex(4);
+  EXPECT_EQ(connected_components(g), 2u);
+}
+
+TEST(GraphStats, StandInsAreHeavyTailedAndConnectedish) {
+  util::Rng rng(7);
+  const DataGraph g = generate_power_law(livejournal_spec(0.1), rng);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.tail_ratio(), 3.0);  // preferential attachment -> hubs
+  EXPECT_LE(connected_components(g), g.num_vertices() / 10);
+  // Skewed labels: concentration above the uniform baseline 1/|L|.
+  EXPECT_GT(label_concentration(g), 1.0 / 30.0);
+}
+
+TEST(GraphStats, DescribeIsNonEmpty) {
+  util::Rng rng(9);
+  const DataGraph g = square_with_diagonal();
+  const std::string text = describe(g, rng);
+  EXPECT_NE(text.find("|V|=4"), std::string::npos);
+  EXPECT_NE(text.find("degree:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paracosm::graph

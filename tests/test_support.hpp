@@ -1,0 +1,77 @@
+// Shared helpers for the test suite: small random workloads and the
+// oracle-diff harness every correctness test builds on.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "csm/algorithm.hpp"
+#include "csm/engine.hpp"
+#include "csm/oracle.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace paracosm::testing {
+
+using graph::DataGraph;
+using graph::GraphUpdate;
+using graph::QueryGraph;
+
+struct SmallWorkload {
+  DataGraph graph;                  // initial state (stream edges removed)
+  QueryGraph query;
+  std::vector<GraphUpdate> stream;  // insertions then deletions
+};
+
+/// Random Erdos–Renyi workload with a query extracted from the full graph
+/// (so matches are guaranteed to exist somewhere along the stream).
+inline SmallWorkload make_workload(std::uint64_t seed, std::uint32_t n = 32,
+                                   std::uint64_t m = 72, std::uint32_t vlabels = 3,
+                                   std::uint32_t elabels = 2,
+                                   std::uint32_t query_size = 4,
+                                   double insert_fraction = 0.35,
+                                   double delete_fraction = 0.5) {
+  util::Rng rng(seed);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    DataGraph g = graph::generate_erdos_renyi(n, m, vlabels, elabels, rng);
+    auto q = graph::extract_query(g, query_size, rng);
+    if (!q) continue;
+    auto stream = graph::make_mixed_stream(g, insert_fraction, delete_fraction, rng);
+    if (insert_fraction > 0.0 && stream.empty()) continue;
+    return SmallWorkload{std::move(g), std::move(*q), std::move(stream)};
+  }
+  ADD_FAILURE() << "could not build a workload for seed " << seed;
+  return {};
+}
+
+/// Drive `alg` through the stream with the sequential engine, checking every
+/// ΔM against the brute-force recompute oracle. Returns total |ΔM|.
+inline std::uint64_t check_against_oracle(csm::CsmAlgorithm& alg, SmallWorkload wl) {
+  DataGraph mirror = wl.graph;  // oracle's copy, updated in lock-step
+  csm::SequentialEngine engine(alg, wl.query, wl.graph);
+  const bool elabels = alg.uses_edge_labels();
+  std::uint64_t total = 0;
+  std::uint64_t before = csm::count_all_matches(wl.query, mirror, elabels);
+  for (std::size_t idx = 0; idx < wl.stream.size(); ++idx) {
+    const GraphUpdate& upd = wl.stream[idx];
+    mirror.apply(upd);
+    const std::uint64_t after = csm::count_all_matches(wl.query, mirror, elabels);
+    const csm::UpdateOutcome out = engine.process(upd);
+    if (upd.op == graph::UpdateOp::kInsertEdge) {
+      EXPECT_EQ(out.positive, after - before)
+          << alg.name() << ": wrong ΔM+ at update " << idx;
+      EXPECT_EQ(out.negative, 0u);
+    } else if (upd.op == graph::UpdateOp::kRemoveEdge) {
+      EXPECT_EQ(out.negative, before - after)
+          << alg.name() << ": wrong ΔM- at update " << idx;
+      EXPECT_EQ(out.positive, 0u);
+    }
+    total += out.delta_matches();
+    before = after;
+  }
+  return total;
+}
+
+}  // namespace paracosm::testing

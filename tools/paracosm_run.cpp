@@ -1,0 +1,122 @@
+// paracosm_run — file-driven CSM runner.
+//
+// Loads a data graph, a query graph and an update stream in the standard
+// CSM benchmark text format (see graph/graph_io.hpp), runs any of the five
+// algorithms either single-threaded or under ParaCOSM, and reports ΔM plus
+// timing/classifier statistics. This is the entry point for running the
+// framework on real datasets (e.g. the originals from the paper, which are
+// publicly downloadable but not redistributable here).
+//
+//   paracosm_run --graph data.graph --query q.graph --stream updates.stream
+//     --algorithm symbi --threads 16
+#include <cstdio>
+
+#include "csm/engine.hpp"
+#include "graph/graph_io.hpp"
+#include "paracosm/paracosm.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace paracosm;
+
+int main(int argc, char** argv) {
+  util::Cli cli("paracosm_run", "run a CSM algorithm over graph/query/stream files");
+  cli.option("graph", "", "data graph file (required)")
+      .option("query", "", "query graph file (required)")
+      .option("stream", "", "update stream file (required)")
+      .option("algorithm", "graphflow", "graphflow|turboflux|symbi|calig|newsp")
+      .option("threads", "8", "worker threads (ParaCOSM mode)")
+      .option("split-depth", "4", "inner-update SPLIT_DEPTH")
+      .option("batch", "0", "inter-update batch size (0 = threads)")
+      .option("timeout-ms", "0", "whole-stream budget, 0 = none")
+      .flag("sequential", "run the single-threaded baseline instead")
+      .flag("no-inter", "disable inter-update batching")
+      .flag("print-matches", "print every match (slow; small streams only)");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const std::string graph_path = cli.get("graph");
+  const std::string query_path = cli.get("query");
+  const std::string stream_path = cli.get("stream");
+  if (graph_path.empty() || query_path.empty() || stream_path.empty()) {
+    std::fprintf(stderr, "error: --graph, --query and --stream are required\n");
+    return 2;
+  }
+
+  auto algorithm = csm::make_algorithm(cli.get("algorithm"));
+  if (!algorithm) {
+    std::fprintf(stderr, "error: unknown algorithm '%s'\n",
+                 cli.get("algorithm").c_str());
+    return 2;
+  }
+
+  graph::DataGraph g = graph::load_data_graph_file(graph_path);
+  const graph::QueryGraph q = graph::load_query_graph_file(query_path);
+  const auto stream = graph::load_update_stream_file(stream_path);
+  std::printf("graph: %u vertices, %llu edges | query: %u vertices, %u edges | "
+              "stream: %zu updates\n",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+              q.num_vertices(), q.num_edges(), stream.size());
+
+  const auto deadline =
+      cli.get_int("timeout-ms") > 0
+          ? util::Clock::now() + std::chrono::milliseconds(cli.get_int("timeout-ms"))
+          : util::Clock::time_point{};
+
+  if (cli.get_bool("sequential")) {
+    csm::SequentialEngine eng(*algorithm, q, g);
+    util::WallTimer wall;
+    std::uint64_t pos = 0, neg = 0;
+    bool timed_out = false;
+    for (const auto& upd : stream) {
+      const auto out = eng.process(upd, deadline);
+      pos += out.positive;
+      neg += out.negative;
+      if (out.timed_out) {
+        timed_out = true;
+        break;
+      }
+    }
+    std::printf("[sequential %s] +%llu / -%llu matches in %.3f ms%s\n",
+                cli.get("algorithm").c_str(), static_cast<unsigned long long>(pos),
+                static_cast<unsigned long long>(neg), wall.elapsed_ms(),
+                timed_out ? " (TIMEOUT)" : "");
+    std::printf("breakdown: ADS update %.3f ms, Find_Matches %.3f ms\n",
+                static_cast<double>(eng.ads_update_ns()) / 1e6,
+                static_cast<double>(eng.find_matches_ns()) / 1e6);
+    return timed_out ? 1 : 0;
+  }
+
+  engine::Config config;
+  config.threads = static_cast<unsigned>(cli.get_int("threads"));
+  config.split_depth = static_cast<std::uint32_t>(cli.get_int("split-depth"));
+  config.batch_size = static_cast<unsigned>(cli.get_int("batch"));
+  config.inter_parallelism = !cli.get_bool("no-inter");
+  engine::ParaCosm pc(*algorithm, q, g, config);
+  if (cli.get_bool("print-matches")) {
+    pc.set_match_callback([](std::span<const csm::Assignment> mapping) {
+      std::printf("match:");
+      for (const auto& a : mapping) std::printf(" (u%u->v%u)", a.qv, a.dv);
+      std::printf("\n");
+    });
+  }
+
+  const engine::StreamResult r = pc.process_stream(stream, deadline);
+  std::printf("[paracosm %s x%u] +%llu / -%llu matches in %.3f ms wall%s\n",
+              cli.get("algorithm").c_str(), config.effective_threads(),
+              static_cast<unsigned long long>(r.positive),
+              static_cast<unsigned long long>(r.negative),
+              static_cast<double>(r.wall_ns) / 1e6, r.timed_out ? " (TIMEOUT)" : "");
+  std::printf("simulated multicore makespan: %.3f ms (1-thread work %.3f ms)\n",
+              static_cast<double>(r.stats.simulated_makespan_ns()) / 1e6,
+              static_cast<double>(r.stats.sequential_equivalent_ns()) / 1e6);
+  std::printf("classifier: %llu safe (label %llu / degree %llu / ads %llu), "
+              "%llu unsafe (%.3f%%), %llu batches\n",
+              static_cast<unsigned long long>(r.classifier.safe()),
+              static_cast<unsigned long long>(r.classifier.safe_label),
+              static_cast<unsigned long long>(r.classifier.safe_degree),
+              static_cast<unsigned long long>(r.classifier.safe_ads),
+              static_cast<unsigned long long>(r.classifier.unsafe_updates),
+              r.classifier.unsafe_percent(),
+              static_cast<unsigned long long>(r.batches));
+  return r.timed_out ? 1 : 0;
+}

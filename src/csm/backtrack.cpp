@@ -27,15 +27,19 @@ void BacktrackBase::seeds(const GraphUpdate& upd, std::vector<SearchTask>& out) 
 
 void BacktrackBase::expand(const SearchTask& task, MatchSink& sink,
                            SplitHook* hook) const {
-  Scratch s;
-  s.map.assign(query_->num_vertices(), graph::kInvalidVertex);
-  s.assigned = task.assigned;
-  for (const Assignment& a : task.assigned) s.map[a.qv] = a.dv;
+  // Pooled per-worker scratch: no allocation in steady state (scratch.hpp).
+  SearchScratch& s = worker_scratch();
+  s.prepare(query_->num_vertices(), graph_->vertex_capacity());
+  for (const Assignment& a : task.assigned) {
+    s.map[a.qv] = a.dv;
+    s.assigned.push_back(a);
+    s.mark_used(a.dv);
+  }
   const auto& order = orders_.order_for(task.assigned[0].qv, task.assigned[1].qv);
   expand_depth(order, s, sink, hook);
 }
 
-void BacktrackBase::expand_depth(const std::vector<VertexId>& order, Scratch& s,
+void BacktrackBase::expand_depth(const std::vector<VertexId>& order, SearchScratch& s,
                                  MatchSink& sink, SplitHook* hook) const {
   if (!sink.tick()) return;
   const auto depth = static_cast<std::uint32_t>(s.assigned.size());
@@ -65,27 +69,25 @@ void BacktrackBase::expand_depth(const std::vector<VertexId>& order, Scratch& s,
   const bool elabels = uses_edge_labels();
 
   const bool offload = hook != nullptr && hook->want_offload(depth);
-  for (const auto& nb : g.neighbors(s.map[pivot])) {
+  // Candidates come from the pivot image's label segment only — the
+  // label(w) == label(u) filter is implicit in the layout.
+  for (const auto& nb : g.neighbors_with_label(s.map[pivot], q.label(u))) {
     if (!sink.tick()) return;
     const VertexId w = nb.v;
     if (elabels && nb.elabel != pivot_elabel) continue;
-    if (g.label(w) != q.label(u)) continue;
     if (g.degree(w) < q.degree(u)) continue;
-    bool used = false;
-    for (const Assignment& a : s.assigned)
-      if (a.dv == w) {
-        used = true;
-        break;
-      }
-    if (used) continue;
+    if (s.is_used(w)) continue;
     if (!candidate_ok(u, w)) continue;
-    // Every other matched query neighbor must be adjacent with the right label.
+    // Every other matched query neighbor must be adjacent with the right
+    // label; edge_label gallops within w's matching label segment.
     bool consistent = true;
     for (const auto& qnb : q.neighbors(u)) {
       if (qnb.v == pivot) continue;
       const VertexId dv = s.map[qnb.v];
       if (dv == graph::kInvalidVertex) continue;
-      const auto el = g.edge_label(w, dv);
+      // dv's label is pinned by its query image, so the hinted lookup skips
+      // the vertices_[dv] load.
+      const auto el = g.edge_label(w, dv, q.label(qnb.v));
       if (!el || (elabels && *el != qnb.elabel)) {
         consistent = false;
         break;
@@ -100,7 +102,9 @@ void BacktrackBase::expand_depth(const std::vector<VertexId>& order, Scratch& s,
     } else {
       s.assigned.push_back({u, w});
       s.map[u] = w;
+      s.mark_used(w);
       expand_depth(order, s, sink, hook);
+      s.clear_used(w);
       s.map[u] = graph::kInvalidVertex;
       s.assigned.pop_back();
       if (sink.timed_out()) return;

@@ -11,6 +11,7 @@
 
 #include "csm/algorithm.hpp"
 #include "csm/order.hpp"
+#include "csm/scratch.hpp"
 
 namespace paracosm::csm {
 
@@ -36,14 +37,8 @@ class BacktrackBase : public CsmAlgorithm {
   OrderTable orders_;
 
  private:
-  struct Scratch {
-    std::vector<VertexId> map;           // query vertex -> data vertex
-    std::vector<Assignment> assigned;    // assignment order
-    std::vector<VertexId> candidates;    // per-depth scratch reused across calls
-  };
-
-  void expand_depth(const std::vector<VertexId>& order, Scratch& s, MatchSink& sink,
-                    SplitHook* hook) const;
+  void expand_depth(const std::vector<VertexId>& order, SearchScratch& s,
+                    MatchSink& sink, SplitHook* hook) const;
 };
 
 }  // namespace paracosm::csm

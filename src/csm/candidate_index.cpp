@@ -179,7 +179,10 @@ void DagCandidateIndex::build(const QueryGraph& q, const DataGraph& g,
       const std::size_t p = dag_.parents[c].size();
       for (VertexId v = 0; v < cap_; ++v) {
         if (!anc_[u][v]) continue;
-        for (const auto& nb : g.neighbors(v)) {
+        // Counters are only ever read for entries passing stat(c, ·), i.e.
+        // data vertices labeled q.label(c) — count only that label segment.
+        // Maintenance (direct_deltas/drain) applies the same restriction.
+        for (const auto& nb : g.neighbors_with_label(v, q.label(c))) {
           if (use_elabels_ && nb.elabel != arc.elabel) continue;
           ++cnt_anc_[c][static_cast<std::size_t>(nb.v) * p + arc.slot];
         }
@@ -195,7 +198,7 @@ void DagCandidateIndex::build(const QueryGraph& q, const DataGraph& g,
       const std::size_t c = dag_.children[p].size();
       for (VertexId v = 0; v < cap_; ++v) {
         if (!desc_[u][v]) continue;
-        for (const auto& nb : g.neighbors(v)) {
+        for (const auto& nb : g.neighbors_with_label(v, q.label(p))) {
           if (use_elabels_ && nb.elabel != arc.elabel) continue;
           ++cnt_desc_[p][static_cast<std::size_t>(nb.v) * c + arc.slot];
         }
@@ -234,19 +237,21 @@ void DagCandidateIndex::direct_deltas(VertexId a, VertexId b, Label elabel,
                                       std::int32_t sign) {
   // Contribution of data edge (a,b): for each query arc (u -> c) compatible
   // with the edge label, a supports b upward (anc) and b supports a downward
-  // (desc), weighted by the *current* flag values.
+  // (desc), weighted by the *current* flag values. Counters are maintained
+  // only for label-matching owners, mirroring the segment-restricted build.
   for (VertexId u = 0; u < q_->num_vertices(); ++u) {
     const auto& kids = dag_.children[u];
+    const bool a_owns_u = g_->label(a) == q_->label(u);
     for (std::size_t ci = 0; ci < kids.size(); ++ci) {
       const auto& arc = kids[ci];
       if (use_elabels_ && arc.elabel != elabel) continue;
       const VertexId c = arc.other;
-      if (anc_[u][a]) {
+      if (anc_[u][a] && g_->label(b) == q_->label(c)) {
         auto& cnt =
             cnt_anc_[c][static_cast<std::size_t>(b) * dag_.parents[c].size() + arc.slot];
         cnt = static_cast<std::uint32_t>(static_cast<std::int64_t>(cnt) + sign);
       }
-      if (desc_[c][b]) {
+      if (desc_[c][b] && a_owns_u) {
         auto& cnt =
             cnt_desc_[u][static_cast<std::size_t>(a) * kids.size() + ci];
         cnt = static_cast<std::uint32_t>(static_cast<std::int64_t>(cnt) + sign);
@@ -280,7 +285,7 @@ void DagCandidateIndex::drain(std::vector<Flip>& queue) {
       for (const auto& arc : dag_.children[f.u]) {
         const VertexId c = arc.other;
         const std::size_t p = dag_.parents[c].size();
-        for (const auto& nb : g_->neighbors(f.v)) {
+        for (const auto& nb : g_->neighbors_with_label(f.v, q_->label(c))) {
           if (use_elabels_ && nb.elabel != arc.elabel) continue;
           auto& cnt = cnt_anc_[c][static_cast<std::size_t>(nb.v) * p + arc.slot];
           cnt += f.on ? 1u : ~0u;  // unsigned -1
@@ -295,7 +300,7 @@ void DagCandidateIndex::drain(std::vector<Flip>& queue) {
       for (const auto& arc : dag_.parents[f.u]) {
         const VertexId p = arc.other;
         const std::size_t c = dag_.children[p].size();
-        for (const auto& nb : g_->neighbors(f.v)) {
+        for (const auto& nb : g_->neighbors_with_label(f.v, q_->label(p))) {
           if (use_elabels_ && nb.elabel != arc.elabel) continue;
           auto& cnt = cnt_desc_[p][static_cast<std::size_t>(nb.v) * c + arc.slot];
           cnt += f.on ? 1u : ~0u;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "graph/data_graph.hpp"
+#include "graph/nlf_signature.hpp"
 #include "graph/query_graph.hpp"
 
 namespace paracosm::csm {
@@ -18,11 +19,16 @@ namespace paracosm::csm {
                                             bool pending_insert) {
   const std::uint32_t degree = g.degree(dv) + (pending_insert ? 1 : 0);
   if (degree < q.degree(qu)) return false;
-  for (const auto& nb : q.neighbors(qu)) {
-    const graph::Label l = q.label(nb.v);
+  // Packed-signature containment pre-reject (certain reject, no false
+  // negatives — nlf_signature.hpp), then the exact per-label check over the
+  // query vertex's distinct neighbor labels.
+  graph::NlfSig have_sig = g.nlf_signature(dv);
+  if (pending_insert) have_sig = graph::nlf_sig_add(have_sig, g.label(other));
+  if (!graph::nlf_sig_covers(have_sig, q.nlf_signature(qu))) return false;
+  for (const auto& [l, need] : q.nlf_items(qu)) {
     std::uint32_t have = g.nlf(dv, l);
     if (pending_insert && g.label(other) == l) ++have;
-    if (have < q.nlf(qu, l)) return false;
+    if (have < need) return false;
   }
   return true;
 }

@@ -4,11 +4,16 @@ namespace paracosm::csm {
 
 bool NewSP::nlf_dominates(VertexId u, VertexId v, bool count_extra,
                           Label extra_label) const {
-  for (const auto& nb : query_->neighbors(u)) {
-    const Label l = query_->label(nb.v);
+  // One-instruction signature containment first: a certain reject for most
+  // non-matching vertices (nlf_signature.hpp). nlf_sig_add mirrors the
+  // pending-edge adjustment exactly because lanes saturate monotonically.
+  graph::NlfSig have_sig = graph_->nlf_signature(v);
+  if (count_extra) have_sig = graph::nlf_sig_add(have_sig, extra_label);
+  if (!graph::nlf_sig_covers(have_sig, query_->nlf_signature(u))) return false;
+  for (const auto& [l, need] : query_->nlf_items(u)) {
     std::uint32_t have = graph_->nlf(v, l);
     if (count_extra && l == extra_label) ++have;
-    if (have < query_->nlf(u, l)) return false;
+    if (have < need) return false;
   }
   return true;
 }
@@ -49,14 +54,17 @@ void NewSP::seeds(const GraphUpdate& upd, std::vector<SearchTask>& out) const {
 }
 
 void NewSP::expand(const SearchTask& task, MatchSink& sink, SplitHook* hook) const {
-  Scratch s;
-  s.map.assign(query_->num_vertices(), graph::kInvalidVertex);
-  s.assigned = task.assigned;
-  for (const Assignment& a : task.assigned) s.map[a.qv] = a.dv;
+  SearchScratch& s = worker_scratch();
+  s.prepare(query_->num_vertices(), graph_->vertex_capacity());
+  for (const Assignment& a : task.assigned) {
+    s.map[a.qv] = a.dv;
+    s.assigned.push_back(a);
+    s.mark_used(a.dv);
+  }
   expand_step(s, sink, hook);
 }
 
-void NewSP::expand_step(Scratch& s, MatchSink& sink, SplitHook* hook) const {
+void NewSP::expand_step(SearchScratch& s, MatchSink& sink, SplitHook* hook) const {
   if (!sink.tick()) return;
   const QueryGraph& q = *query_;
   const DataGraph& g = *graph_;
@@ -96,25 +104,18 @@ void NewSP::expand_step(Scratch& s, MatchSink& sink, SplitHook* hook) const {
   const Label pivot_elabel = *q.edge_label(next, next_pivot);
   const bool offload = hook != nullptr && hook->want_offload(
                                               static_cast<std::uint32_t>(s.assigned.size()));
-  for (const auto& nb : g.neighbors(s.map[next_pivot])) {
+  for (const auto& nb : g.neighbors_with_label(s.map[next_pivot], q.label(next))) {
     if (!sink.tick()) return;
     const VertexId w = nb.v;
     if (nb.elabel != pivot_elabel) continue;
-    if (g.label(w) != q.label(next)) continue;
     if (g.degree(w) < q.degree(next)) continue;
-    bool used = false;
-    for (const Assignment& a : s.assigned)
-      if (a.dv == w) {
-        used = true;
-        break;
-      }
-    if (used) continue;
+    if (s.is_used(w)) continue;
     bool consistent = true;
     for (const auto& qnb : q.neighbors(next)) {
       if (qnb.v == next_pivot) continue;
       const VertexId dv = s.map[qnb.v];
       if (dv == graph::kInvalidVertex) continue;
-      const auto el = g.edge_label(w, dv);
+      const auto el = g.edge_label(w, dv, q.label(qnb.v));
       if (!el || *el != qnb.elabel) {
         consistent = false;
         break;
@@ -129,7 +130,9 @@ void NewSP::expand_step(Scratch& s, MatchSink& sink, SplitHook* hook) const {
     } else {
       s.assigned.push_back({next, w});
       s.map[next] = w;
+      s.mark_used(w);
       expand_step(s, sink, hook);
+      s.clear_used(w);
       s.map[next] = graph::kInvalidVertex;
       s.assigned.pop_back();
       if (sink.timed_out()) return;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "csm/algorithm.hpp"
+#include "csm/scratch.hpp"
 
 namespace paracosm::csm {
 
@@ -29,18 +30,13 @@ class NewSP final : public CsmAlgorithm {
   void expand(const SearchTask& task, MatchSink& sink, SplitHook* hook) const override;
 
  private:
-  struct Scratch {
-    std::vector<VertexId> map;
-    std::vector<Assignment> assigned;
-  };
-
   /// NLF containment of data vertex v over query vertex u, with the pending
   /// edge to `extra_label` counted when extra_valid (classifier runs before
-  /// the update is applied).
+  /// the update is applied). Signature pre-reject, then exact per-label check.
   [[nodiscard]] bool nlf_dominates(VertexId u, VertexId v, bool count_extra,
                                    Label extra_label) const;
 
-  void expand_step(Scratch& s, MatchSink& sink, SplitHook* hook) const;
+  void expand_step(SearchScratch& s, MatchSink& sink, SplitHook* hook) const;
 };
 
 }  // namespace paracosm::csm

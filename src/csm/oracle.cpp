@@ -24,7 +24,7 @@ std::vector<VertexId> vertex_rooted_order(const QueryGraph& q, const DataGraph& 
   VertexId root = 0;
   std::uint64_t best = ~0ULL;
   for (VertexId u = 0; u < n; ++u) {
-    const std::uint64_t freq = g.vertices_with_label(q.label(u)).size();
+    const std::uint64_t freq = g.count_vertices_with_label(q.label(u));
     if (freq < best || (freq == best && q.degree(u) > q.degree(root))) {
       best = freq;
       root = u;
@@ -95,7 +95,7 @@ void recurse(OracleState& s, MatchSink& sink) {
       if (sink.timed_out()) return;
     }
   } else {
-    for (const VertexId w : s.g->vertices_with_label(s.q->label(u))) {
+    for (const VertexId w : s.g->label_view(s.q->label(u))) {
       try_vertex(w);
       if (sink.timed_out()) return;
     }

@@ -1,0 +1,10 @@
+#include "csm/scratch.hpp"
+
+namespace paracosm::csm {
+
+SearchScratch& worker_scratch() {
+  thread_local SearchScratch scratch;
+  return scratch;
+}
+
+}  // namespace paracosm::csm

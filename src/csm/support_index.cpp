@@ -55,15 +55,17 @@ void SupportIndex::build(const QueryGraph& q, const DataGraph& g) {
     cnt1_[u].assign(static_cast<std::size_t>(cap_) * d, 0);
     cnt2_[u].assign(static_cast<std::size_t>(cap_) * d, 0);
   }
-  // cnt1 from stat, then l1; cnt2 from l1, then l2.
+  // cnt1 from stat, then l1; cnt2 from l1, then l2. stat is label-only over
+  // alive adjacency, so cnt1[i] is exactly the NLF entry for the query
+  // neighbor's label, and the cnt2 scan needs only that label segment
+  // (l1 implies stat implies the label matches).
   for (VertexId u = 0; u < n; ++u) {
     const auto nbrs = q.neighbors(u);
     for (VertexId v = 0; v < cap_; ++v) {
       if (!g.has_vertex(v)) continue;
       std::uint32_t* cnt = cnt1_[u].data() + static_cast<std::size_t>(v) * nbrs.size();
       for (std::size_t i = 0; i < nbrs.size(); ++i)
-        for (const auto& w : g.neighbors(v))
-          if (stat(nbrs[i].v, w.v)) ++cnt[i];
+        cnt[i] = g.nlf(v, q.label(nbrs[i].v));
     }
     for (VertexId v = 0; v < cap_; ++v) l1_[u][v] = eval_l1(u, v) ? 1 : 0;
   }
@@ -73,7 +75,7 @@ void SupportIndex::build(const QueryGraph& q, const DataGraph& g) {
       if (!g.has_vertex(v)) continue;
       std::uint32_t* cnt = cnt2_[u].data() + static_cast<std::size_t>(v) * nbrs.size();
       for (std::size_t i = 0; i < nbrs.size(); ++i)
-        for (const auto& w : g.neighbors(v))
+        for (const auto& w : g.neighbors_with_label(v, q.label(nbrs[i].v)))
           if (l1_[nbrs[i].v][w.v]) ++cnt[i];
     }
     for (VertexId v = 0; v < cap_; ++v) l2_[u][v] = eval_l2(u, v) ? 1 : 0;

@@ -1,0 +1,59 @@
+// Packed neighbor-label-frequency (NLF) signatures.
+//
+// An NlfSig summarizes a vertex's neighbor-label multiset as 16 lanes of
+// 4-bit saturating counters packed into one uint64. Labels hash onto lanes
+// with a Fibonacci multiplier, and a lane holds min(7, sum of counts of all
+// labels mapping to it) — values 8..15 are never stored, which leaves the
+// lane's top bit free as a borrow guard for the SWAR containment test below.
+//
+// Soundness: if v's exact NLF dominates u's (per label), then every lane of
+// v's signature dominates the matching lane of u's, because each lane is a
+// monotone function (capped sum) of the per-label counts. So
+// `!nlf_sig_covers(sig(v), sig(u))` is a certain reject; a passing check
+// still requires the exact per-label comparison. Hash collisions only merge
+// lanes and therefore only weaken the filter, never break it.
+#pragma once
+
+#include <cstdint>
+
+namespace paracosm::graph {
+
+using NlfSig = std::uint64_t;
+
+inline constexpr unsigned kNlfSigLanes = 16;
+inline constexpr unsigned kNlfSigLaneBits = 4;
+inline constexpr std::uint64_t kNlfSigLaneMax = 7;  // keep top bit clear
+inline constexpr std::uint64_t kNlfSigGuard = 0x8888888888888888ULL;
+
+[[nodiscard]] inline constexpr unsigned nlf_sig_lane(std::uint32_t label) noexcept {
+  return static_cast<unsigned>((label * 0x9E3779B9u) >> 28);
+}
+
+[[nodiscard]] inline constexpr std::uint64_t nlf_sig_get_lane(NlfSig sig,
+                                                              unsigned lane) noexcept {
+  return (sig >> (lane * kNlfSigLaneBits)) & 0xF;
+}
+
+/// Overwrite one lane with min(count, 7).
+[[nodiscard]] inline constexpr NlfSig nlf_sig_with_lane(NlfSig sig, unsigned lane,
+                                                        std::uint64_t count) noexcept {
+  const unsigned shift = lane * kNlfSigLaneBits;
+  const std::uint64_t capped = count < kNlfSigLaneMax ? count : kNlfSigLaneMax;
+  return (sig & ~(std::uint64_t{0xF} << shift)) | (capped << shift);
+}
+
+/// Signature after adding one more neighbor with `label` (saturating).
+[[nodiscard]] inline constexpr NlfSig nlf_sig_add(NlfSig sig, std::uint32_t label) noexcept {
+  const unsigned lane = nlf_sig_lane(label);
+  return nlf_sig_with_lane(sig, lane, nlf_sig_get_lane(sig, lane) + 1);
+}
+
+/// True iff every lane of `have` >= the matching lane of `need`.
+/// SWAR: per-lane subtraction cannot borrow across lanes because stored
+/// values are <= 7, so setting each lane's guard bit in `have` absorbs the
+/// borrow; the guard bit survives exactly when have-lane >= need-lane.
+[[nodiscard]] inline constexpr bool nlf_sig_covers(NlfSig have, NlfSig need) noexcept {
+  return (((have | kNlfSigGuard) - need) & kNlfSigGuard) == kNlfSigGuard;
+}
+
+}  // namespace paracosm::graph

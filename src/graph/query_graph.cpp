@@ -1,6 +1,7 @@
 #include "graph/query_graph.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 namespace paracosm::graph {
@@ -19,8 +20,23 @@ QueryGraph::QueryGraph(std::vector<Label> vertex_labels, std::vector<Edge> edges
     adj_[e.v].push_back({e.u, e.elabel});
   }
   for (auto& list : adj_) std::sort(list.begin(), list.end());
-  for (VertexId u = 0; u < n; ++u)
-    for (const Neighbor& nb : adj_[u]) ++nlf_[u][labels_[nb.v]];
+  sig_.assign(n, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    std::vector<Label> nbr_labels;
+    nbr_labels.reserve(adj_[u].size());
+    for (const Neighbor& nb : adj_[u]) nbr_labels.push_back(labels_[nb.v]);
+    std::sort(nbr_labels.begin(), nbr_labels.end());
+    std::array<std::uint32_t, kNlfSigLanes> lanes{};
+    for (std::size_t i = 0; i < nbr_labels.size();) {
+      std::size_t j = i;
+      while (j < nbr_labels.size() && nbr_labels[j] == nbr_labels[i]) ++j;
+      nlf_[u].emplace_back(nbr_labels[i], static_cast<std::uint32_t>(j - i));
+      lanes[nlf_sig_lane(nbr_labels[i])] += static_cast<std::uint32_t>(j - i);
+      i = j;
+    }
+    for (unsigned lane = 0; lane < kNlfSigLanes; ++lane)
+      sig_[u] = nlf_sig_with_lane(sig_[u], lane, lanes[lane]);
+  }
   for (const Edge& e : edges_) {
     triples_.insert(pack_triple(labels_[e.u], labels_[e.v], e.elabel));
     triples_.insert(pack_triple(labels_[e.v], labels_[e.u], e.elabel));
@@ -60,9 +76,13 @@ bool QueryGraph::connected() const {
 }
 
 std::uint32_t QueryGraph::nlf(VertexId u, Label l) const noexcept {
-  const auto& map = nlf_[u];
-  const auto it = map.find(l);
-  return it == map.end() ? 0 : it->second;
+  const auto& items = nlf_[u];
+  const auto it = std::lower_bound(
+      items.begin(), items.end(), l,
+      [](const std::pair<Label, std::uint32_t>& e, Label lbl) noexcept {
+        return e.first < lbl;
+      });
+  return it == items.end() || it->first != l ? 0 : it->second;
 }
 
 bool QueryGraph::label_triple_exists(Label lu, Label lv, Label le) const noexcept {

@@ -10,10 +10,11 @@
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "graph/nlf_signature.hpp"
 #include "graph/types.hpp"
 
 namespace paracosm::graph {
@@ -53,6 +54,16 @@ class QueryGraph {
   /// (the NLF signature used by degree/NLF filters).
   [[nodiscard]] std::uint32_t nlf(VertexId u, Label l) const noexcept;
 
+  /// u's full NLF as a compact (label, count) vector sorted by label — lets
+  /// filters iterate distinct labels once instead of re-counting per edge.
+  [[nodiscard]] std::span<const std::pair<Label, std::uint32_t>> nlf_items(
+      VertexId u) const noexcept {
+    return nlf_[u];
+  }
+  /// Packed 64-bit NLF signature of `u` (see nlf_signature.hpp); a data
+  /// vertex can only match `u` if its signature covers this one.
+  [[nodiscard]] NlfSig nlf_signature(VertexId u) const noexcept { return sig_[u]; }
+
   /// True iff some query edge has this (endpoint label, endpoint label, edge
   /// label) triple in either orientation — classifier stage 1.
   [[nodiscard]] bool label_triple_exists(Label lu, Label lv, Label le) const noexcept;
@@ -70,8 +81,10 @@ class QueryGraph {
   std::vector<Label> labels_;
   std::vector<std::vector<Neighbor>> adj_;
   std::vector<Edge> edges_;
-  // nlf_[u] maps vertex label -> count among u's neighbors.
-  std::vector<std::unordered_map<Label, std::uint32_t>> nlf_;
+  // nlf_[u]: (vertex label, count) among u's neighbors, sorted by label.
+  std::vector<std::vector<std::pair<Label, std::uint32_t>>> nlf_;
+  // sig_[u]: packed NLF signature of u.
+  std::vector<NlfSig> sig_;
   // Packed (lu, lv, le) triples for O(1) stage-1 classification.
   std::unordered_set<std::uint64_t> triples_;
 

@@ -12,7 +12,9 @@ using Label = std::uint32_t;
 inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
 
 /// Adjacency entry: neighbor id plus the label of the connecting edge.
-/// Kept sorted by `v` inside each adjacency list for O(log d) edge lookup.
+/// Query graphs keep lists sorted by `v` (this operator); DataGraph sorts by
+/// (neighbor's vertex label, v) with a per-vertex segment directory — see
+/// data_graph.hpp.
 struct Neighbor {
   VertexId v;
   Label elabel;

@@ -108,6 +108,9 @@ InnerRunResult InnerExecutor::run_dynamic(
     if (on_match != nullptr) sink.on_match = guarded_match;
     AdaptiveHook hook(queue, split_depth_);
     util::ThreadCpuTimer timer;
+    // expand() draws its partial-match state from this worker's thread_local
+    // SearchScratch pool (csm/scratch.hpp), so the loop below performs no
+    // per-task allocations once the pool has warmed up.
     while (auto task = queue.pop_or_finish()) {
       alg.expand(*task, sink, &hook);
       queue.retire();

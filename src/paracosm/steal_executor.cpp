@@ -112,6 +112,9 @@ InnerRunResult StealingExecutor::run(
         std::this_thread::yield();
         continue;
       }
+      // Per-worker pooled SearchScratch (csm/scratch.hpp): expansion reuses
+      // this thread's buffers across stolen tasks, allocation-free in steady
+      // state.
       alg.expand(task, sink, &hook);
       ++ws.tasks;
       ws.busy_ns += timer.elapsed_ns();

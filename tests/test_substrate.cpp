@@ -1,0 +1,320 @@
+// Property tests for the matching substrate: the label-partitioned adjacency
+// must be observationally identical to a naive reference under randomized
+// insert/remove streams, the incrementally maintained NLF (segment widths +
+// packed signature) must equal the O(d) recount after every update, label
+// buckets must stay exact under churn-driven lazy compaction, and the
+// epoch-stamped used-check must agree with the linear scan it replaced.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "csm/scratch.hpp"
+#include "graph/data_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/nlf_signature.hpp"
+#include "graph/query_graph.hpp"
+#include "util/rng.hpp"
+
+namespace paracosm::testing {
+namespace {
+
+using graph::DataGraph;
+using graph::Label;
+using graph::Neighbor;
+using graph::VertexId;
+
+/// Naive reference model: labels + alive set + edge map.
+struct RefGraph {
+  std::vector<std::optional<Label>> labels;  // nullopt = dead/absent
+  std::map<std::pair<VertexId, VertexId>, Label> edges;  // key u < v
+
+  static std::pair<VertexId, VertexId> key(VertexId u, VertexId v) {
+    return {std::min(u, v), std::max(u, v)};
+  }
+  [[nodiscard]] bool alive(VertexId v) const {
+    return v < labels.size() && labels[v].has_value();
+  }
+  [[nodiscard]] std::optional<Label> edge_label(VertexId u, VertexId v) const {
+    const auto it = edges.find(key(u, v));
+    return it == edges.end() ? std::nullopt : std::optional<Label>(it->second);
+  }
+};
+
+void check_vertex_invariants(const DataGraph& g, const RefGraph& ref, VertexId v) {
+  if (!ref.alive(v)) return;
+  // Reference adjacency (neighbor -> elabel) and NLF of v.
+  std::map<VertexId, Label> adj;
+  std::map<Label, std::uint32_t> nlf;
+  for (const auto& [key, el] : ref.edges) {
+    VertexId other = graph::kInvalidVertex;
+    if (key.first == v) other = key.second;
+    if (key.second == v) other = key.first;
+    if (other == graph::kInvalidVertex) continue;
+    adj[other] = el;
+    ++nlf[*ref.labels[other]];
+  }
+
+  ASSERT_EQ(g.degree(v), adj.size());
+  const auto nbrs = g.neighbors(v);
+  std::set<VertexId> seen;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const auto it = adj.find(nbrs[i].v);
+    ASSERT_NE(it, adj.end()) << "phantom neighbor";
+    EXPECT_EQ(it->second, nbrs[i].elabel);
+    EXPECT_TRUE(seen.insert(nbrs[i].v).second) << "duplicate neighbor";
+    if (i > 0) {
+      // Canonical (neighbor label, id) order.
+      const Label pl = g.label(nbrs[i - 1].v);
+      const Label cl = g.label(nbrs[i].v);
+      EXPECT_TRUE(pl < cl || (pl == cl && nbrs[i - 1].v < nbrs[i].v))
+          << "adjacency not sorted by (label, id)";
+    }
+  }
+
+  // NLF: cache == recount == reference, over present AND absent labels.
+  std::array<std::uint32_t, graph::kNlfSigLanes> lanes{};
+  for (Label l = 0; l < 12; ++l) {
+    const auto it = nlf.find(l);
+    const std::uint32_t want = it == nlf.end() ? 0 : it->second;
+    EXPECT_EQ(g.nlf(v, l), want);
+    EXPECT_EQ(g.nlf_recount(v, l), want);
+    const auto seg = g.neighbors_with_label(v, l);
+    EXPECT_EQ(seg.size(), want);
+    for (const auto& nb : seg) EXPECT_EQ(g.label(nb.v), l);
+    lanes[graph::nlf_sig_lane(l)] += want;
+  }
+  // Signature must equal the one rebuilt from exact lane totals.
+  graph::NlfSig want_sig = 0;
+  for (unsigned lane = 0; lane < graph::kNlfSigLanes; ++lane)
+    want_sig = graph::nlf_sig_with_lane(want_sig, lane, lanes[lane]);
+  EXPECT_EQ(g.nlf_signature(v), want_sig);
+}
+
+void check_graph_matches_reference(const DataGraph& g, const RefGraph& ref,
+                                   util::Rng& rng) {
+  ASSERT_EQ(g.num_edges(), ref.edges.size());
+  std::uint32_t alive = 0;
+  for (VertexId v = 0; v < ref.labels.size(); ++v)
+    if (ref.alive(v)) ++alive;
+  ASSERT_EQ(g.num_vertices(), alive);
+
+  // Every reference edge is present with the right label; random pairs agree.
+  for (const auto& [key, el] : ref.edges) {
+    ASSERT_EQ(g.edge_label(key.first, key.second), std::optional<Label>(el));
+    ASSERT_EQ(g.edge_label(key.second, key.first), std::optional<Label>(el));
+  }
+  const std::uint32_t cap = g.vertex_capacity();
+  for (int i = 0; i < 64; ++i) {
+    const auto u = static_cast<VertexId>(rng.bounded(cap + 2));
+    const auto v = static_cast<VertexId>(rng.bounded(cap + 2));
+    EXPECT_EQ(g.edge_label(u, v), ref.edge_label(u, v));
+    EXPECT_EQ(g.has_edge(u, v), ref.edge_label(u, v).has_value());
+  }
+
+  // Label buckets: view, materialized list, and O(1) count are exact.
+  for (Label l = 0; l < 12; ++l) {
+    std::set<VertexId> want;
+    for (VertexId v = 0; v < ref.labels.size(); ++v)
+      if (ref.alive(v) && *ref.labels[v] == l) want.insert(v);
+    EXPECT_EQ(g.count_vertices_with_label(l), want.size());
+    std::set<VertexId> via_view;
+    for (const VertexId v : g.label_view(l))
+      EXPECT_TRUE(via_view.insert(v).second) << "duplicate in label view";
+    EXPECT_EQ(via_view, want);
+    const auto materialized = g.vertices_with_label(l);
+    EXPECT_EQ(std::set<VertexId>(materialized.begin(), materialized.end()), want);
+  }
+}
+
+TEST(Substrate, AdjacencyMatchesReferenceUnderRandomStreams) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    util::Rng rng(seed);
+    DataGraph g;
+    RefGraph ref;
+    const std::uint32_t max_v = 48;
+    for (int step = 0; step < 1500; ++step) {
+      const auto u = static_cast<VertexId>(rng.bounded(max_v));
+      const auto v = static_cast<VertexId>(rng.bounded(max_v));
+      const auto l = static_cast<Label>(rng.bounded(10));
+      const double dice = rng.uniform();
+      if (dice < 0.25) {  // insert vertex
+        g.add_vertex_with_id(u, l);
+        if (u >= ref.labels.size()) ref.labels.resize(u + 1);
+        if (!ref.labels[u].has_value()) {
+          ref.labels[u] = l;
+        } else if (*ref.labels[u] != l) {
+          ref.labels[u] = l;  // relabel (edges keep their labels)
+        }
+      } else if (dice < 0.60) {  // insert edge
+        const bool ok = g.add_edge(u, v, l);
+        const bool expect_ok = u != v && ref.alive(u) && ref.alive(v) &&
+                               !ref.edge_label(u, v).has_value();
+        EXPECT_EQ(ok, expect_ok);
+        if (ok) ref.edges[RefGraph::key(u, v)] = l;
+      } else if (dice < 0.85) {  // remove edge
+        const auto got = g.remove_edge(u, v);
+        EXPECT_EQ(got, ref.edge_label(u, v));
+        if (got) ref.edges.erase(RefGraph::key(u, v));
+      } else {  // remove vertex
+        const std::size_t removed = g.remove_vertex(u);
+        if (ref.alive(u)) {
+          std::size_t want = 0;
+          for (auto it = ref.edges.begin(); it != ref.edges.end();) {
+            if (it->first.first == u || it->first.second == u) {
+              it = ref.edges.erase(it);
+              ++want;
+            } else {
+              ++it;
+            }
+          }
+          EXPECT_EQ(removed, want);
+          ref.labels[u] = std::nullopt;
+        } else {
+          EXPECT_EQ(removed, 0u);
+        }
+      }
+      if (step % 50 == 0) check_graph_matches_reference(g, ref, rng);
+      // NLF/adjacency invariants at the touched vertices after every step.
+      check_vertex_invariants(g, ref, u);
+      check_vertex_invariants(g, ref, v);
+    }
+    check_graph_matches_reference(g, ref, rng);
+    for (VertexId v = 0; v < g.vertex_capacity(); ++v)
+      check_vertex_invariants(g, ref, v);
+  }
+}
+
+TEST(Substrate, CachedNlfEqualsRecountOnGeneratedGraphs) {
+  util::Rng rng(7);
+  DataGraph g = graph::generate_erdos_renyi(512, 4096, 9, 3, rng);
+  // Churn some edges, checking endpoint NLF cache == recount after each op.
+  for (int step = 0; step < 2000; ++step) {
+    const auto u = static_cast<VertexId>(rng.bounded(512));
+    const auto v = static_cast<VertexId>(rng.bounded(512));
+    if (rng.chance(0.5))
+      g.add_edge(u, v, static_cast<Label>(rng.bounded(3)));
+    else
+      g.remove_edge(u, v);
+    for (Label l = 0; l < 9; ++l) {
+      ASSERT_EQ(g.nlf(u, l), g.nlf_recount(u, l));
+      ASSERT_EQ(g.nlf(v, l), g.nlf_recount(v, l));
+    }
+  }
+}
+
+TEST(Substrate, SignatureContainmentIsSound) {
+  // If the exact NLF of data vertex v dominates query vertex u's NLF, the
+  // packed signatures must also report containment (no false rejects).
+  util::Rng rng(11);
+  DataGraph g = graph::generate_erdos_renyi(256, 2048, 6, 2, rng);
+  for (int i = 0; i < 200; ++i) {
+    const auto q = graph::extract_query(g, 2 + rng.bounded(4), rng);
+    if (!q) continue;
+    for (VertexId u = 0; u < q->num_vertices(); ++u) {
+      for (int probe = 0; probe < 32; ++probe) {
+        const auto v = static_cast<VertexId>(rng.bounded(256));
+        bool dominates = true;
+        for (const auto& [l, need] : q->nlf_items(u))
+          if (g.nlf(v, l) < need) dominates = false;
+        if (dominates) {
+          EXPECT_TRUE(graph::nlf_sig_covers(g.nlf_signature(v), q->nlf_signature(u)));
+        }
+      }
+    }
+  }
+}
+
+TEST(Substrate, LabelBucketsCompactUnderChurn) {
+  // Heavy add/remove cycles on one label: counts and views must stay exact
+  // and the bucket must not grow without bound (dead fraction is capped).
+  util::Rng rng(13);
+  DataGraph g;
+  std::set<VertexId> alive;
+  for (int step = 0; step < 5000; ++step) {
+    const auto v = static_cast<VertexId>(rng.bounded(64));
+    if (rng.chance(0.5)) {
+      g.add_vertex_with_id(v, 1);
+      alive.insert(v);
+    } else {
+      g.remove_vertex(v);
+      alive.erase(v);
+    }
+    ASSERT_EQ(g.count_vertices_with_label(1), alive.size());
+  }
+  std::set<VertexId> got;
+  for (const VertexId v : g.label_view(1)) got.insert(v);
+  EXPECT_EQ(got, alive);
+}
+
+TEST(Substrate, EpochUsedCheckMatchesLinearScan) {
+  util::Rng rng(17);
+  csm::SearchScratch s;
+  for (int task = 0; task < 300; ++task) {
+    const std::uint32_t cap = 64 + static_cast<std::uint32_t>(rng.bounded(64));
+    s.prepare(8, cap);
+    std::vector<csm::Assignment> assigned;
+    // Random injective partial match with interleaved probes and backtracks.
+    for (int op = 0; op < 40; ++op) {
+      const double dice = rng.uniform();
+      if (dice < 0.4 && assigned.size() < 8) {
+        const auto dv = static_cast<VertexId>(rng.bounded(cap));
+        bool dup = false;
+        for (const auto& a : assigned) dup = dup || a.dv == dv;
+        if (!dup) {
+          assigned.push_back({static_cast<VertexId>(assigned.size()), dv});
+          s.mark_used(dv);
+        }
+      } else if (dice < 0.6 && !assigned.empty()) {
+        s.clear_used(assigned.back().dv);
+        assigned.pop_back();
+      } else {
+        const auto w = static_cast<VertexId>(rng.bounded(cap));
+        bool linear = false;
+        for (const auto& a : assigned) linear = linear || a.dv == w;
+        ASSERT_EQ(s.is_used(w), linear);
+      }
+    }
+  }
+}
+
+TEST(Substrate, EpochUsedSurvivesManyPrepares) {
+  // Stale marks from earlier tasks must never leak into a fresh task.
+  csm::SearchScratch s;
+  for (int task = 0; task < 10000; ++task) {
+    s.prepare(4, 32);
+    ASSERT_FALSE(s.is_used(task % 32));
+    s.mark_used(task % 32);
+    ASSERT_TRUE(s.is_used(task % 32));
+  }
+}
+
+TEST(Substrate, SameStructureAgreesAcrossInsertionOrders) {
+  // The canonical (label, id) adjacency order must make structural equality
+  // insensitive to the order edges were inserted in.
+  util::Rng rng(19);
+  DataGraph a;
+  DataGraph b;
+  for (int i = 0; i < 32; ++i) {
+    const auto l = static_cast<Label>(rng.bounded(5));
+    a.add_vertex(l);
+    b.add_vertex(l);
+  }
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i < 100; ++i) {
+    const auto u = static_cast<VertexId>(rng.bounded(32));
+    const auto v = static_cast<VertexId>(rng.bounded(32));
+    const auto l = static_cast<Label>(rng.bounded(3));
+    if (a.add_edge(u, v, l)) edges.push_back({u, v, l});
+  }
+  rng.shuffle(edges);
+  for (const auto& e : edges) b.add_edge(e.u, e.v, e.elabel);
+  EXPECT_TRUE(a.same_structure(b));
+  EXPECT_TRUE(b.same_structure(a));
+}
+
+}  // namespace
+}  // namespace paracosm::testing

@@ -1,0 +1,242 @@
+// bench_baseline — machine-readable substrate + end-to-end baseline numbers.
+//
+// Emits a single JSON document (default results/BENCH_baseline.json) with two
+// sections:
+//
+//   * "micro": hand-timed per-operation costs of the matching substrate —
+//     cached NLF lookup vs O(d) recount, signature containment, label-segment
+//     vs filtered adjacency iteration, epoch-stamped vs linear used-checks,
+//     and edge mutation/lookup. These are the constants the macro tables are
+//     built from.
+//   * "macro": CI-sized sequential runs of every backtracking algorithm over
+//     one generated workload, with the ADS-update / Find_Matches split.
+//
+// CI runs this once per build and archives the JSON, so substrate regressions
+// show up as artifact diffs rather than anecdotes.
+//
+//   bench_baseline --out results/BENCH_baseline.json --scale 0.25
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common/workload.hpp"
+#include "bench_common/runner.hpp"
+#include "csm/scratch.hpp"
+#include "graph/generators.hpp"
+#include "graph/nlf_signature.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace paracosm;
+
+/// ns/op for `body` repeated `iters` times (one warm-up pass first).
+template <typename F>
+double time_ns_per_op(std::uint64_t iters, F&& body) {
+  body();  // warm caches, fault pages
+  util::ThreadCpuTimer timer;
+  for (std::uint64_t i = 0; i < iters; ++i) body();
+  return static_cast<double>(timer.elapsed_ns()) / static_cast<double>(iters);
+}
+
+struct MicroResult {
+  std::string name;
+  double ns_per_op;
+};
+
+std::vector<MicroResult> run_micro(std::uint64_t iters) {
+  std::vector<MicroResult> out;
+  util::Rng gen(1);
+  // Sized past L2 so the recount pays realistic per-neighbor misses (same
+  // reasoning as bench/micro_substrates.cpp).
+  constexpr std::uint32_t kVerts = 32768;
+  graph::DataGraph g = graph::generate_erdos_renyi(kVerts, 524288, 8, 4, gen);
+
+  // Volatile-free sinks: accumulate into a checksum the compiler can't drop.
+  std::uint64_t sink = 0;
+
+  util::Rng rng(2);
+  out.push_back({"nlf_lookup_cached", time_ns_per_op(iters, [&] {
+                   sink += g.nlf(static_cast<graph::VertexId>(rng.bounded(kVerts)),
+                                 static_cast<graph::Label>(rng.bounded(8)));
+                 })});
+  rng = util::Rng(2);
+  out.push_back({"nlf_lookup_recount", time_ns_per_op(iters, [&] {
+                   sink += g.nlf_recount(
+                       static_cast<graph::VertexId>(rng.bounded(kVerts)),
+                       static_cast<graph::Label>(rng.bounded(8)));
+                 })});
+  rng = util::Rng(3);
+  out.push_back({"nlf_signature_covers", time_ns_per_op(iters, [&] {
+                   const auto a = static_cast<graph::VertexId>(rng.bounded(kVerts));
+                   const auto b = static_cast<graph::VertexId>(rng.bounded(kVerts));
+                   sink += graph::nlf_sig_covers(g.nlf_signature(a), g.nlf_signature(b))
+                               ? 1
+                               : 0;
+                 })});
+  rng = util::Rng(4);
+  out.push_back({"neighbors_label_segment", time_ns_per_op(iters, [&] {
+                   const auto v = static_cast<graph::VertexId>(rng.bounded(kVerts));
+                   const auto l = static_cast<graph::Label>(rng.bounded(8));
+                   for (const auto& nb : g.neighbors_with_label(v, l)) sink += nb.v;
+                 })});
+  rng = util::Rng(4);
+  out.push_back({"neighbors_filtered_scan", time_ns_per_op(iters, [&] {
+                   const auto v = static_cast<graph::VertexId>(rng.bounded(kVerts));
+                   const auto l = static_cast<graph::Label>(rng.bounded(8));
+                   for (const auto& nb : g.neighbors(v))
+                     if (g.label(nb.v) == l) sink += nb.v;
+                 })});
+  rng = util::Rng(5);
+  out.push_back({"edge_lookup", time_ns_per_op(iters, [&] {
+                   const auto u = static_cast<graph::VertexId>(rng.bounded(kVerts));
+                   const auto v = static_cast<graph::VertexId>(rng.bounded(kVerts));
+                   sink += g.has_edge(u, v) ? 1 : 0;
+                 })});
+  rng = util::Rng(6);
+  out.push_back({"edge_add_remove", time_ns_per_op(iters, [&] {
+                   const auto u = static_cast<graph::VertexId>(rng.bounded(kVerts));
+                   const auto v = static_cast<graph::VertexId>(rng.bounded(kVerts));
+                   if (g.add_edge(u, v, 0)) sink += g.remove_edge(u, v) ? 1 : 0;
+                 })});
+
+  csm::SearchScratch s;
+  s.prepare(8, 65536);
+  rng = util::Rng(7);
+  for (int i = 0; i < 8; ++i)
+    s.mark_used(static_cast<graph::VertexId>(rng.bounded(65536)));
+  out.push_back({"scratch_used_epoch", time_ns_per_op(iters, [&] {
+                   sink += s.is_used(static_cast<graph::VertexId>(rng.bounded(65536)))
+                               ? 1
+                               : 0;
+                 })});
+  out.push_back({"scratch_prepare", time_ns_per_op(iters, [&] {
+                   s.prepare(8, 65536);
+                   sink += s.map.size();
+                 })});
+
+  if (sink == 0xdeadbeef) std::fprintf(stderr, "(unreachable)\n");
+  return out;
+}
+
+struct MacroResult {
+  std::string algorithm;
+  bench::RunResult run;
+};
+
+std::vector<MacroResult> run_macro(double scale, std::uint32_t queries,
+                                   std::int64_t stream_cap, std::int64_t timeout_ms,
+                                   std::uint64_t seed) {
+  bench::Workload wl = bench::build_workload(graph::livejournal_spec(scale), 6,
+                                             queries, 0.10, seed);
+  if (stream_cap > 0 && wl.stream.size() > static_cast<std::size_t>(stream_cap))
+    wl.stream.resize(static_cast<std::size_t>(stream_cap));
+  std::vector<MacroResult> out;
+  for (const char* alg :
+       {"graphflow", "turboflux", "symbi", "rapidflow", "newsp"}) {
+    bench::RunConfig cfg;
+    cfg.algorithm = alg;
+    cfg.mode = bench::Mode::kSequential;
+    cfg.timeout_ms = timeout_ms;
+    // Aggregate over the workload's queries: sum the per-query splits so the
+    // JSON stays one row per algorithm.
+    bench::RunResult total;
+    total.success = true;
+    for (const auto& q : wl.queries) {
+      const bench::RunResult r = bench::run_stream(wl, q, cfg);
+      total.success = total.success && r.success;
+      total.wall_ms += r.wall_ms;
+      total.cpu_ms += r.cpu_ms;
+      total.sim_makespan_ms += r.sim_makespan_ms;
+      total.delta_matches += r.delta_matches;
+      total.nodes += r.nodes;
+      total.ads_ms += r.ads_ms;
+      total.search_ms += r.search_ms;
+    }
+    out.push_back({alg, total});
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<MicroResult>& micro,
+                const std::vector<MacroResult>& macro, double scale,
+                std::uint32_t queries, std::int64_t stream_cap, std::uint64_t seed) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // fopen reports failure
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"config\": {\"scale\": %g, \"queries\": %u, \"stream\": %lld, "
+               "\"seed\": %llu},\n",
+               scale, queries, static_cast<long long>(stream_cap),
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"micro_ns_per_op\": {\n");
+  for (std::size_t i = 0; i < micro.size(); ++i)
+    std::fprintf(f, "    \"%s\": %.2f%s\n", micro[i].name.c_str(), micro[i].ns_per_op,
+                 i + 1 < micro.size() ? "," : "");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"macro_sequential\": [\n");
+  for (std::size_t i = 0; i < macro.size(); ++i) {
+    const auto& m = macro[i];
+    std::fprintf(f,
+                 "    {\"algorithm\": \"%s\", \"success\": %s, \"total_ms\": %.3f, "
+                 "\"ads_update_ms\": %.3f, \"find_matches_ms\": %.3f, "
+                 "\"delta_matches\": %llu, \"nodes\": %llu}%s\n",
+                 m.algorithm.c_str(), m.run.success ? "true" : "false",
+                 m.run.cpu_ms, m.run.ads_ms, m.run.search_ms,
+                 static_cast<unsigned long long>(m.run.delta_matches),
+                 static_cast<unsigned long long>(m.run.nodes),
+                 i + 1 < macro.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("bench_baseline",
+                "emit machine-readable substrate + sequential baseline numbers");
+  cli.option("out", "results/BENCH_baseline.json", "output JSON path")
+      .option("iters", "200000", "iterations per micro measurement")
+      .option("scale", "0.6", "dataset size multiplier for the macro section")
+      .option("queries", "3", "queries in the macro workload")
+      .option("stream", "2000", "stream updates for the macro section (0 = all)")
+      .option("timeout-ms", "4000", "per-query budget for the macro section")
+      .option("seed", "42", "random seed");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  if (cli.get_int("iters") <= 0 || cli.get_double("scale") <= 0.0) {
+    std::fprintf(stderr, "error: --iters and --scale must be positive\n");
+    return 1;
+  }
+  const auto iters = static_cast<std::uint64_t>(cli.get_int("iters"));
+  const double scale = cli.get_double("scale");
+  const auto queries = static_cast<std::uint32_t>(cli.get_int("queries"));
+  const std::int64_t stream_cap = cli.get_int("stream");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const auto micro = run_micro(iters);
+  const auto macro = run_macro(scale, queries, stream_cap,
+                               cli.get_int("timeout-ms"), seed);
+  write_json(cli.get("out"), micro, macro, scale, queries, stream_cap, seed);
+
+  for (const auto& m : micro)
+    std::printf("%-26s %10.2f ns/op\n", m.name.c_str(), m.ns_per_op);
+  for (const auto& m : macro)
+    std::printf("%-10s total %8.3f ms (ads %7.3f, find %7.3f) dM=%llu\n",
+                m.algorithm.c_str(), m.run.cpu_ms, m.run.ads_ms, m.run.search_ms,
+                static_cast<unsigned long long>(m.run.delta_matches));
+  std::printf("wrote %s\n", cli.get("out").c_str());
+  return 0;
+}

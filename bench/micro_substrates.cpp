@@ -244,7 +244,20 @@ void BM_ClassifierLatency(benchmark::State& state) {
 BENCHMARK(BM_ClassifierLatency);
 
 void BM_TaskQueuePushPop(benchmark::State& state) {
-  engine::TaskQueue queue;
+  engine::TaskQueue queue(1);
+  csm::SearchTask task{{{0, 1}, {1, 2}}};
+  for (auto _ : state) {
+    queue.push(0, csm::SearchTask(task));
+    auto popped = queue.pop_or_finish(0);
+    benchmark::DoNotOptimize(popped);
+    queue.retire();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaskQueuePushPop);
+
+void BM_MutexTaskQueuePushPop(benchmark::State& state) {
+  engine::MutexTaskQueue queue;
   csm::SearchTask task{{{0, 1}, {1, 2}}};
   for (auto _ : state) {
     queue.push(csm::SearchTask(task));
@@ -254,7 +267,7 @@ void BM_TaskQueuePushPop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_TaskQueuePushPop);
+BENCHMARK(BM_MutexTaskQueuePushPop);
 
 }  // namespace
 

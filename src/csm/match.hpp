@@ -42,6 +42,14 @@ struct SearchTask {
 
 /// Receives matches and accounts for search effort. One sink per worker (or
 /// per sequential update); never shared across threads.
+///
+/// Delivery contract (parallel executors): user-facing match callbacks are
+/// NOT invoked from `emit` on worker threads. Each worker appends into a
+/// private buffer; after the executor reaches quiescence the buffers are
+/// merged and the callback runs on the calling thread with the mappings
+/// sorted lexicographically by their (qv, dv) assignment sequence. A given
+/// match set therefore produces byte-identical callback streams across the
+/// sequential path and every executor/thread-count combination.
 class MatchSink {
  public:
   std::uint64_t matches = 0;  ///< |ΔM| contributions seen by this sink

@@ -1,0 +1,160 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05) in the weak-memory
+// formulation of Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13), restricted to
+// pointer-sized elements.
+//
+// Ownership protocol: exactly one thread (the owner) calls push_bottom /
+// pop_bottom; any thread may call steal_top. The owner operates LIFO on the
+// bottom (deepest subtree first, cache-hot), thieves FIFO on the top
+// (shallowest, i.e. largest, subtrees first) — the task-granularity property
+// work stealing depends on.
+//
+// Memory-ordering argument (see also DESIGN.md §5):
+//   * push_bottom publishes the slot with a relaxed store and then the new
+//     bottom with a release store; a thief's acquire load of bottom therefore
+//     observes the slot contents (release/acquire pair on `bottom_`).
+//   * pop_bottom decrements bottom with a seq_cst store and then loads top
+//     seq_cst: the store;load pair needs a StoreLoad barrier so the owner and
+//     a racing thief cannot both observe "one element left and the other side
+//     hasn't claimed it". We use seq_cst operations instead of the paper's
+//     standalone fences because ThreadSanitizer does not model
+//     atomic_thread_fence — this keeps the deque TSan-verifiable at identical
+//     x86 codegen cost (seq_cst store = XCHG, exactly what the fence compiled
+//     to).
+//   * steal_top loads top seq_cst, then bottom seq_cst, reads the slot
+//     (relaxed — the value is only *used* if the claim succeeds), and claims
+//     it by CASing top forward (seq_cst). A lost CAS means the owner popped
+//     the last element or another thief won; the element must not be used.
+//   * top only ever increases, so indices cannot ABA.
+//
+// The ring buffer grows by doubling. Retired rings are kept alive on a
+// garbage list until the deque is destroyed: a thief that loaded the old ring
+// pointer may still read a slot from it, and every live index [top, bottom)
+// was copied to the new ring before publication, so a stale read still
+// returns the correct element.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace paracosm::engine {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_pointer_v<T>,
+                "ChaseLevDeque elements must be pointers: a steal may read a "
+                "slot it then fails to claim, which is only harmless for "
+                "trivially copyable, self-contained values");
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64) {
+    auto ring = std::make_unique<Ring>(round_up_pow2(initial_capacity));
+    ring_.store(ring.get(), std::memory_order_relaxed);
+    rings_.push_back(std::move(ring));
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only. Never fails; grows the ring when full.
+  void push_bottom(T item) noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(ring->capacity)) ring = grow(ring, t, b);
+    ring->slot(b).store(item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only. Returns nullptr when the deque is empty (or a thief claimed
+  /// the last element first).
+  [[nodiscard]] T pop_bottom() noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // was already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T item = ring->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via the same CAS they use.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed))
+        item = nullptr;  // a thief got it
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread. Returns nullptr when empty or when the claim raced (caller
+  /// simply moves on to the next victim).
+  [[nodiscard]] T steal_top() noexcept {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    T item = ring->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;  // owner or another thief won the race
+    return item;
+  }
+
+  /// Approximate (racy) number of queued elements; never negative.
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty_approx() const noexcept { return size_approx() == 0; }
+
+  /// Current ring capacity (for stats/tests).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.load(std::memory_order_relaxed)->capacity;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+
+    [[nodiscard]] std::atomic<T>& slot(std::int64_t i) noexcept {
+      return slots[static_cast<std::size_t>(i) & mask];
+    }
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t c = 8;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<Ring>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i)
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    Ring* raw = bigger.get();
+    // Publish before any slot of the new ring becomes reachable via bottom_;
+    // the old ring stays on rings_ for stale thieves (see header comment).
+    ring_.store(raw, std::memory_order_release);
+    rings_.push_back(std::move(bigger));
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Ring*> ring_{nullptr};
+  std::vector<std::unique_ptr<Ring>> rings_;  // owner-only; retired rings kept alive
+};
+
+}  // namespace paracosm::engine

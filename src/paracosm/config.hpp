@@ -52,6 +52,18 @@ struct Config {
 
   Scheduler scheduler = Scheduler::kCentralQueue;
 
+  /// Idle-protocol knobs of the low-contention runtime (DESIGN.md §5).
+  /// Spin iterations a worker hunts for stealable work before parking on the
+  /// queue's condvar. Parked workers still satisfy HasIdleThreads(), so the
+  /// split predicate is unaffected; the knob only trades wake latency
+  /// against burned cycles on oversubscribed machines.
+  std::uint32_t queue_spin_iters = 256;
+
+  /// Spin iterations a pool worker polls the dispatch epoch before parking
+  /// on the epoch futex. Larger values make back-to-back updates dispatch
+  /// syscall-free; smaller values release the core sooner.
+  std::uint32_t pool_spin_iters = 1024;
+
   [[nodiscard]] unsigned effective_threads() const noexcept {
     if (threads != 0) return threads;
     const unsigned hw = std::thread::hardware_concurrency();

@@ -1,7 +1,6 @@
 #include "paracosm/inner_executor.hpp"
 
-#include <mutex>
-
+#include "paracosm/match_buffer.hpp"
 #include "paracosm/task_queue.hpp"
 #include "util/timer.hpp"
 
@@ -13,22 +12,28 @@ namespace {
 /// the paper's `HasIdleThreads() && CQ.is_empty() && depth < SPLIT_DEPTH`.
 class AdaptiveHook final : public csm::SplitHook {
  public:
-  AdaptiveHook(TaskQueue& queue, std::uint32_t split_depth) noexcept
-      : queue_(queue), split_depth_(split_depth) {}
+  AdaptiveHook(TaskQueue& queue, unsigned wid, std::uint32_t split_depth,
+               WorkerStats& ws) noexcept
+      : queue_(queue), wid_(wid), split_depth_(split_depth), ws_(ws) {}
 
   [[nodiscard]] bool want_offload(std::uint32_t depth) noexcept override {
     return depth < split_depth_ && queue_.approx_size() == 0 &&
            queue_.has_idle_workers();
   }
-  void offload(csm::SearchTask&& task) override { queue_.push(std::move(task)); }
+  void offload(csm::SearchTask&& task) override {
+    ++ws_.offloads;
+    queue_.push(wid_, std::move(task));
+  }
 
  private:
   TaskQueue& queue_;
+  unsigned wid_;
   std::uint32_t split_depth_;
+  WorkerStats& ws_;
 };
 
 /// Initialization-phase hook: Traverse_Next_Layer — always offload the
-/// direct children of the task being expanded.
+/// direct children of the task being expanded (round-robin across deques).
 class ForcedSplitHook final : public csm::SplitHook {
  public:
   ForcedSplitHook(TaskQueue& queue, std::uint32_t at_depth) noexcept
@@ -37,7 +42,7 @@ class ForcedSplitHook final : public csm::SplitHook {
   [[nodiscard]] bool want_offload(std::uint32_t depth) noexcept override {
     return depth == at_depth_;
   }
-  void offload(csm::SearchTask&& task) override { queue_.push(std::move(task)); }
+  void offload(csm::SearchTask&& task) override { queue_.seed(std::move(task)); }
 
  private:
   TaskQueue& queue_;
@@ -45,6 +50,15 @@ class ForcedSplitHook final : public csm::SplitHook {
 };
 
 }  // namespace
+
+InnerExecutor::InnerExecutor(WorkerPool& pool, std::uint32_t split_depth,
+                             bool dynamic_balance, QueueKnobs knobs)
+    : pool_(pool),
+      split_depth_(split_depth),
+      dynamic_balance_(dynamic_balance),
+      queue_(std::make_unique<TaskQueue>(pool.size(), knobs)) {}
+
+InnerExecutor::~InnerExecutor() = default;
 
 InnerRunResult InnerExecutor::run(
     const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
@@ -60,26 +74,29 @@ InnerRunResult InnerExecutor::run_dynamic(
     util::Clock::time_point deadline,
     const std::function<void(std::span<const csm::Assignment>)>* on_match) {
   InnerRunResult result;
-  result.stats.ensure_size(pool_.size());
+  const unsigned n = pool_.size();
+  result.stats.ensure_size(n);
+  TaskQueue& queue = *queue_;  // persistent across updates: warm deques/nodes
 
-  TaskQueue queue;
-  std::mutex match_mutex;
-  const auto guarded_match = [&](std::span<const csm::Assignment> m) {
-    const std::lock_guard lock(match_mutex);
-    (*on_match)(m);
-  };
+  // Per-worker match logs (last slot = the single-threaded init phase);
+  // merged and delivered in deterministic order at quiescence.
+  std::vector<MatchBuffer> match_bufs;
+  if (on_match != nullptr) match_bufs.resize(n + 1);
 
   util::ThreadCpuTimer serial_timer;
-  for (csm::SearchTask& seed : seeds) queue.push(std::move(seed));
+  for (csm::SearchTask& seed : seeds) queue.seed(std::move(seed));
 
   // Initialization phase: BFS-expand shallow tasks until there is enough
   // fan-out for every worker. Tasks at or beyond SPLIT_DEPTH are parked —
   // further splitting is not allowed for them anyway.
   csm::MatchSink init_sink;
   init_sink.deadline = deadline;
-  if (on_match != nullptr) init_sink.on_match = guarded_match;
+  if (on_match != nullptr)
+    init_sink.on_match = [&match_bufs, n](std::span<const csm::Assignment> m) {
+      match_bufs[n].append(m);
+    };
   std::vector<csm::SearchTask> parked;
-  while (queue.approx_size() + parked.size() < pool_.size()) {
+  while (queue.approx_size() + parked.size() < n) {
     auto task = queue.try_pop();
     if (!task) break;
     if (task->depth() >= split_depth_) {
@@ -93,7 +110,7 @@ InnerRunResult InnerExecutor::run_dynamic(
   }
   // Re-queue parked tasks without double-counting in_flight.
   for (csm::SearchTask& task : parked) {
-    queue.push(std::move(task));
+    queue.seed(std::move(task));
     queue.retire();
   }
   result.matches += init_sink.matches;
@@ -101,31 +118,42 @@ InnerRunResult InnerExecutor::run_dynamic(
   result.timed_out = result.timed_out || init_sink.timed_out();
   result.stats.serial_ns += serial_timer.elapsed_ns();
 
+  std::atomic<bool> any_timed_out{false};
   pool_.run([&](unsigned wid) {
     WorkerStats& ws = result.stats.workers[wid];
     csm::MatchSink sink;
     sink.deadline = deadline;
-    if (on_match != nullptr) sink.on_match = guarded_match;
-    AdaptiveHook hook(queue, split_depth_);
-    util::ThreadCpuTimer timer;
+    if (on_match != nullptr)
+      sink.on_match = [buf = &match_bufs[wid]](std::span<const csm::Assignment> m) {
+        buf->append(m);
+      };
+    AdaptiveHook hook(queue, wid, split_depth_, ws);
     // expand() draws its partial-match state from this worker's thread_local
     // SearchScratch pool (csm/scratch.hpp), so the loop below performs no
-    // per-task allocations once the pool has warmed up.
-    while (auto task = queue.pop_or_finish()) {
+    // per-task allocations once the pool has warmed up. Busy time covers
+    // pop + expand but not the idle spin inside pop_or_finish, keeping the
+    // simulated-makespan accounting comparable across schedulers.
+    while (auto task = queue.pop_or_finish(wid)) {
+      util::ThreadCpuTimer timer;
       alg.expand(*task, sink, &hook);
       queue.retire();
       ++ws.tasks;
+      ws.busy_ns += timer.elapsed_ns();
     }
-    ws.busy_ns += timer.elapsed_ns();
     ws.nodes += sink.nodes;
     ws.matches += sink.matches;
-    {
-      const std::lock_guard lock(match_mutex);
-      result.matches += sink.matches;
-      result.nodes += sink.nodes;
-      result.timed_out = result.timed_out || sink.timed_out();
-    }
+    queue.export_counters(wid, ws);
+    if (sink.timed_out()) any_timed_out.store(true, std::memory_order_relaxed);
   });
+  result.stats.dispatch_ns += pool_.last_dispatch_ns();
+  for (const WorkerStats& ws : result.stats.workers) {
+    result.matches += ws.matches;
+    result.nodes += ws.nodes;
+  }
+  result.timed_out =
+      result.timed_out || any_timed_out.load(std::memory_order_relaxed);
+
+  if (on_match != nullptr) emit_merged_sorted(match_bufs, *on_match);
   return result;
 }
 
@@ -134,25 +162,27 @@ InnerRunResult InnerExecutor::run_static(
     util::Clock::time_point deadline,
     const std::function<void(std::span<const csm::Assignment>)>* on_match) {
   InnerRunResult result;
-  result.stats.ensure_size(pool_.size());
+  const unsigned n = pool_.size();
+  result.stats.ensure_size(n);
 
   // Round-robin partition, no queue, no splitting: each worker owns a fixed
   // share of the root tasks regardless of how skewed their subtrees are.
-  std::vector<std::vector<csm::SearchTask>> shares(pool_.size());
+  std::vector<std::vector<csm::SearchTask>> shares(n);
   for (std::size_t i = 0; i < seeds.size(); ++i)
     shares[i % shares.size()].push_back(std::move(seeds[i]));
 
-  std::mutex merge_mutex;
-  const auto guarded_match = [&](std::span<const csm::Assignment> m) {
-    const std::lock_guard lock(merge_mutex);
-    (*on_match)(m);
-  };
+  std::vector<MatchBuffer> match_bufs;
+  if (on_match != nullptr) match_bufs.resize(n);
 
+  std::atomic<bool> any_timed_out{false};
   pool_.run([&](unsigned wid) {
     WorkerStats& ws = result.stats.workers[wid];
     csm::MatchSink sink;
     sink.deadline = deadline;
-    if (on_match != nullptr) sink.on_match = guarded_match;
+    if (on_match != nullptr)
+      sink.on_match = [buf = &match_bufs[wid]](std::span<const csm::Assignment> m) {
+        buf->append(m);
+      };
     util::ThreadCpuTimer timer;
     for (const csm::SearchTask& task : shares[wid]) {
       alg.expand(task, sink, nullptr);
@@ -162,13 +192,16 @@ InnerRunResult InnerExecutor::run_static(
     ws.busy_ns += timer.elapsed_ns();
     ws.nodes += sink.nodes;
     ws.matches += sink.matches;
-    {
-      const std::lock_guard lock(merge_mutex);
-      result.matches += sink.matches;
-      result.nodes += sink.nodes;
-      result.timed_out = result.timed_out || sink.timed_out();
-    }
+    if (sink.timed_out()) any_timed_out.store(true, std::memory_order_relaxed);
   });
+  result.stats.dispatch_ns += pool_.last_dispatch_ns();
+  for (const WorkerStats& ws : result.stats.workers) {
+    result.matches += ws.matches;
+    result.nodes += ws.nodes;
+  }
+  result.timed_out = any_timed_out.load(std::memory_order_relaxed);
+
+  if (on_match != nullptr) emit_merged_sorted(match_bufs, *on_match);
   return result;
 }
 

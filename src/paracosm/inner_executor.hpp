@@ -7,14 +7,22 @@
 // traversal routine; the injected split hook re-offloads direct subtasks
 // whenever idle workers are observed, the queue is empty, and the depth is
 // below SPLIT_DEPTH — the paper's adaptive task-sharing rule.
+//
+// The concurrent queue is the lock-free per-worker-deque CQ of
+// task_queue.hpp and PERSISTS across run() calls, so steady-state updates
+// reuse warm deque rings and recycled task nodes. Match callbacks are
+// buffered per worker and delivered merged + lexicographically sorted after
+// quiescence (match_buffer.hpp) — no lock on the match path.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 
 #include "csm/algorithm.hpp"
 #include "paracosm/config.hpp"
 #include "paracosm/stats.hpp"
+#include "paracosm/task_queue.hpp"
 #include "paracosm/worker_pool.hpp"
 
 namespace paracosm::engine {
@@ -28,11 +36,16 @@ struct InnerRunResult {
 
 class InnerExecutor {
  public:
-  InnerExecutor(WorkerPool& pool, std::uint32_t split_depth, bool dynamic_balance)
-      : pool_(pool), split_depth_(split_depth), dynamic_balance_(dynamic_balance) {}
+  InnerExecutor(WorkerPool& pool, std::uint32_t split_depth, bool dynamic_balance,
+                QueueKnobs knobs = {});
+  ~InnerExecutor();
 
-  /// Explore all seeds' subtrees in parallel. `on_match` (optional) may be
-  /// invoked from any worker; it is serialized internally.
+  InnerExecutor(const InnerExecutor&) = delete;
+  InnerExecutor& operator=(const InnerExecutor&) = delete;
+
+  /// Explore all seeds' subtrees in parallel. `on_match` (optional) is
+  /// delivered after quiescence, on the calling thread, in lexicographic
+  /// (qv, dv) mapping order — deterministic for a given match set.
   [[nodiscard]] InnerRunResult run(
       const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
       util::Clock::time_point deadline = {},
@@ -53,6 +66,7 @@ class InnerExecutor {
   WorkerPool& pool_;
   std::uint32_t split_depth_;
   bool dynamic_balance_;
+  std::unique_ptr<TaskQueue> queue_;  ///< persistent CQ, warm across updates
 };
 
 }  // namespace paracosm::engine

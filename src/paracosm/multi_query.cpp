@@ -1,8 +1,8 @@
 #include "paracosm/multi_query.hpp"
 
-#include <atomic>
 #include <unordered_set>
 
+#include "paracosm/shard_cursor.hpp"
 #include "util/timer.hpp"
 
 namespace paracosm::engine {
@@ -14,8 +14,9 @@ using graph::VertexId;
 MultiQueryEngine::MultiQueryEngine(graph::DataGraph& g, Config config)
     : g_(g),
       config_(config),
-      pool_(config.effective_threads()),
-      inner_(pool_, config.split_depth, config.dynamic_balance) {}
+      pool_(config.effective_threads(), config.pool_spin_iters),
+      inner_(pool_, config.split_depth, config.dynamic_balance,
+             QueueKnobs{config.queue_spin_iters}) {}
 
 std::size_t MultiQueryEngine::add_query(std::string_view algorithm,
                                         graph::QueryGraph query) {
@@ -147,6 +148,7 @@ MultiStreamResult MultiQueryEngine::process_stream(
           safe[j] = safe_for_all(stream[i + j]) ? 1 : 0;
         result.stats.workers[wid].busy_ns += timer.elapsed_ns();
       });
+      result.stats.dispatch_ns += pool_.last_dispatch_ns();
     } else {
       util::ThreadCpuTimer timer;
       for (std::size_t j = 0; j < count; ++j)
@@ -175,19 +177,23 @@ MultiStreamResult MultiQueryEngine::process_stream(
     }
     if (prefix > 0) {
       if (nthreads > 1 && prefix > 1) {
-        std::atomic<std::size_t> cursor{0};
+        ShardedCursor cursor(prefix, nthreads);
         pool_.run([&](unsigned wid) {
           util::ThreadCpuTimer timer;
-          for (;;) {
-            const std::size_t j = cursor.fetch_add(1, std::memory_order_relaxed);
-            if (j >= prefix) break;
+          std::uint64_t applied = 0;
+          for (std::size_t j = cursor.claim(wid); j != ShardedCursor::npos;
+               j = cursor.claim(wid)) {
             const GraphUpdate& upd = stream[i + j];
             locks_.lock_pair(upd.u, upd.v);
             apply_safe(upd);
             locks_.unlock_pair(upd.u, upd.v);
+            ++applied;
           }
-          result.stats.workers[wid].busy_ns += timer.elapsed_ns();
+          WorkerStats& ws = result.stats.workers[wid];
+          ws.busy_ns += timer.elapsed_ns();
+          ws.shard_updates += applied;
         });
+        result.stats.dispatch_ns += pool_.last_dispatch_ns();
       } else {
         util::ThreadCpuTimer timer;
         for (std::size_t j = 0; j < prefix; ++j) apply_safe(stream[i + j]);

@@ -1,8 +1,8 @@
 #include "paracosm/paracosm.hpp"
 
-#include <atomic>
 #include <unordered_set>
 
+#include "paracosm/shard_cursor.hpp"
 #include "util/timer.hpp"
 
 namespace paracosm::engine {
@@ -17,9 +17,10 @@ ParaCosm::ParaCosm(csm::CsmAlgorithm& alg, const graph::QueryGraph& q,
       q_(q),
       g_(g),
       config_(config),
-      pool_(config.effective_threads()),
-      inner_(pool_, config.split_depth, config.dynamic_balance),
-      stealing_(pool_, config.split_depth),
+      pool_(config.effective_threads(), config.pool_spin_iters),
+      inner_(pool_, config.split_depth, config.dynamic_balance,
+             QueueKnobs{config.queue_spin_iters}),
+      stealing_(pool_, config.split_depth, QueueKnobs{config.queue_spin_iters}),
       classifier_(q, g, alg) {
   alg_.attach(q_, g_);
 }
@@ -195,6 +196,7 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
           verdicts[j] = classifier_.classify(stream[i + j]);
         result.stats.workers[wid].busy_ns += timer.elapsed_ns();
       });
+      result.stats.dispatch_ns += pool_.last_dispatch_ns();
     } else {
       util::ThreadCpuTimer timer;
       for (std::size_t j = 0; j < count; ++j)
@@ -241,21 +243,28 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
     // confine each application to its endpoints' adjacency and counter
     // caches, and the striped per-vertex locks serialize the rare stripe
     // collisions (in strict mode the endpoints are pairwise disjoint).
+    // The batch is sharded across the pool via per-worker striped cursors
+    // (shard_cursor.hpp): each worker drains a contiguous slice with
+    // uncontended claims and only steals from stragglers' shards.
     if (safe_prefix > 0) {
       if (nthreads > 1 && safe_prefix > 1) {
-        std::atomic<std::size_t> cursor{0};
+        ShardedCursor cursor(safe_prefix, nthreads);
         pool_.run([&](unsigned wid) {
           util::ThreadCpuTimer timer;
-          for (;;) {
-            const std::size_t j = cursor.fetch_add(1, std::memory_order_relaxed);
-            if (j >= safe_prefix) break;
+          std::uint64_t applied = 0;
+          for (std::size_t j = cursor.claim(wid); j != ShardedCursor::npos;
+               j = cursor.claim(wid)) {
             const GraphUpdate& upd = stream[i + j];
             locks_.lock_pair(upd.u, upd.v);
             apply_safe(upd);
             locks_.unlock_pair(upd.u, upd.v);
+            ++applied;
           }
-          result.stats.workers[wid].busy_ns += timer.elapsed_ns();
+          WorkerStats& ws = result.stats.workers[wid];
+          ws.busy_ns += timer.elapsed_ns();
+          ws.shard_updates += applied;
         });
+        result.stats.dispatch_ns += pool_.last_dispatch_ns();
       } else {
         util::ThreadCpuTimer timer;
         for (std::size_t j = 0; j < safe_prefix; ++j) apply_safe(stream[i + j]);

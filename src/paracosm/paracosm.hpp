@@ -75,8 +75,10 @@ class ParaCosm {
   void reset_accumulated_stats() { loose_stats_ = {}; }
 
   /// Observe every match found (positive and negative) as a full mapping in
-  /// assignment order. May be invoked from worker threads, but calls are
-  /// serialized by the framework.
+  /// assignment order. Matches are buffered per worker during the parallel
+  /// phase and delivered on the calling thread after quiescence, sorted
+  /// lexicographically by (qv, dv) sequence — the same order regardless of
+  /// executor or thread count (see csm/match.hpp, "delivery contract").
   void set_match_callback(
       std::function<void(std::span<const csm::Assignment>)> callback) {
     on_match_ = std::move(callback);

@@ -19,17 +19,33 @@ struct WorkerStats {
   std::uint64_t nodes = 0;      ///< search-tree nodes expanded
   std::uint64_t matches = 0;
 
+  // Scheduler counters (the low-contention runtime, DESIGN.md §5).
+  std::uint64_t steals_attempted = 0;  ///< steal_top calls on other deques
+  std::uint64_t steals_succeeded = 0;  ///< CAS-claimed tasks
+  std::uint64_t offloads = 0;          ///< tasks re-split onto the queue
+  std::uint64_t parks = 0;             ///< spin budget exhausted -> parked
+  std::uint64_t shard_updates = 0;     ///< safe updates applied by this worker
+                                       ///< in the sharded batch executor
+
   void merge(const WorkerStats& other) noexcept {
     busy_ns += other.busy_ns;
     tasks += other.tasks;
     nodes += other.nodes;
     matches += other.matches;
+    steals_attempted += other.steals_attempted;
+    steals_succeeded += other.steals_succeeded;
+    offloads += other.offloads;
+    parks += other.parks;
+    shard_updates += other.shard_updates;
   }
 };
 
 struct ParallelStats {
   std::vector<WorkerStats> workers;
-  std::int64_t serial_ns = 0;  ///< CPU time of sequential sections
+  std::int64_t serial_ns = 0;    ///< CPU time of sequential sections
+  std::int64_t dispatch_ns = 0;  ///< pool wake + join wall time (not search);
+                                 ///< kept out of busy_ns so pool overhead is
+                                 ///< visible separately (latency_profile)
 
   void ensure_size(std::size_t n) {
     if (workers.size() < n) workers.resize(n);
@@ -40,6 +56,33 @@ struct ParallelStats {
     for (std::size_t i = 0; i < other.workers.size(); ++i)
       workers[i].merge(other.workers[i]);
     serial_ns += other.serial_ns;
+    dispatch_ns += other.dispatch_ns;
+  }
+
+  [[nodiscard]] std::uint64_t total_steals_attempted() const noexcept {
+    std::uint64_t s = 0;
+    for (const WorkerStats& w : workers) s += w.steals_attempted;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t total_steals_succeeded() const noexcept {
+    std::uint64_t s = 0;
+    for (const WorkerStats& w : workers) s += w.steals_succeeded;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t total_offloads() const noexcept {
+    std::uint64_t s = 0;
+    for (const WorkerStats& w : workers) s += w.offloads;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t total_parks() const noexcept {
+    std::uint64_t s = 0;
+    for (const WorkerStats& w : workers) s += w.parks;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t total_shard_updates() const noexcept {
+    std::uint64_t s = 0;
+    for (const WorkerStats& w : workers) s += w.shard_updates;
+    return s;
   }
 
   [[nodiscard]] std::int64_t max_worker_ns() const noexcept {

@@ -1,71 +1,47 @@
 #include "paracosm/steal_executor.hpp"
 
 #include <atomic>
-#include <deque>
-#include <mutex>
-#include <thread>
 
 #include "paracosm/inner_executor.hpp"
-#include "util/rng.hpp"
+#include "paracosm/match_buffer.hpp"
 #include "util/timer.hpp"
 
 namespace paracosm::engine {
 
 namespace {
 
-/// One worker's deque: the owner uses the back (LIFO), thieves the front
-/// (FIFO — stolen tasks are the shallowest, i.e. largest, subtrees).
-struct WorkDeque {
-  std::mutex mutex;
-  std::deque<csm::SearchTask> tasks;
-
-  void push(csm::SearchTask&& t) {
-    const std::lock_guard lock(mutex);
-    tasks.push_back(std::move(t));
-  }
-  [[nodiscard]] bool pop_back(csm::SearchTask& out) {
-    const std::lock_guard lock(mutex);
-    if (tasks.empty()) return false;
-    out = std::move(tasks.back());
-    tasks.pop_back();
-    return true;
-  }
-  [[nodiscard]] bool steal_front(csm::SearchTask& out) {
-    const std::lock_guard lock(mutex);
-    if (tasks.empty()) return false;
-    out = std::move(tasks.front());
-    tasks.pop_front();
-    return true;
-  }
-  [[nodiscard]] std::size_t size() {
-    const std::lock_guard lock(mutex);
-    return tasks.size();
-  }
-};
-
 /// Split hook: keep the owner's deque primed with stealable work while the
 /// depth budget lasts, without flooding it.
 class StealHook final : public csm::SplitHook {
  public:
-  StealHook(WorkDeque& own, std::atomic<std::int64_t>& in_flight,
-            std::uint32_t split_depth) noexcept
-      : own_(own), in_flight_(in_flight), split_depth_(split_depth) {}
+  StealHook(TaskQueue& queue, unsigned wid, std::uint32_t split_depth,
+            WorkerStats& ws) noexcept
+      : queue_(queue), wid_(wid), split_depth_(split_depth), ws_(ws) {}
 
   [[nodiscard]] bool want_offload(std::uint32_t depth) noexcept override {
-    return depth < split_depth_ && own_.size() < 4;
+    return depth < split_depth_ && queue_.local_size(wid_) < 4;
   }
   void offload(csm::SearchTask&& task) override {
-    in_flight_.fetch_add(1, std::memory_order_relaxed);
-    own_.push(std::move(task));
+    ++ws_.offloads;
+    queue_.push(wid_, std::move(task));
   }
 
  private:
-  WorkDeque& own_;
-  std::atomic<std::int64_t>& in_flight_;
+  TaskQueue& queue_;
+  unsigned wid_;
   std::uint32_t split_depth_;
+  WorkerStats& ws_;
 };
 
 }  // namespace
+
+StealingExecutor::StealingExecutor(WorkerPool& pool, std::uint32_t split_depth,
+                                   QueueKnobs knobs)
+    : pool_(pool),
+      split_depth_(split_depth),
+      queue_(std::make_unique<TaskQueue>(pool.size(), knobs)) {}
+
+StealingExecutor::~StealingExecutor() = default;
 
 InnerRunResult StealingExecutor::run(
     const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
@@ -75,60 +51,47 @@ InnerRunResult StealingExecutor::run(
   if (seeds.empty()) return result;
   const unsigned n = pool_.size();
   result.stats.ensure_size(n);
+  TaskQueue& queue = *queue_;
 
-  std::vector<WorkDeque> deques(n);
-  std::atomic<std::int64_t> in_flight{static_cast<std::int64_t>(seeds.size())};
-  for (std::size_t i = 0; i < seeds.size(); ++i)
-    deques[i % n].push(std::move(seeds[i]));
+  for (csm::SearchTask& seed : seeds) queue.seed(std::move(seed));
 
-  std::mutex merge_mutex;
-  const auto guarded_match = [&](std::span<const csm::Assignment> m) {
-    const std::lock_guard lock(merge_mutex);
-    (*on_match)(m);
-  };
+  std::vector<MatchBuffer> match_bufs;
+  if (on_match != nullptr) match_bufs.resize(n);
 
+  std::atomic<bool> any_timed_out{false};
   pool_.run([&](unsigned wid) {
     WorkerStats& ws = result.stats.workers[wid];
     csm::MatchSink sink;
     sink.deadline = deadline;
-    if (on_match != nullptr) sink.on_match = guarded_match;
-    StealHook hook(deques[wid], in_flight, split_depth_);
-    util::Rng rng(0x57ea1ULL * (wid + 1));
-
-    csm::SearchTask task;
-    while (in_flight.load(std::memory_order_acquire) > 0) {
-      // Busy time counts pop + expand but not the idle steal-spin, so the
-      // simulated-makespan accounting stays comparable with the blocking
-      // central-queue executor (whose idle waits consume no CPU either).
+    if (on_match != nullptr)
+      sink.on_match = [buf = &match_bufs[wid]](std::span<const csm::Assignment> m) {
+        buf->append(m);
+      };
+    StealHook hook(queue, wid, split_depth_, ws);
+    // Busy time counts expand but not the idle steal-spin, so the simulated
+    // makespan stays comparable with the central-queue executor. Per-worker
+    // pooled SearchScratch (csm/scratch.hpp) keeps expansion allocation-free
+    // across stolen tasks in steady state.
+    while (auto task = queue.pop_or_finish(wid)) {
       util::ThreadCpuTimer timer;
-      bool got = deques[wid].pop_back(task);
-      if (!got) {
-        // Random victim order; one full sweep per attempt.
-        const unsigned start = static_cast<unsigned>(rng.bounded(n));
-        for (unsigned k = 0; k < n && !got; ++k)
-          got = deques[(start + k) % n].steal_front(task);
-      }
-      if (!got) {
-        std::this_thread::yield();
-        continue;
-      }
-      // Per-worker pooled SearchScratch (csm/scratch.hpp): expansion reuses
-      // this thread's buffers across stolen tasks, allocation-free in steady
-      // state.
-      alg.expand(task, sink, &hook);
+      alg.expand(*task, sink, &hook);
+      queue.retire();
       ++ws.tasks;
       ws.busy_ns += timer.elapsed_ns();
-      in_flight.fetch_sub(1, std::memory_order_acq_rel);
     }
     ws.nodes += sink.nodes;
     ws.matches += sink.matches;
-    {
-      const std::lock_guard lock(merge_mutex);
-      result.matches += sink.matches;
-      result.nodes += sink.nodes;
-      result.timed_out = result.timed_out || sink.timed_out();
-    }
+    queue.export_counters(wid, ws);
+    if (sink.timed_out()) any_timed_out.store(true, std::memory_order_relaxed);
   });
+  result.stats.dispatch_ns += pool_.last_dispatch_ns();
+  for (const WorkerStats& ws : result.stats.workers) {
+    result.matches += ws.matches;
+    result.nodes += ws.nodes;
+  }
+  result.timed_out = any_timed_out.load(std::memory_order_relaxed);
+
+  if (on_match != nullptr) emit_merged_sorted(match_bufs, *on_match);
   return result;
 }
 

@@ -1,20 +1,23 @@
 // Work-stealing alternative to the paper's central-queue inner executor.
 //
 // ParaCOSM's Algorithm 2 routes all subtasks through one concurrent queue
-// CQ. A classic alternative is per-worker deques with stealing: owners push
-// and pop LIFO (cache-friendly, deepest subtree first), thieves steal FIFO
-// (largest remaining subtrees first). The ablation bench
-// (`ablation_scheduler`) compares the two under identical workloads; the
-// central queue wins when updates produce few, skewed subtrees (its
-// idle-triggered re-splitting targets exactly the straggler), stealing wins
-// when fan-out is plentiful and queue contention dominates.
+// CQ with idle-triggered re-splitting. This executor runs on the SAME
+// lock-free Chase–Lev substrate (task_queue.hpp) but with the classic
+// stealing split policy instead: each owner keeps its own deque primed with
+// a few stealable tasks while the depth budget lasts, regardless of whether
+// anyone is idle yet. Owners pop LIFO (cache-friendly, deepest subtree
+// first), thieves steal FIFO (largest remaining subtrees first). The
+// ablation bench (`ablation_scheduler`) compares the two policies — and the
+// retained mutex-queue baseline — under identical workloads.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 
 #include "csm/algorithm.hpp"
 #include "paracosm/stats.hpp"
+#include "paracosm/task_queue.hpp"
 #include "paracosm/worker_pool.hpp"
 
 namespace paracosm::engine {
@@ -23,11 +26,16 @@ struct InnerRunResult;  // defined in inner_executor.hpp
 
 class StealingExecutor {
  public:
-  StealingExecutor(WorkerPool& pool, std::uint32_t split_depth) noexcept
-      : pool_(pool), split_depth_(split_depth) {}
+  StealingExecutor(WorkerPool& pool, std::uint32_t split_depth,
+                   QueueKnobs knobs = {});
+  ~StealingExecutor();
+
+  StealingExecutor(const StealingExecutor&) = delete;
+  StealingExecutor& operator=(const StealingExecutor&) = delete;
 
   /// Same contract as InnerExecutor::run: explore every seed's subtree,
-  /// return aggregated matches/nodes plus per-worker accounting.
+  /// return aggregated matches/nodes plus per-worker accounting. `on_match`
+  /// is delivered after quiescence in lexicographic mapping order.
   [[nodiscard]] InnerRunResult run(
       const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
       util::Clock::time_point deadline = {},
@@ -36,6 +44,7 @@ class StealingExecutor {
  private:
   WorkerPool& pool_;
   std::uint32_t split_depth_;
+  std::unique_ptr<TaskQueue> queue_;  ///< persistent CQ, warm across updates
 };
 
 }  // namespace paracosm::engine

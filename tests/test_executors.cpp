@@ -1,10 +1,13 @@
-// Tests for the parallel building blocks: task queue, worker pool, and the
-// inner-update executor (Algorithm 2).
+// Tests for the parallel building blocks: Chase–Lev deque, task queue,
+// worker pool, and the inner-update executor (Algorithm 2).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <thread>
+#include <vector>
 
+#include "paracosm/cl_deque.hpp"
 #include "paracosm/inner_executor.hpp"
 #include "paracosm/steal_executor.hpp"
 #include "paracosm/task_queue.hpp"
@@ -20,8 +23,146 @@ csm::SearchTask make_task(std::uint32_t depth) {
   return t;
 }
 
-TEST(TaskQueue, PushPopRetireSingleThread) {
-  TaskQueue queue;
+TEST(ChaseLevDeque, OwnerPopsLifoThiefStealsFifo) {
+  std::array<int, 3> vals = {10, 20, 30};
+  ChaseLevDeque<int*> dq;
+  for (int& v : vals) dq.push_bottom(&v);
+  EXPECT_EQ(dq.size_approx(), 3u);
+  EXPECT_EQ(dq.steal_top(), &vals[0]);   // FIFO from the top
+  EXPECT_EQ(dq.pop_bottom(), &vals[2]);  // LIFO from the bottom
+  EXPECT_EQ(dq.pop_bottom(), &vals[1]);
+  EXPECT_EQ(dq.pop_bottom(), nullptr);
+  EXPECT_EQ(dq.steal_top(), nullptr);
+  EXPECT_TRUE(dq.empty_approx());
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacityPreservingOrder) {
+  constexpr int kItems = 1000;
+  std::vector<int> vals(kItems);
+  ChaseLevDeque<int*> dq(8);
+  const std::size_t cap0 = dq.capacity();
+  for (int i = 0; i < kItems; ++i) dq.push_bottom(&vals[i]);
+  EXPECT_GT(dq.capacity(), cap0);
+  EXPECT_EQ(dq.size_approx(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(dq.steal_top(), &vals[i]);
+  EXPECT_EQ(dq.steal_top(), nullptr);
+}
+
+TEST(ChaseLevDeque, ConcurrentStealsClaimEveryElementExactlyOnce) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  std::vector<int> vals(kItems);
+  std::vector<std::atomic<int>> claimed(kItems);
+  ChaseLevDeque<int*> dq;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> total{0};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) || !dq.empty_approx()) {
+        if (int* p = dq.steal_top()) {
+          claimed[static_cast<std::size_t>(p - vals.data())].fetch_add(1);
+          total.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Owner: interleave pushes with occasional pops.
+  for (int i = 0; i < kItems; ++i) {
+    dq.push_bottom(&vals[i]);
+    if ((i & 7) == 0) {
+      if (int* p = dq.pop_bottom()) {
+        claimed[static_cast<std::size_t>(p - vals.data())].fetch_add(1);
+        total.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  while (int* p = dq.pop_bottom()) {  // anything the thieves left behind
+    claimed[static_cast<std::size_t>(p - vals.data())].fetch_add(1);
+    total.fetch_add(1, std::memory_order_relaxed);
+  }
+  EXPECT_EQ(total.load(), kItems);
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(claimed[i].load(), 1) << "item " << i;
+}
+
+TEST(TaskQueue, SeedTryPopRetireSingleThread) {
+  TaskQueue queue(1);
+  queue.seed(make_task(2));
+  queue.seed(make_task(3));
+  EXPECT_EQ(queue.approx_size(), 2u);
+  EXPECT_EQ(queue.in_flight(), 2);
+  auto t1 = queue.try_pop();
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ(t1->depth(), 2u);  // FIFO
+  queue.retire();
+  auto t2 = queue.pop_or_finish(0);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(t2->depth(), 3u);
+  queue.retire();
+  EXPECT_EQ(queue.in_flight(), 0);
+  EXPECT_FALSE(queue.pop_or_finish(0).has_value());
+}
+
+TEST(TaskQueue, TryPopOnEmptyReturnsNullopt) {
+  TaskQueue queue(4);
+  EXPECT_FALSE(queue.try_pop().has_value());
+  EXPECT_FALSE(queue.pop_or_finish(2).has_value());
+}
+
+TEST(TaskQueue, OwnerPushIsLifoForOwnerFifoForTryPop) {
+  TaskQueue queue(2);
+  queue.push(0, make_task(1));
+  queue.push(0, make_task(2));
+  queue.push(0, make_task(3));
+  auto own = queue.pop_or_finish(0);
+  ASSERT_TRUE(own.has_value());
+  EXPECT_EQ(own->depth(), 3u);  // owner pops its own deque LIFO
+  auto stolen = queue.pop_or_finish(1);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(stolen->depth(), 1u);  // thief steals the oldest
+  queue.retire();
+  queue.retire();
+  auto last = queue.pop_or_finish(1);
+  ASSERT_TRUE(last.has_value());
+  queue.retire();
+  EXPECT_EQ(queue.in_flight(), 0);
+}
+
+TEST(TaskQueue, MpmcStressCompletesAllTasks) {
+  constexpr unsigned kWorkers = 4;
+  TaskQueue queue(kWorkers, QueueKnobs{.spin_iters = 16});
+  constexpr int kSeeds = 64;
+  constexpr int kChildrenPerSeed = 16;
+  for (int i = 0; i < kSeeds; ++i) queue.seed(make_task(1));
+
+  std::atomic<int> executed{0};
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      while (auto task = queue.pop_or_finish(w)) {
+        if (task->depth() == 1)
+          for (int c = 0; c < kChildrenPerSeed; ++c) queue.push(w, make_task(2));
+        executed.fetch_add(1, std::memory_order_relaxed);
+        queue.retire();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(executed.load(), kSeeds + kSeeds * kChildrenPerSeed);
+  EXPECT_EQ(queue.in_flight(), 0);
+  EXPECT_EQ(queue.approx_size(), 0u);
+
+  // Scheduler counters drained into WorkerStats.
+  WorkerStats ws;
+  for (unsigned w = 0; w < kWorkers; ++w) queue.export_counters(w, ws);
+  EXPECT_GE(ws.steals_attempted, ws.steals_succeeded);
+}
+
+TEST(MutexTaskQueue, BaselineKeepsOldContract) {
+  MutexTaskQueue queue;
   queue.push(make_task(2));
   queue.push(make_task(3));
   EXPECT_EQ(queue.approx_size(), 2u);
@@ -37,13 +178,8 @@ TEST(TaskQueue, PushPopRetireSingleThread) {
   EXPECT_FALSE(queue.pop_or_finish().has_value());
 }
 
-TEST(TaskQueue, TryPopOnEmptyReturnsNullopt) {
-  TaskQueue queue;
-  EXPECT_FALSE(queue.try_pop().has_value());
-}
-
-TEST(TaskQueue, MpmcStressCompletesAllTasks) {
-  TaskQueue queue;
+TEST(MutexTaskQueue, MpmcStressCompletesAllTasks) {
+  MutexTaskQueue queue;
   constexpr int kSeeds = 64;
   constexpr int kChildrenPerSeed = 16;
   for (int i = 0; i < kSeeds; ++i) queue.push(make_task(1));
@@ -87,6 +223,27 @@ TEST(WorkerPool, ZeroThreadsClampedToOne) {
   bool ran = false;
   pool.run([&](unsigned) { ran = true; });
   EXPECT_TRUE(ran);
+}
+
+TEST(WorkerPool, ReportsDispatchOverhead) {
+  WorkerPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.run([&](unsigned) { total.fetch_add(1); });
+    EXPECT_GE(pool.last_dispatch_ns(), 0);
+  }
+  EXPECT_EQ(total.load(), 30);
+}
+
+TEST(WorkerPool, ParksWhenSpinBudgetIsZero) {
+  WorkerPool pool(2, /*spin_iters=*/0);
+  const std::uint64_t parks0 = pool.total_parks();
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round)
+    pool.run([&](unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10);
+  // With no spin window every worker must have parked at least once.
+  EXPECT_GT(pool.total_parks(), parks0);
 }
 
 struct ExecCase {

@@ -25,6 +25,7 @@
 #include "csm/scratch.hpp"
 #include "graph/generators.hpp"
 #include "graph/nlf_signature.hpp"
+#include "paracosm/paracosm.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -161,9 +162,51 @@ std::vector<MacroResult> run_macro(double scale, std::uint32_t queries,
   return out;
 }
 
+/// Runtime counters of the lock-free scheduler, collected from one parallel
+/// work-stealing run at 8 threads over the same workload. Archived alongside
+/// the micro numbers so contention regressions (steal success collapsing,
+/// park storms, lopsided batch shards) show up as artifact diffs.
+struct SchedulerResult {
+  std::uint64_t steals_attempted = 0;
+  std::uint64_t steals_succeeded = 0;
+  std::uint64_t offloads = 0;  ///< tasks re-split onto the queue
+  std::uint64_t parks = 0;
+  std::uint64_t shard_updates = 0;  ///< safe updates applied via batch shards
+  double dispatch_ms = 0;
+  double makespan_ms = 0;
+  std::uint64_t delta_matches = 0;
+};
+
+SchedulerResult run_scheduler(double scale, std::int64_t stream_cap,
+                              std::uint64_t seed) {
+  bench::Workload wl =
+      bench::build_workload(graph::livejournal_spec(scale), 6, 1, 0.10, seed);
+  if (stream_cap > 0 && wl.stream.size() > static_cast<std::size_t>(stream_cap))
+    wl.stream.resize(static_cast<std::size_t>(stream_cap));
+  SchedulerResult out;
+  if (wl.queries.empty()) return out;
+  auto alg = csm::make_algorithm("graphflow");
+  graph::DataGraph g = wl.graph;
+  engine::Config cfg;
+  cfg.threads = 8;
+  cfg.scheduler = engine::Scheduler::kWorkStealing;
+  engine::ParaCosm pc(*alg, wl.queries.front(), g, cfg);
+  const engine::StreamResult r = pc.process_stream(wl.stream);
+  out.steals_attempted = r.stats.total_steals_attempted();
+  out.steals_succeeded = r.stats.total_steals_succeeded();
+  out.offloads = r.stats.total_offloads();
+  out.parks = r.stats.total_parks();
+  out.shard_updates = r.stats.total_shard_updates();
+  out.dispatch_ms = static_cast<double>(r.stats.dispatch_ns) / 1e6;
+  out.makespan_ms = static_cast<double>(r.stats.simulated_makespan_ns()) / 1e6;
+  out.delta_matches = r.delta_matches();
+  return out;
+}
+
 void write_json(const std::string& path, const std::vector<MicroResult>& micro,
-                const std::vector<MacroResult>& macro, double scale,
-                std::uint32_t queries, std::int64_t stream_cap, std::uint64_t seed) {
+                const std::vector<MacroResult>& macro, const SchedulerResult& sched,
+                double scale, std::uint32_t queries, std::int64_t stream_cap,
+                std::uint64_t seed) {
   const std::filesystem::path parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) {
     std::error_code ec;
@@ -198,7 +241,21 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
                  static_cast<unsigned long long>(m.run.nodes),
                  i + 1 < macro.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"scheduler_8threads\": {\"steals_attempted\": %llu, "
+               "\"steals_succeeded\": %llu, \"tasks_resplit\": %llu, "
+               "\"parks\": %llu, \"shard_updates\": %llu, "
+               "\"dispatch_ms\": %.3f, \"sim_makespan_ms\": %.3f, "
+               "\"delta_matches\": %llu}\n",
+               static_cast<unsigned long long>(sched.steals_attempted),
+               static_cast<unsigned long long>(sched.steals_succeeded),
+               static_cast<unsigned long long>(sched.offloads),
+               static_cast<unsigned long long>(sched.parks),
+               static_cast<unsigned long long>(sched.shard_updates),
+               sched.dispatch_ms, sched.makespan_ms,
+               static_cast<unsigned long long>(sched.delta_matches));
+  std::fprintf(f, "}\n");
   std::fclose(f);
 }
 
@@ -229,7 +286,8 @@ int main(int argc, char** argv) {
   const auto micro = run_micro(iters);
   const auto macro = run_macro(scale, queries, stream_cap,
                                cli.get_int("timeout-ms"), seed);
-  write_json(cli.get("out"), micro, macro, scale, queries, stream_cap, seed);
+  const auto sched = run_scheduler(scale, stream_cap, seed);
+  write_json(cli.get("out"), micro, macro, sched, scale, queries, stream_cap, seed);
 
   for (const auto& m : micro)
     std::printf("%-26s %10.2f ns/op\n", m.name.c_str(), m.ns_per_op);
@@ -237,6 +295,15 @@ int main(int argc, char** argv) {
     std::printf("%-10s total %8.3f ms (ads %7.3f, find %7.3f) dM=%llu\n",
                 m.algorithm.c_str(), m.run.cpu_ms, m.run.ads_ms, m.run.search_ms,
                 static_cast<unsigned long long>(m.run.delta_matches));
+  std::printf(
+      "scheduler@8t: steals %llu/%llu, resplit %llu, parks %llu, shards %llu, "
+      "dispatch %.3f ms\n",
+      static_cast<unsigned long long>(sched.steals_succeeded),
+      static_cast<unsigned long long>(sched.steals_attempted),
+      static_cast<unsigned long long>(sched.offloads),
+      static_cast<unsigned long long>(sched.parks),
+      static_cast<unsigned long long>(sched.shard_updates),
+      sched.dispatch_ms);
   std::printf("wrote %s\n", cli.get("out").c_str());
   return 0;
 }

@@ -46,6 +46,12 @@ class CsmAlgorithm {
   /// matching orders. May be called again to rebind.
   virtual void attach(const QueryGraph& q, const DataGraph& g) = 0;
 
+  /// Rolling checksum over the ADS's flag state (0 for index-free
+  /// algorithms), maintained O(1) per flip. The verification contract: a
+  /// *safe* update (see `ads_safe`) must leave this value bit-identical —
+  /// the PARACOSM_VERIFY build asserts exactly that around every safe batch.
+  [[nodiscard]] virtual std::uint64_t ads_checksum() const noexcept { return 0; }
+
   /// ADS maintenance (see engine contract above). Default: no ADS.
   virtual void on_edge_inserted(const GraphUpdate& /*upd*/) {}
   virtual void on_edge_removed(const GraphUpdate& /*upd*/) {}

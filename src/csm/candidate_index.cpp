@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "csm/filters.hpp"
+#include "util/checksum.hpp"
 
 namespace paracosm::csm {
 
@@ -59,6 +60,37 @@ QueryDag QueryDag::build(const QueryGraph& q, bool spanning_tree_only) {
   std::stable_sort(dag.topo.begin(), dag.topo.end(),
                    [&](VertexId a, VertexId b) { return before(a, b); });
   return dag;
+}
+
+namespace {
+// flag_fingerprint kinds for the two flag families of this index.
+constexpr std::uint32_t kKindAnc = 0;
+constexpr std::uint32_t kKindDesc = 1;
+}  // namespace
+
+bool DagCandidateIndex::set_anc(VertexId u, VertexId v, bool on) noexcept {
+  if ((anc_[u][v] != 0) == on) return false;
+  anc_[u][v] = on ? 1 : 0;
+  checksum_ ^= util::flag_fingerprint(kKindAnc, u, v);
+  return true;
+}
+
+bool DagCandidateIndex::set_desc(VertexId u, VertexId v, bool on) noexcept {
+  if ((desc_[u][v] != 0) == on) return false;
+  desc_[u][v] = on ? 1 : 0;
+  checksum_ ^= util::flag_fingerprint(kKindDesc, u, v);
+  return true;
+}
+
+std::uint64_t DagCandidateIndex::checksum_recompute() const noexcept {
+  std::uint64_t sum = 0;
+  for (VertexId u = 0; u < q_->num_vertices(); ++u) {
+    for (VertexId v = 0; v < cap_; ++v) {
+      if (anc_[u][v]) sum ^= util::flag_fingerprint(kKindAnc, u, v);
+      if (desc_[u][v]) sum ^= util::flag_fingerprint(kKindDesc, u, v);
+    }
+  }
+  return sum;
 }
 
 bool DagCandidateIndex::stat(VertexId u, VertexId v) const noexcept {
@@ -205,6 +237,7 @@ void DagCandidateIndex::build(const QueryGraph& q, const DataGraph& g,
       }
     }
   }
+  checksum_ = checksum_recompute();
 }
 
 void DagCandidateIndex::on_vertex_added(VertexId id) {
@@ -219,8 +252,8 @@ void DagCandidateIndex::on_vertex_added(VertexId id) {
   }
   // A fresh vertex is isolated, so flag initialization cannot propagate.
   for (VertexId u = 0; u < q_->num_vertices(); ++u) {
-    anc_[u][id] = eval_anc(u, id) ? 1 : 0;
-    desc_[u][id] = eval_desc(u, id) ? 1 : 0;
+    set_anc(u, id, eval_anc(u, id));
+    set_desc(u, id, eval_desc(u, id));
   }
 }
 
@@ -228,8 +261,8 @@ void DagCandidateIndex::on_vertex_removed(VertexId id) {
   // The engine removes incident edges first, so counters referencing `id`
   // are already zero; only the vertex's own flags need clearing.
   for (VertexId u = 0; u < q_->num_vertices(); ++u) {
-    anc_[u][id] = 0;
-    desc_[u][id] = 0;
+    set_anc(u, id, false);
+    set_desc(u, id, false);
   }
 }
 
@@ -263,15 +296,9 @@ void DagCandidateIndex::direct_deltas(VertexId a, VertexId b, Label elabel,
 void DagCandidateIndex::reeval_pairs_of(VertexId v, std::vector<Flip>& queue) {
   for (VertexId u = 0; u < q_->num_vertices(); ++u) {
     const bool na = eval_anc(u, v);
-    if (na != (anc_[u][v] != 0)) {
-      anc_[u][v] = na ? 1 : 0;
-      queue.push_back({Kind::kAnc, u, v, na});
-    }
+    if (set_anc(u, v, na)) queue.push_back({Kind::kAnc, u, v, na});
     const bool nd = eval_desc(u, v);
-    if (nd != (desc_[u][v] != 0)) {
-      desc_[u][v] = nd ? 1 : 0;
-      queue.push_back({Kind::kDesc, u, v, nd});
-    }
+    if (set_desc(u, v, nd)) queue.push_back({Kind::kDesc, u, v, nd});
   }
 }
 
@@ -290,10 +317,7 @@ void DagCandidateIndex::drain(std::vector<Flip>& queue) {
           auto& cnt = cnt_anc_[c][static_cast<std::size_t>(nb.v) * p + arc.slot];
           cnt += f.on ? 1u : ~0u;  // unsigned -1
           const bool nv = eval_anc(c, nb.v);
-          if (nv != (anc_[c][nb.v] != 0)) {
-            anc_[c][nb.v] = nv ? 1 : 0;
-            queue.push_back({Kind::kAnc, c, nb.v, nv});
-          }
+          if (set_anc(c, nb.v, nv)) queue.push_back({Kind::kAnc, c, nb.v, nv});
         }
       }
     } else {
@@ -305,10 +329,7 @@ void DagCandidateIndex::drain(std::vector<Flip>& queue) {
           auto& cnt = cnt_desc_[p][static_cast<std::size_t>(nb.v) * c + arc.slot];
           cnt += f.on ? 1u : ~0u;
           const bool nv = eval_desc(p, nb.v);
-          if (nv != (desc_[p][nb.v] != 0)) {
-            desc_[p][nb.v] = nv ? 1 : 0;
-            queue.push_back({Kind::kDesc, p, nb.v, nv});
-          }
+          if (set_desc(p, nb.v, nv)) queue.push_back({Kind::kDesc, p, nb.v, nv});
         }
       }
     }

@@ -94,6 +94,14 @@ class DagCandidateIndex {
   /// against a freshly built index.
   [[nodiscard]] bool states_equal(const DagCandidateIndex& other) const noexcept;
 
+  /// Rolling FNV-1a/XOR checksum over the (anc, desc) flag state, maintained
+  /// in O(1) per flip (util/checksum.hpp). Two indexes over the same (Q, G)
+  /// shapes are checksum-equal iff the same flag set is on, so the
+  /// PARACOSM_VERIFY safe-update invariant costs O(1) per batch.
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return checksum_; }
+  /// O(|V(Q)|·cap) reference rescan of `checksum()` for tests.
+  [[nodiscard]] std::uint64_t checksum_recompute() const noexcept;
+
  private:
   enum class Kind : std::uint8_t { kAnc, kDesc };
   struct Flip {
@@ -112,6 +120,12 @@ class DagCandidateIndex {
   std::vector<std::vector<std::uint8_t>> anc_, desc_;
   // cnt_anc_[u][v * parents(u).size() + slot]; likewise for desc/children.
   std::vector<std::vector<std::uint32_t>> cnt_anc_, cnt_desc_;
+  std::uint64_t checksum_ = 0;
+
+  /// Set a flag to `on`, folding the flip into `checksum_`. Returns true iff
+  /// the value changed (the callers' flip-propagation predicate).
+  bool set_anc(VertexId u, VertexId v, bool on) noexcept;
+  bool set_desc(VertexId u, VertexId v, bool on) noexcept;
 
   [[nodiscard]] bool stat(VertexId u, VertexId v) const noexcept;
   [[nodiscard]] bool eval_anc(VertexId u, VertexId v) const noexcept;

@@ -72,13 +72,21 @@ UpdateOutcome SequentialEngine::process_edge(const GraphUpdate& upd,
     out.nodes = sink.nodes;
     out.timed_out = sink.timed_out();
   } else {
-    if (!g_.has_edge(upd.u, upd.v)) return out;
+    // Deletion requests may omit (or mis-state) the edge label — the
+    // benchmark stream format is "-e u v [elabel]". Resolve the actual label
+    // up front: seeds/ADS hooks keyed on it would otherwise enumerate
+    // phantom matches or miss real ones.
+    const auto actual_label = g_.edge_label(upd.u, upd.v);
+    if (!actual_label) return out;
+    GraphUpdate del = upd;
+    del.label = *actual_label;
+
     // Deletions report matches BEFORE the edge disappears (paper §2.2).
     util::ThreadCpuTimer fm_timer;
     MatchSink sink;
     sink.deadline = deadline;
     std::vector<SearchTask> roots;
-    alg_.seeds(upd, roots);
+    alg_.seeds(del, roots);
     for (const SearchTask& task : roots) {
       alg_.expand(task, sink, nullptr);
       if (sink.timed_out()) break;
@@ -89,13 +97,9 @@ UpdateOutcome SequentialEngine::process_edge(const GraphUpdate& upd,
     out.timed_out = sink.timed_out();
 
     util::ThreadCpuTimer ads_timer;
-    const auto removed_label = g_.remove_edge(upd.u, upd.v);
-    if (removed_label) {
-      GraphUpdate applied = upd;
-      applied.label = *removed_label;
-      alg_.on_edge_removed(applied);
-      out.applied = true;
-    }
+    g_.remove_edge(upd.u, upd.v);
+    alg_.on_edge_removed(del);
+    out.applied = true;
     ads_ns_ += ads_timer.elapsed_ns();
   }
   return out;

@@ -31,6 +31,9 @@ class IEDyn final : public BacktrackBase {
   void on_vertex_removed(graph::VertexId id) override { index_.on_vertex_removed(id); }
 
   [[nodiscard]] bool has_ads() const noexcept override { return true; }
+  [[nodiscard]] std::uint64_t ads_checksum() const noexcept override {
+    return index_.checksum();
+  }
   [[nodiscard]] bool ads_safe(const GraphUpdate& upd) const override {
     if (!upd.is_edge_op()) return false;
     return upd.is_insert() ? index_.safe_insert(upd.u, upd.v, upd.label)

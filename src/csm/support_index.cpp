@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "csm/filters.hpp"
+#include "util/checksum.hpp"
 
 namespace paracosm::csm {
 
@@ -13,6 +14,36 @@ namespace paracosm::csm {
 // Convention for maintenance (shared with DagCandidateIndex): direct counter
 // deltas for the updated edge use PRE-update flag values, then flags at the
 // endpoints are re-evaluated, and flips propagate over POST-update adjacency.
+
+namespace {
+constexpr std::uint32_t kKindL1 = 0;
+constexpr std::uint32_t kKindL2 = 1;
+}  // namespace
+
+bool SupportIndex::set_l1(VertexId u, VertexId v, bool on) noexcept {
+  if ((l1_[u][v] != 0) == on) return false;
+  l1_[u][v] = on ? 1 : 0;
+  checksum_ ^= util::flag_fingerprint(kKindL1, u, v);
+  return true;
+}
+
+bool SupportIndex::set_l2(VertexId u, VertexId v, bool on) noexcept {
+  if ((l2_[u][v] != 0) == on) return false;
+  l2_[u][v] = on ? 1 : 0;
+  checksum_ ^= util::flag_fingerprint(kKindL2, u, v);
+  return true;
+}
+
+std::uint64_t SupportIndex::checksum_recompute() const noexcept {
+  std::uint64_t sum = 0;
+  for (VertexId u = 0; u < q_->num_vertices(); ++u) {
+    for (VertexId v = 0; v < cap_; ++v) {
+      if (l1_[u][v]) sum ^= util::flag_fingerprint(kKindL1, u, v);
+      if (l2_[u][v]) sum ^= util::flag_fingerprint(kKindL2, u, v);
+    }
+  }
+  return sum;
+}
 
 bool SupportIndex::stat(VertexId u, VertexId v) const noexcept {
   // Label-only (degree is enforced at enumeration time): since labels are
@@ -80,6 +111,7 @@ void SupportIndex::build(const QueryGraph& q, const DataGraph& g) {
     }
     for (VertexId v = 0; v < cap_; ++v) l2_[u][v] = eval_l2(u, v) ? 1 : 0;
   }
+  checksum_ = checksum_recompute();
 }
 
 void SupportIndex::on_vertex_added(VertexId id) {
@@ -95,15 +127,15 @@ void SupportIndex::on_vertex_added(VertexId id) {
   }
   // Isolated vertex: flags evaluate directly, nothing propagates.
   for (VertexId u = 0; u < q_->num_vertices(); ++u) {
-    l1_[u][id] = eval_l1(u, id) ? 1 : 0;
-    l2_[u][id] = eval_l2(u, id) ? 1 : 0;
+    set_l1(u, id, eval_l1(u, id));
+    set_l2(u, id, eval_l2(u, id));
   }
 }
 
 void SupportIndex::on_vertex_removed(VertexId id) {
   for (VertexId u = 0; u < q_->num_vertices(); ++u) {
-    l1_[u][id] = 0;
-    l2_[u][id] = 0;
+    set_l1(u, id, false);
+    set_l2(u, id, false);
   }
 }
 
@@ -136,10 +168,7 @@ void SupportIndex::refresh(VertexId v1, VertexId v2) {
   for (const VertexId v : {v1, v2}) {
     for (VertexId x = 0; x < q_->num_vertices(); ++x) {
       const bool nv = eval_l1(x, v);
-      if (nv != (l1_[x][v] != 0)) {
-        l1_[x][v] = nv ? 1 : 0;
-        l1_flips.push_back({x, v, nv});
-      }
+      if (set_l1(x, v, nv)) l1_flips.push_back({x, v, nv});
     }
   }
   // Propagate L1 flips into cnt2 of neighbors; re-evaluate kernel flags.
@@ -152,15 +181,15 @@ void SupportIndex::refresh(VertexId v1, VertexId v2) {
         for (std::size_t i = 0; i < xn.size(); ++i) {
           if (xn[i].v != f.u) continue;
           c2[i] += f.on ? 1u : ~0u;
-          l2_[x][nb.v] = eval_l2(x, nb.v) ? 1 : 0;
+          set_l2(x, nb.v, eval_l2(x, nb.v));
         }
       }
     }
-    l2_[f.u][f.v] = eval_l2(f.u, f.v) ? 1 : 0;
+    set_l2(f.u, f.v, eval_l2(f.u, f.v));
   }
   for (const VertexId v : {v1, v2})
     for (VertexId x = 0; x < q_->num_vertices(); ++x)
-      l2_[x][v] = eval_l2(x, v) ? 1 : 0;
+      set_l2(x, v, eval_l2(x, v));
 }
 
 void SupportIndex::on_edge_inserted(VertexId v1, VertexId v2) {

@@ -59,6 +59,13 @@ class SupportIndex {
   [[nodiscard]] std::uint64_t num_kernel_pairs() const noexcept;
   [[nodiscard]] bool states_equal(const SupportIndex& other) const noexcept;
 
+  /// Rolling FNV-1a/XOR checksum over the (L1, L2) flag state, maintained in
+  /// O(1) per flip (util/checksum.hpp) — the PARACOSM_VERIFY safe-update
+  /// invariant costs O(1) per batch instead of a full state scan.
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return checksum_; }
+  /// O(|V(Q)|·cap) reference rescan of `checksum()` for tests.
+  [[nodiscard]] std::uint64_t checksum_recompute() const noexcept;
+
  private:
   const QueryGraph* q_ = nullptr;
   const DataGraph* g_ = nullptr;
@@ -66,6 +73,12 @@ class SupportIndex {
 
   // Flags per (query vertex, data vertex).
   std::vector<std::vector<std::uint8_t>> l1_, l2_;
+  std::uint64_t checksum_ = 0;
+
+  /// Set a flag to `on`, folding the flip into `checksum_`. Returns true iff
+  /// the value changed.
+  bool set_l1(VertexId u, VertexId v, bool on) noexcept;
+  bool set_l2(VertexId u, VertexId v, bool on) noexcept;
   // cnt1_[u][v * deg_Q(u) + i]: |{w in N(v) : stat(nbr_i(u), w)}|; cnt2_
   // likewise over L1. nbr_i(u) is q_->neighbors(u)[i].v.
   std::vector<std::vector<std::uint32_t>> cnt1_, cnt2_;

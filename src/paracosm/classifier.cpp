@@ -14,8 +14,18 @@ UpdateClass UpdateClassifier::classify(const graph::GraphUpdate& upd) const {
   const bool insert = upd.op == UpdateOp::kInsertEdge;
   if (insert == g_.has_edge(upd.u, upd.v)) return UpdateClass::kUnsafe;
 
+  // Deletion requests may omit the edge label ("-e u v"); classify against
+  // the actual label or stage 1/3 would judge the wrong edge (the engines
+  // resolve it the same way — see csm/engine.cpp).
+  graph::GraphUpdate eff = upd;
+  if (!insert) {
+    const auto actual_label = g_.edge_label(upd.u, upd.v);
+    if (!actual_label) return UpdateClass::kUnsafe;
+    eff.label = *actual_label;
+  }
+
   // Stage 1: label filtering.
-  const auto pairs = q_.matching_edges(g_.label(upd.u), g_.label(upd.v), upd.label,
+  const auto pairs = q_.matching_edges(g_.label(eff.u), g_.label(eff.v), eff.label,
                                        !alg_.uses_edge_labels());
   if (pairs.empty()) return UpdateClass::kSafeLabel;
 
@@ -33,11 +43,11 @@ UpdateClass UpdateClassifier::classify(const graph::GraphUpdate& upd) const {
 
   if (!alg_.has_ads()) {
     if (!degree_feasible) return UpdateClass::kSafeDegree;
-    return alg_.ads_safe(upd) ? UpdateClass::kSafeAds : UpdateClass::kUnsafe;
+    return alg_.ads_safe(eff) ? UpdateClass::kSafeAds : UpdateClass::kUnsafe;
   }
   // ADS-bearing algorithm: stage 3 must always confirm the index is
   // untouched; stage 2 only contributes the attribution.
-  if (!alg_.ads_safe(upd)) return UpdateClass::kUnsafe;
+  if (!alg_.ads_safe(eff)) return UpdateClass::kUnsafe;
   return degree_feasible ? UpdateClass::kSafeAds : UpdateClass::kSafeDegree;
 }
 

@@ -76,10 +76,10 @@ void MultiQueryEngine::process_unsafe(const GraphUpdate& upd,
   }
 
   const bool insert = upd.op == UpdateOp::kInsertEdge;
-  const auto search = [&](std::size_t qi) {
+  const auto search = [&](std::size_t qi, const GraphUpdate& eff) {
     Registered& reg = queries_[qi];
     std::vector<csm::SearchTask> seeds;
-    reg.algorithm->seeds(upd, seeds);
+    reg.algorithm->seeds(eff, seeds);
     if (seeds.empty()) return std::uint64_t{0};
     if (config_.inner_parallelism) {
       InnerRunResult run = inner_.run(*reg.algorithm, std::move(seeds), deadline);
@@ -103,17 +103,18 @@ void MultiQueryEngine::process_unsafe(const GraphUpdate& upd,
     if (!g_.add_edge(upd.u, upd.v, upd.label)) return;
     for (Registered& reg : queries_) reg.algorithm->on_edge_inserted(upd);
     for (std::size_t qi = 0; qi < queries_.size(); ++qi)
-      result.positive[qi] += search(qi);
+      result.positive[qi] += search(qi, upd);
   } else {
-    if (!g_.has_edge(upd.u, upd.v)) return;
+    // Resolve the actual edge label before seeding — deletion requests may
+    // omit it (see csm/engine.cpp).
+    const auto actual_label = g_.edge_label(upd.u, upd.v);
+    if (!actual_label) return;
+    GraphUpdate del = upd;
+    del.label = *actual_label;
     for (std::size_t qi = 0; qi < queries_.size(); ++qi)
-      result.negative[qi] += search(qi);
-    const auto removed = g_.remove_edge(upd.u, upd.v);
-    if (removed) {
-      GraphUpdate applied = upd;
-      applied.label = *removed;
-      for (Registered& reg : queries_) reg.algorithm->on_edge_removed(applied);
-    }
+      result.negative[qi] += search(qi, del);
+    g_.remove_edge(upd.u, upd.v);
+    for (Registered& reg : queries_) reg.algorithm->on_edge_removed(del);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "paracosm/paracosm.hpp"
 
+#include <stdexcept>
 #include <unordered_set>
 
 #include "paracosm/shard_cursor.hpp"
@@ -109,22 +110,24 @@ csm::UpdateOutcome ParaCosm::process_edge(const GraphUpdate& upd,
     out.positive = matches;
     out.nodes = nodes;
   } else {
-    if (!g_.has_edge(upd.u, upd.v)) return out;
+    // Resolve the actual edge label before seeding: deletion requests may
+    // omit it ("-e u v"), and label-keyed seeds would enumerate phantom
+    // matches or miss real ones (see csm/engine.cpp).
+    const auto actual_label = g_.edge_label(upd.u, upd.v);
+    if (!actual_label) return out;
+    GraphUpdate del = upd;
+    del.label = *actual_label;
     util::ThreadCpuTimer serial;
     std::vector<csm::SearchTask> roots;
-    alg_.seeds(upd, roots);
+    alg_.seeds(del, roots);
     stats.serial_ns += serial.elapsed_ns();
     const auto [matches, nodes] = explore(roots);
     out.negative = matches;
     out.nodes = nodes;
     util::ThreadCpuTimer serial2;
-    const auto removed = g_.remove_edge(upd.u, upd.v);
-    if (removed) {
-      GraphUpdate applied = upd;
-      applied.label = *removed;
-      alg_.on_edge_removed(applied);
-      out.applied = true;
-    }
+    g_.remove_edge(upd.u, upd.v);
+    alg_.on_edge_removed(del);
+    out.applied = true;
     stats.serial_ns += serial2.elapsed_ns();
   }
   return out;
@@ -247,6 +250,14 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
     // (shard_cursor.hpp): each worker drains a contiguous slice with
     // uncontended claims and only steals from stragglers' shards.
     if (safe_prefix > 0) {
+#ifdef PARACOSM_VERIFY
+      // Metamorphic invariant (verify/invariants.hpp): a safe-classified
+      // update must not flip ADS state, so a whole batch of them must leave
+      // the rolling checksum bit-identical. Reading it only at the batch
+      // boundaries keeps the check O(1) per batch and outside the window
+      // where workers mutate counter caches concurrently.
+      const std::uint64_t verify_ads_before = alg_.ads_checksum();
+#endif
       if (nthreads > 1 && safe_prefix > 1) {
         ShardedCursor cursor(safe_prefix, nthreads);
         pool_.run([&](unsigned wid) {
@@ -270,6 +281,12 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
         for (std::size_t j = 0; j < safe_prefix; ++j) apply_safe(stream[i + j]);
         result.stats.serial_ns += timer.elapsed_ns();
       }
+#ifdef PARACOSM_VERIFY
+      if (alg_.ads_checksum() != verify_ads_before)
+        throw std::logic_error(
+            "PARACOSM_VERIFY: a safe-classified batch mutated the ADS "
+            "checksum — the classifier or an ads_safe rule is unsound");
+#endif
       result.safe_applied += safe_prefix;
       result.updates_processed += safe_prefix;
     }

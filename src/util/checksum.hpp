@@ -1,0 +1,39 @@
+// Rolling FNV-1a checksums over incremental flag state.
+//
+// The candidate/support indexes summarize their boolean flag tables as a
+// single 64-bit value: the XOR over all *set* flags of an FNV-1a fingerprint
+// of the flag's coordinates. XOR is its own inverse, so a flip (on or off)
+// updates the checksum in O(1) — the whole point: the PARACOSM_VERIFY
+// safe-update invariant ("a safe batch leaves the ADS bit-identical") is
+// checkable per batch in O(1) instead of an O(|Q|·|V(G)|) state scan.
+// Fingerprints are order-independent, so two states are checksum-equal iff
+// the same flag set is on (modulo 2^-64 collision odds).
+#pragma once
+
+#include <cstdint>
+
+namespace paracosm::util {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x00000100000001b3ULL;
+
+/// Fold one 32-bit word into an FNV-1a state, byte by byte (little-endian).
+[[nodiscard]] constexpr std::uint64_t fnv1a_word(std::uint64_t h,
+                                                 std::uint32_t word) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    h ^= (word >> (8 * i)) & 0xffu;
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Fingerprint of one flag coordinate (kind, u, v). `kind` distinguishes the
+/// flag families of one index (anc/desc, L1/L2) so their fingerprints never
+/// cancel each other.
+[[nodiscard]] constexpr std::uint64_t flag_fingerprint(std::uint32_t kind,
+                                                       std::uint32_t u,
+                                                       std::uint32_t v) noexcept {
+  return fnv1a_word(fnv1a_word(fnv1a_word(kFnv1aOffset, kind), u), v);
+}
+
+}  // namespace paracosm::util

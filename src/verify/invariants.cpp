@@ -1,0 +1,195 @@
+#include "verify/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "paracosm/classifier.hpp"
+#include "paracosm/paracosm.hpp"
+
+namespace paracosm::verify {
+
+using graph::GraphUpdate;
+
+namespace {
+
+engine::Config sequential_config() {
+  engine::Config cfg;
+  cfg.threads = 1;
+  cfg.inner_parallelism = false;
+  cfg.inter_parallelism = false;
+  cfg.queue_spin_iters = 1;
+  cfg.pool_spin_iters = 1;
+  return cfg;
+}
+
+std::string cell_prefix(const FuzzCase& c, std::string_view algorithm,
+                        std::uint32_t query_index) {
+  std::ostringstream os;
+  os << "seed=" << c.seed << " alg=" << algorithm << " query=" << query_index
+     << ": ";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::string> check_insert_delete_noop(const FuzzCase& c,
+                                                    std::string_view algorithm,
+                                                    std::uint32_t query_index,
+                                                    std::uint32_t max_probes) {
+  std::unique_ptr<csm::CsmAlgorithm> alg = csm::make_algorithm(algorithm);
+  if (!alg) return std::nullopt;
+  graph::DataGraph g = c.graph;
+  std::unique_ptr<engine::ParaCosm> pc;
+  try {
+    pc = std::make_unique<engine::ParaCosm>(*alg, c.queries[query_index], g,
+                                            sequential_config());
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+
+  std::vector<CanonMatch> observed;
+  pc->set_match_callback([&observed](std::span<const Assignment> m) {
+    observed.push_back(canonicalize(m));
+  });
+
+  // Probe with the insertions the case's own stream would perform (they are
+  // guaranteed to be in-distribution for the graph).
+  std::uint32_t probes = 0;
+  for (const GraphUpdate& upd : c.stream) {
+    if (probes >= max_probes) break;
+    if (upd.op != graph::UpdateOp::kInsertEdge) continue;
+    if (!g.has_vertex(upd.u) || !g.has_vertex(upd.v) || upd.u == upd.v ||
+        g.has_edge(upd.u, upd.v))
+      continue;
+    ++probes;
+
+    const std::uint64_t chk_before = alg->ads_checksum();
+    const graph::DataGraph snapshot = g;
+
+    observed.clear();
+    const csm::UpdateOutcome ins = pc->process(upd);
+    std::vector<CanonMatch> gained = std::move(observed);
+    observed.clear();
+    const csm::UpdateOutcome del =
+        pc->process(GraphUpdate::remove_edge(upd.u, upd.v));
+    std::vector<CanonMatch> lost = std::move(observed);
+
+    const auto fail = [&](const std::string& what) {
+      std::ostringstream os;
+      os << cell_prefix(c, algorithm, query_index) << "insert(" << upd.u << ","
+         << upd.v << ")+delete is not a no-op: " << what;
+      return os.str();
+    };
+    if (ins.positive != del.negative) {
+      std::ostringstream os;
+      os << "gained " << ins.positive << " matches but lost " << del.negative;
+      return fail(os.str());
+    }
+    std::sort(gained.begin(), gained.end(), canon_less);
+    std::sort(lost.begin(), lost.end(), canon_less);
+    if (gained != lost) return fail("ΔM⁺ and ΔM⁻ multisets differ");
+    if (alg->ads_checksum() != chk_before)
+      return fail("ADS checksum did not return to its prior value");
+    if (!g.same_structure(snapshot)) return fail("data graph structure changed");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_safe_checksum_invariance(
+    const FuzzCase& c, std::string_view algorithm, std::uint32_t query_index) {
+  std::unique_ptr<csm::CsmAlgorithm> alg = csm::make_algorithm(algorithm);
+  if (!alg) return std::nullopt;
+  graph::DataGraph g = c.graph;
+  std::unique_ptr<engine::ParaCosm> pc;
+  try {
+    pc = std::make_unique<engine::ParaCosm>(*alg, c.queries[query_index], g,
+                                            sequential_config());
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+
+  const engine::UpdateClassifier classifier(c.queries[query_index], g, *alg);
+  for (std::uint32_t i = 0; i < c.stream.size(); ++i) {
+    const GraphUpdate& upd = c.stream[i];
+    const engine::UpdateClass verdict = classifier.classify(upd);
+    const std::uint64_t chk_before = alg->ads_checksum();
+    const csm::UpdateOutcome out = pc->process(upd);
+    if (!engine::is_safe(verdict)) continue;
+    const auto fail = [&](std::string_view what) {
+      std::ostringstream os;
+      os << cell_prefix(c, algorithm, query_index) << "update " << i
+         << " was classified safe but " << what;
+      return os.str();
+    };
+    if (out.positive + out.negative != 0) return fail("produced matches");
+    if (alg->ads_checksum() != chk_before) return fail("flipped ADS state");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_thread_permutation_invariance(
+    const FuzzCase& c, std::string_view algorithm, std::uint32_t query_index,
+    const std::vector<unsigned>& thread_counts) {
+  std::optional<std::string> reference;
+  unsigned reference_threads = 0;
+
+  for (const unsigned threads : thread_counts) {
+    std::unique_ptr<csm::CsmAlgorithm> alg = csm::make_algorithm(algorithm);
+    if (!alg) return std::nullopt;
+    graph::DataGraph g = c.graph;
+    engine::Config cfg = sequential_config();
+    cfg.threads = threads;
+    cfg.inner_parallelism = true;
+    cfg.split_depth = 3;
+    std::unique_ptr<engine::ParaCosm> pc;
+    try {
+      pc = std::make_unique<engine::ParaCosm>(*alg, c.queries[query_index], g, cfg);
+    } catch (const std::invalid_argument&) {
+      return std::nullopt;
+    }
+
+    // Serialize the full callback stream, update boundaries included; the
+    // delivery contract promises this transcript is identical for every
+    // thread count (per-worker buffers merged + sorted at quiescence).
+    std::ostringstream transcript;
+    pc->set_match_callback([&transcript](std::span<const Assignment> m) {
+      for (const Assignment& a : m) transcript << a.qv << ':' << a.dv << ' ';
+      transcript << ';';
+    });
+    for (const GraphUpdate& upd : c.stream) {
+      pc->process(upd);
+      transcript << '|';
+    }
+
+    std::string got = std::move(transcript).str();
+    if (!reference) {
+      reference = std::move(got);
+      reference_threads = threads;
+    } else if (got != *reference) {
+      std::ostringstream os;
+      os << cell_prefix(c, algorithm, query_index)
+         << "match transcript differs between " << reference_threads << " and "
+         << threads << " threads";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> check_all_invariants(const FuzzCase& c) {
+  std::vector<std::string> violations;
+  const auto collect = [&violations](std::optional<std::string> v) {
+    if (v) violations.push_back(std::move(*v));
+  };
+  for (std::uint32_t qi = 0; qi < c.queries.size(); ++qi) {
+    for (const std::string_view name : fuzz_algorithms()) {
+      collect(check_insert_delete_noop(c, name, qi));
+      collect(check_safe_checksum_invariance(c, name, qi));
+      collect(check_thread_permutation_invariance(c, name, qi));
+    }
+  }
+  return violations;
+}
+
+}  // namespace paracosm::verify

@@ -1,0 +1,46 @@
+// Metamorphic invariants: properties every (algorithm, executor, thread
+// count) combination must satisfy on ANY input, checkable without an oracle.
+//
+//   * insert-then-delete no-op — inserting an edge and immediately deleting
+//     it must return the match set (ΔM⁺ multiset == ΔM⁻ multiset), the data
+//     graph, and the ADS checksum to their exact prior state;
+//   * safe-update checksum invariance — every update the classifier marks
+//     safe must leave the ADS checksum bit-identical and produce zero
+//     matches (that is the definition of safe the batch executor relies on);
+//   * thread permutation invariance — the match-callback stream of the
+//     inner-update executor must be byte-identical across thread counts
+//     (the delivery contract of csm/match.hpp).
+//
+// The same checksum invariant is compiled into the batch executor itself
+// under the PARACOSM_VERIFY build flag (paracosm.cpp asserts it at every
+// batch boundary, O(1) per batch thanks to the rolling checksums).
+//
+// Each checker returns a description of the first violation, or nullopt.
+// Cells outside an algorithm's domain (iedyn × cyclic query) are skipped.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verify/fuzzer.hpp"
+
+namespace paracosm::verify {
+
+[[nodiscard]] std::optional<std::string> check_insert_delete_noop(
+    const FuzzCase& c, std::string_view algorithm, std::uint32_t query_index,
+    std::uint32_t max_probes = 8);
+
+[[nodiscard]] std::optional<std::string> check_safe_checksum_invariance(
+    const FuzzCase& c, std::string_view algorithm, std::uint32_t query_index);
+
+[[nodiscard]] std::optional<std::string> check_thread_permutation_invariance(
+    const FuzzCase& c, std::string_view algorithm, std::uint32_t query_index,
+    const std::vector<unsigned>& thread_counts = {1, 2, 4, 8});
+
+/// All three invariants over every fuzz algorithm × query of the case.
+/// Returns every violation found (empty = all hold).
+[[nodiscard]] std::vector<std::string> check_all_invariants(const FuzzCase& c);
+
+}  // namespace paracosm::verify

@@ -1,0 +1,179 @@
+#include "verify/oracle_mirror.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "csm/oracle.hpp"
+
+namespace paracosm::verify {
+
+CanonMatch canonicalize(std::span<const Assignment> mapping) {
+  CanonMatch m(mapping.begin(), mapping.end());
+  std::sort(m.begin(), m.end(), [](const Assignment& a, const Assignment& b) {
+    return a.qv < b.qv;
+  });
+  return m;
+}
+
+bool canon_less(const CanonMatch& a, const CanonMatch& b) noexcept {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](const Assignment& x, const Assignment& y) {
+        return x.qv != y.qv ? x.qv < y.qv : x.dv < y.dv;
+      });
+}
+
+std::string canon_to_string(const CanonMatch& m) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (i) os << ' ';
+    os << m[i].qv << "->" << m[i].dv;
+  }
+  os << '}';
+  return os.str();
+}
+
+OracleMirror::OracleMirror(const graph::QueryGraph& q,
+                           const graph::DataGraph& initial, bool use_edge_labels,
+                           bool strict)
+    : q_(q), mirror_(initial), elabels_(use_edge_labels), strict_(strict) {
+  if (strict_) {
+    matches_ = enumerate();
+    count_ = matches_.size();
+  } else {
+    count_ = csm::count_all_matches(q_, mirror_, elabels_);
+  }
+}
+
+std::vector<CanonMatch> OracleMirror::enumerate() const {
+  std::vector<CanonMatch> out;
+  csm::MatchSink sink;
+  sink.on_match = [&out](std::span<const Assignment> mapping) {
+    out.push_back(canonicalize(mapping));
+  };
+  csm::enumerate_all_matches(q_, mirror_, sink, elabels_);
+  std::sort(out.begin(), out.end(), canon_less);
+  return out;
+}
+
+const OracleDelta& OracleMirror::step(const graph::GraphUpdate& upd) {
+  last_ = OracleDelta{};
+  last_.applied = mirror_.apply(upd);
+  if (!last_.applied) return last_;  // duplicate insert / missing target: no-op
+
+  if (strict_) {
+    std::vector<CanonMatch> after = enumerate();
+    // matches_ and after are both sorted: the symmetric difference IS the
+    // per-update delta (recompute definition of ΔM, paper §2.1).
+    std::set_difference(after.begin(), after.end(), matches_.begin(),
+                        matches_.end(), std::back_inserter(last_.appeared),
+                        canon_less);
+    std::set_difference(matches_.begin(), matches_.end(), after.begin(),
+                        after.end(), std::back_inserter(last_.expired),
+                        canon_less);
+    last_.positive = last_.appeared.size();
+    last_.negative = last_.expired.size();
+    matches_ = std::move(after);
+    count_ = matches_.size();
+  } else {
+    const std::uint64_t after = csm::count_all_matches(q_, mirror_, elabels_);
+    if (after >= count_)
+      last_.positive = after - count_;
+    else
+      last_.negative = count_ - after;
+    count_ = after;
+  }
+  return last_;
+}
+
+OracleTrace build_trace(const graph::QueryGraph& q,
+                        const graph::DataGraph& initial,
+                        std::span<const graph::GraphUpdate> stream,
+                        bool use_edge_labels, bool strict) {
+  OracleMirror mirror(q, initial, use_edge_labels, strict);
+  OracleTrace trace;
+  trace.deltas.reserve(stream.size());
+  for (const auto& upd : stream) {
+    const OracleDelta& d = mirror.step(upd);
+    trace.total_positive += d.positive;
+    trace.total_negative += d.negative;
+    trace.deltas.push_back(d);
+  }
+  trace.final_graph = mirror.graph();
+  return trace;
+}
+
+void DeltaReconciler::observe(std::span<const Assignment> mapping) {
+  observed_.push_back(canonicalize(mapping));
+}
+
+namespace {
+
+std::optional<std::string> first_multiset_diff(std::vector<CanonMatch> got,
+                                               std::vector<CanonMatch> want) {
+  std::sort(got.begin(), got.end(), canon_less);
+  std::sort(want.begin(), want.end(), canon_less);
+  std::vector<CanonMatch> extra, missing;
+  std::set_difference(got.begin(), got.end(), want.begin(), want.end(),
+                      std::back_inserter(extra), canon_less);
+  std::set_difference(want.begin(), want.end(), got.begin(), got.end(),
+                      std::back_inserter(missing), canon_less);
+  if (extra.empty() && missing.empty()) return std::nullopt;
+  std::ostringstream os;
+  os << "mapping multiset mismatch:";
+  if (!missing.empty())
+    os << " missing " << missing.size() << " (first "
+       << canon_to_string(missing.front()) << ")";
+  if (!extra.empty())
+    os << " extra " << extra.size() << " (first "
+       << canon_to_string(extra.front()) << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::string> DeltaReconciler::reconcile(const OracleDelta& want,
+                                                      std::uint64_t got_positive,
+                                                      std::uint64_t got_negative,
+                                                      bool check_mappings) {
+  if (got_positive != want.positive || got_negative != want.negative) {
+    std::ostringstream os;
+    os << "delta count mismatch: got +" << got_positive << "/-" << got_negative
+       << ", oracle +" << want.positive << "/-" << want.negative;
+    return os.str();
+  }
+  if (check_mappings) {
+    // The callback stream covers both directions: ΔM⁺ mappings are emitted
+    // on insertions, ΔM⁻ mappings on deletions — reconcile the union.
+    std::vector<CanonMatch> expect = want.appeared;
+    expect.insert(expect.end(), want.expired.begin(), want.expired.end());
+    if (auto diff = first_multiset_diff(observed_, std::move(expect)))
+      return diff;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> DeltaReconciler::reconcile_stream(
+    const OracleTrace& want, std::uint64_t got_positive,
+    std::uint64_t got_negative, bool check_mappings) {
+  if (got_positive != want.total_positive ||
+      got_negative != want.total_negative) {
+    std::ostringstream os;
+    os << "stream total mismatch: got +" << got_positive << "/-" << got_negative
+       << ", oracle +" << want.total_positive << "/-" << want.total_negative;
+    return os.str();
+  }
+  if (check_mappings) {
+    std::vector<CanonMatch> expect;
+    for (const OracleDelta& d : want.deltas) {
+      expect.insert(expect.end(), d.appeared.begin(), d.appeared.end());
+      expect.insert(expect.end(), d.expired.begin(), d.expired.end());
+    }
+    if (auto diff = first_multiset_diff(observed_, std::move(expect)))
+      return diff;
+  }
+  return std::nullopt;
+}
+
+}  // namespace paracosm::verify

@@ -1,0 +1,136 @@
+// Trusted recompute oracle for differential correctness testing.
+//
+// ParaCOSM's value proposition is that the parallel executors produce
+// *exactly* the incremental deltas the sequential CSM algorithms would — and
+// those, in turn, exactly the deltas a from-scratch recomputation defines
+// (paper §2.1: ΔM is determined by the match sets before and after an
+// update). OracleMirror is that definition made executable: it keeps a
+// private mirror of the data graph, applies each update to it, re-enumerates
+// ALL matches with plain backtracking (csm/oracle.hpp — no auxiliary
+// structure, nothing shared with the engines under test) and diffs the match
+// sets. The result is the per-update ground truth every engine configuration
+// is reconciled against:
+//
+//   * counting mode      — |ΔM⁺| / |ΔM⁻| per update;
+//   * strict mode        — the full canonical mapping sets that appeared and
+//                          expired, so a wrong-but-count-preserving delta
+//                          (one bogus match traded for one missed match)
+//                          still diverges.
+//
+// DeltaReconciler is the engine-side half: it captures the match-callback
+// stream and checks it against an OracleDelta (per update) or a whole trace
+// (per stream, for the batch executor whose callbacks are not cut at update
+// granularity from the outside).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "csm/match.hpp"
+#include "graph/data_graph.hpp"
+#include "graph/query_graph.hpp"
+
+namespace paracosm::verify {
+
+using csm::Assignment;
+
+/// A match as a canonical value: its assignments sorted by query vertex.
+/// Engines report mappings in their own matching order; canonicalization
+/// makes mappings comparable across algorithms, executors and the oracle.
+using CanonMatch = std::vector<Assignment>;
+
+[[nodiscard]] CanonMatch canonicalize(std::span<const Assignment> mapping);
+[[nodiscard]] bool canon_less(const CanonMatch& a, const CanonMatch& b) noexcept;
+[[nodiscard]] std::string canon_to_string(const CanonMatch& m);
+
+/// Ground-truth effect of one update: counts plus (in strict mode) the
+/// canonical mappings that appeared/expired, each sorted by canon_less.
+struct OracleDelta {
+  std::uint64_t positive = 0;  ///< |ΔM⁺|
+  std::uint64_t negative = 0;  ///< |ΔM⁻|
+  std::vector<CanonMatch> appeared;
+  std::vector<CanonMatch> expired;
+  bool applied = false;  ///< whether the mirror graph changed at all
+};
+
+class OracleMirror {
+ public:
+  /// Snapshots `initial` into the private mirror and enumerates the initial
+  /// match set. `strict` collects full mappings (delta-reconciliation mode);
+  /// otherwise only counts are maintained.
+  OracleMirror(const graph::QueryGraph& q, const graph::DataGraph& initial,
+               bool use_edge_labels, bool strict = true);
+
+  /// Apply `upd` to the mirror, re-enumerate from scratch, and return the
+  /// diff against the pre-update match set.
+  const OracleDelta& step(const graph::GraphUpdate& upd);
+
+  [[nodiscard]] std::uint64_t match_count() const noexcept { return count_; }
+  /// Current match set (strict mode only), sorted by canon_less.
+  [[nodiscard]] const std::vector<CanonMatch>& matches() const noexcept {
+    return matches_;
+  }
+  [[nodiscard]] const graph::DataGraph& graph() const noexcept { return mirror_; }
+  [[nodiscard]] bool strict() const noexcept { return strict_; }
+
+ private:
+  [[nodiscard]] std::vector<CanonMatch> enumerate() const;
+
+  const graph::QueryGraph& q_;
+  graph::DataGraph mirror_;
+  bool elabels_;
+  bool strict_;
+  std::uint64_t count_ = 0;
+  std::vector<CanonMatch> matches_;  // sorted (strict mode)
+  OracleDelta last_;
+};
+
+/// Whole-stream ground truth: one OracleDelta per update plus the final
+/// mirror state. check_case/check_cell build one trace per (query,
+/// edge-label mode) and reconcile every engine configuration against it.
+struct OracleTrace {
+  std::vector<OracleDelta> deltas;
+  std::uint64_t total_positive = 0;
+  std::uint64_t total_negative = 0;
+  graph::DataGraph final_graph;
+};
+
+[[nodiscard]] OracleTrace build_trace(const graph::QueryGraph& q,
+                                      const graph::DataGraph& initial,
+                                      std::span<const graph::GraphUpdate> stream,
+                                      bool use_edge_labels, bool strict = true);
+
+/// Captures an engine's match-callback stream and reconciles it against the
+/// oracle. One reconciler per engine run; `clear()` between updates when
+/// reconciling at update granularity.
+class DeltaReconciler {
+ public:
+  /// Match callback body: record one emitted mapping.
+  void observe(std::span<const Assignment> mapping);
+  void clear() noexcept { observed_.clear(); }
+  [[nodiscard]] std::uint64_t observed_count() const noexcept {
+    return observed_.size();
+  }
+
+  /// Per-update reconciliation: engine counts must equal the oracle's and —
+  /// when `check_mappings` and the delta is strict — the observed multiset
+  /// must equal appeared ∪ expired. Returns a description of the first
+  /// discrepancy, or nullopt.
+  [[nodiscard]] std::optional<std::string> reconcile(const OracleDelta& want,
+                                                     std::uint64_t got_positive,
+                                                     std::uint64_t got_negative,
+                                                     bool check_mappings);
+
+  /// Stream-level reconciliation against a whole trace (batch executor).
+  [[nodiscard]] std::optional<std::string> reconcile_stream(
+      const OracleTrace& want, std::uint64_t got_positive,
+      std::uint64_t got_negative, bool check_mappings);
+
+ private:
+  std::vector<CanonMatch> observed_;
+};
+
+}  // namespace paracosm::verify

@@ -1,0 +1,57 @@
+// Self-contained repro files for fuzzer findings.
+//
+// A repro bundles one fuzz case (graph + queries + stream, each section in
+// the standard benchmark text format of graph_io.hpp) together with the
+// failing-cell metadata, in a single human-diffable file:
+//
+//   # paracosm_fuzz repro v1
+//   meta seed 42
+//   meta algorithm turboflux
+//   meta lane batch
+//   meta threads 4
+//   meta query 0
+//   meta update 7
+//   meta message delta count mismatch: ...
+//   %graph
+//   v 0 1
+//   e 0 1 0
+//   %query
+//   v 0 1
+//   ...
+//   %stream
+//   +e 0 2 0
+//   %end
+//
+// `paracosm_fuzz --replay file` re-runs the recorded cell (or the full
+// matrix when no cell is recorded), and the regression suite loads every
+// file under tests/repros/ and asserts the divergence stays fixed.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "verify/fuzzer.hpp"
+
+namespace paracosm::verify {
+
+struct Repro {
+  FuzzCase fuzz_case;
+  /// Recorded failing cell; absent for hand-written regression cases that
+  /// should be checked across the whole matrix.
+  std::optional<Divergence> cell;
+};
+
+void save_repro(const Repro& r, std::ostream& out);
+void save_repro_file(const Repro& r, const std::string& path);
+
+/// Parse a repro file. Throws std::runtime_error on malformed input.
+[[nodiscard]] Repro load_repro(std::istream& in);
+[[nodiscard]] Repro load_repro_file(const std::string& path);
+
+/// Re-check a repro: when a cell is recorded, only that cell runs; otherwise
+/// the whole default matrix. Returns the divergences found (empty = fixed).
+[[nodiscard]] std::vector<Divergence> check_repro(
+    const Repro& r, const AlgorithmFactory& factory = {});
+
+}  // namespace paracosm::verify

@@ -1,0 +1,41 @@
+// Failing-case minimizer (ddmin-style delta debugging over fuzz cases).
+//
+// Given a divergence found by the fuzzer, the shrinker greedily reduces the
+// case while re-running ONLY the failing cell (same algorithm, lane and
+// thread count — the cheapest predicate that still reproduces the bug):
+//
+//   1. truncate the stream right after the diverging update;
+//   2. ddmin over the remaining updates (chunked removal, halving);
+//   3. drop every query but the failing one;
+//   4. drop query vertices while the pattern stays connected;
+//   5. ddmin over the *initial graph's* edges;
+//   6. collapse vertex and edge labels to 0.
+//
+// Each reduction is accepted only if the cell still diverges, so the output
+// is a 1-minimal-ish repro — typically a handful of updates — suitable for
+// direct inclusion as a regression test (repro.hpp serializes it).
+#pragma once
+
+#include "verify/fuzzer.hpp"
+
+namespace paracosm::verify {
+
+struct ShrinkOptions {
+  std::uint32_t max_rounds = 4;  ///< full passes over the reduction steps
+  std::uint32_t max_runs = 500;  ///< total predicate (cell re-run) budget
+  bool check_mappings = true;    ///< must match how the divergence was found
+  AlgorithmFactory factory;      ///< must match how the divergence was found
+};
+
+struct ShrinkResult {
+  FuzzCase reduced;           ///< still diverging, hopefully much smaller
+  Divergence divergence;      ///< the divergence as observed on `reduced`
+  std::uint32_t predicate_runs = 0;
+};
+
+/// Minimize `c` with respect to the failing cell described by `d`.
+/// Precondition: that cell actually diverges on `c`.
+[[nodiscard]] ShrinkResult shrink(const FuzzCase& c, const Divergence& d,
+                                  const ShrinkOptions& opts = {});
+
+}  // namespace paracosm::verify

@@ -6,6 +6,7 @@
 
 #include "csm/candidate_index.hpp"
 #include "csm/support_index.hpp"
+#include "csm/oracle.hpp"
 #include "tests/test_support.hpp"
 
 namespace paracosm::testing {

@@ -1,0 +1,145 @@
+// Merge determinism for the per-worker match sinks
+// (paracosm/match_buffer.hpp). The delivery contract of csm/match.hpp says
+// the emitted sequence is a pure function of the match *set* — so any
+// distribution of the same mappings across any number of worker buffers, in
+// any interleaving, must merge to a byte-identical stream. Duplicate
+// (qv,dv) mappings must survive the merge (ΔM is reconciled as a multiset).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "paracosm/match_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace paracosm::engine {
+namespace {
+
+using csm::Assignment;
+
+std::vector<std::vector<Assignment>> make_mappings(std::uint64_t seed,
+                                                   std::size_t count) {
+  util::Rng rng(seed);
+  std::vector<std::vector<Assignment>> mappings;
+  mappings.reserve(count + count / 4);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<Assignment> m;
+    const std::size_t arity = 2 + rng.range(0, 3);
+    for (std::size_t qv = 0; qv < arity; ++qv)
+      m.push_back(Assignment{static_cast<graph::VertexId>(qv),
+                             static_cast<graph::VertexId>(rng.range(0, 15))});
+    mappings.push_back(std::move(m));
+    if (i % 4 == 0) mappings.push_back(mappings.back());  // exact duplicate
+  }
+  return mappings;
+}
+
+/// Render the emitted stream as one string: byte-identical outputs compare
+/// equal iff the delivery order and content are identical.
+std::string merged_transcript(std::span<MatchBuffer> buffers) {
+  std::string out;
+  emit_merged_sorted(buffers, [&](std::span<const Assignment> m) {
+    for (const Assignment& a : m)
+      out += std::to_string(a.qv) + ":" + std::to_string(a.dv) + ",";
+    out += ";";
+  });
+  return out;
+}
+
+TEST(MatchBuffer, EmptyBuffersEmitNothing) {
+  std::vector<MatchBuffer> buffers(8);
+  EXPECT_EQ(merged_transcript(buffers), "");
+}
+
+TEST(MatchBuffer, EightWorkerInterleavingMatchesSingleWorkerByteForByte) {
+  const auto mappings = make_mappings(0xbeef, 64);
+
+  // Single worker: everything lands in one buffer, in generation order.
+  std::vector<MatchBuffer> single(1);
+  for (const auto& m : mappings) single[0].append(m);
+  const std::string want = merged_transcript(single);
+  EXPECT_FALSE(want.empty());
+
+  // 8 workers, three different interleavings of the same multiset: round
+  // robin, blocked, and a seeded shuffle of the emission order.
+  {
+    std::vector<MatchBuffer> buffers(8);
+    for (std::size_t i = 0; i < mappings.size(); ++i)
+      buffers[i % 8].append(mappings[i]);
+    EXPECT_EQ(merged_transcript(buffers), want);
+  }
+  {
+    std::vector<MatchBuffer> buffers(8);
+    const std::size_t block = (mappings.size() + 7) / 8;
+    for (std::size_t i = 0; i < mappings.size(); ++i)
+      buffers[i / block].append(mappings[i]);
+    EXPECT_EQ(merged_transcript(buffers), want);
+  }
+  {
+    std::vector<std::size_t> order(mappings.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    util::Rng rng(7);
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.range(0, i - 1)]);
+    std::vector<MatchBuffer> buffers(8);
+    for (std::size_t k = 0; k < order.size(); ++k)
+      buffers[order[k] % 8].append(mappings[order[k]]);
+    EXPECT_EQ(merged_transcript(buffers), want);
+  }
+}
+
+TEST(MatchBuffer, ConcurrentAppendsMergeDeterministically) {
+  // Real threads, each appending to its own buffer (the actual usage): the
+  // per-thread slices are deterministic but the wall-clock interleaving is
+  // not — the merged output must not care.
+  const auto mappings = make_mappings(0xfeed, 96);
+  std::vector<MatchBuffer> single(1);
+  for (const auto& m : mappings) single[0].append(m);
+  const std::string want = merged_transcript(single);
+
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<MatchBuffer> buffers(8);
+    std::vector<std::thread> threads;
+    threads.reserve(8);
+    for (unsigned wid = 0; wid < 8; ++wid) {
+      threads.emplace_back([&, wid] {
+        for (std::size_t i = wid; i < mappings.size(); i += 8)
+          buffers[wid].append(mappings[i]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(merged_transcript(buffers), want) << "iter " << iter;
+  }
+}
+
+TEST(MatchBuffer, DuplicateMappingsAreDeliveredOncePerEmission) {
+  const std::vector<Assignment> m{{0, 3}, {1, 5}};
+  std::vector<MatchBuffer> buffers(4);
+  buffers[0].append(m);
+  buffers[2].append(m);
+  buffers[3].append(m);
+  std::size_t emissions = 0;
+  emit_merged_sorted(buffers, [&](std::span<const Assignment> got) {
+    ASSERT_EQ(got.size(), m.size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), m.begin()));
+    ++emissions;
+  });
+  EXPECT_EQ(emissions, 3u);  // multiset semantics: duplicates not collapsed
+}
+
+TEST(MatchBuffer, MergeClearsBuffersButKeepsThemReusable) {
+  std::vector<MatchBuffer> buffers(2);
+  buffers[0].append(std::vector<Assignment>{{0, 1}});
+  buffers[1].append(std::vector<Assignment>{{0, 2}});
+  EXPECT_EQ(merged_transcript(buffers), "0:1,;0:2,;");
+  for (const MatchBuffer& b : buffers) EXPECT_TRUE(b.empty());
+  // Reuse after clear: fresh content only.
+  buffers[1].append(std::vector<Assignment>{{0, 9}});
+  EXPECT_EQ(merged_transcript(buffers), "0:9,;");
+}
+
+}  // namespace
+}  // namespace paracosm::engine

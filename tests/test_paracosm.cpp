@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "paracosm/paracosm.hpp"
+#include "csm/oracle.hpp"
 #include "tests/test_support.hpp"
 
 namespace paracosm::testing {

@@ -1,0 +1,128 @@
+// Edge cases and race coverage for the batch executor's striped work cursor
+// (paracosm/shard_cursor.hpp). The multithreaded cases run in a loop so the
+// TSan CI job gets many interleavings; the invariant throughout is exactly
+// the one the batch executor relies on: every index in [0, total) is claimed
+// exactly once, across any mix of own-shard claims and steals.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "paracosm/shard_cursor.hpp"
+
+namespace paracosm::engine {
+namespace {
+
+TEST(ShardCursor, EmptyRangeYieldsNposForEveryWorker) {
+  ShardedCursor cursor(0, 4);
+  for (unsigned wid = 0; wid < 4; ++wid)
+    EXPECT_EQ(cursor.claim(wid), ShardedCursor::npos);
+}
+
+TEST(ShardCursor, ZeroWorkersClampsToOne) {
+  ShardedCursor cursor(3, 0);
+  EXPECT_EQ(cursor.claim(0), 0u);
+  EXPECT_EQ(cursor.claim(0), 1u);
+  EXPECT_EQ(cursor.claim(0), 2u);
+  EXPECT_EQ(cursor.claim(0), ShardedCursor::npos);
+}
+
+TEST(ShardCursor, SingleElementFoundByDistantWorker) {
+  // total=1, workers=4: only shard 0 is non-empty; worker 2 must walk the
+  // empty shards 2 and 3 before stealing the element from shard 0.
+  ShardedCursor cursor(1, 4);
+  EXPECT_EQ(cursor.claim(2), 0u);
+  for (unsigned wid = 0; wid < 4; ++wid)
+    EXPECT_EQ(cursor.claim(wid), ShardedCursor::npos);
+}
+
+TEST(ShardCursor, MoreWorkersThanWork) {
+  // 3 elements across 8 shards: shards 3..7 are empty from the start, and
+  // every element is still claimed exactly once.
+  ShardedCursor cursor(3, 8);
+  std::vector<bool> seen(3, false);
+  for (unsigned wid = 7;; --wid) {  // claim from the empty end first
+    const std::size_t j = cursor.claim(wid % 8);
+    if (j == ShardedCursor::npos) break;
+    ASSERT_LT(j, seen.size());
+    EXPECT_FALSE(seen[j]) << "index " << j << " claimed twice";
+    seen[j] = true;
+  }
+  for (std::size_t j = 0; j < seen.size(); ++j) EXPECT_TRUE(seen[j]) << j;
+}
+
+TEST(ShardCursor, OneWorkerDrainsAllShards) {
+  // The straggler-steal path: worker 3 alone claims everything, draining its
+  // own shard first and then the other three in ring order.
+  constexpr std::size_t kTotal = 17;
+  ShardedCursor cursor(kTotal, 4);
+  std::vector<bool> seen(kTotal, false);
+  std::size_t claims = 0;
+  for (std::size_t j = cursor.claim(3); j != ShardedCursor::npos;
+       j = cursor.claim(3)) {
+    ASSERT_LT(j, kTotal);
+    EXPECT_FALSE(seen[j]);
+    seen[j] = true;
+    ++claims;
+  }
+  EXPECT_EQ(claims, kTotal);
+}
+
+TEST(ShardCursor, AllWorkersStealFromOneShard) {
+  // total < workers puts all elements in shard 0; every thread races the
+  // same cursor (the pure-contention worst case). Looped for TSan coverage.
+  constexpr unsigned kWorkers = 8;
+  for (int iter = 0; iter < 50; ++iter) {
+    constexpr std::size_t kTotal = 4;  // shards 4..7 empty, 0..3 single-element
+    ShardedCursor cursor(kTotal, kWorkers);
+    std::atomic<std::uint32_t> claim_mask{0};
+    std::atomic<unsigned> double_claims{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kWorkers);
+    for (unsigned wid = 0; wid < kWorkers; ++wid) {
+      threads.emplace_back([&, wid] {
+        for (std::size_t j = cursor.claim(wid); j != ShardedCursor::npos;
+             j = cursor.claim(wid)) {
+          const std::uint32_t bit = 1u << j;
+          if (claim_mask.fetch_or(bit, std::memory_order_relaxed) & bit)
+            double_claims.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(double_claims.load(), 0u);
+    EXPECT_EQ(claim_mask.load(), (1u << kTotal) - 1);
+  }
+}
+
+TEST(ShardCursor, ExhaustionRaceClaimsEachIndexExactlyOnce) {
+  // 8 threads hammer a 64-element cursor to exhaustion; the CAS loop must
+  // never let a losing thief push a cursor past its shard end (overshoot
+  // would surface as a double claim or a lost index).
+  constexpr unsigned kWorkers = 8;
+  constexpr std::size_t kTotal = 64;
+  for (int iter = 0; iter < 100; ++iter) {
+    ShardedCursor cursor(kTotal, kWorkers);
+    std::vector<std::atomic<std::uint32_t>> counts(kTotal);
+    for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+    std::vector<std::thread> threads;
+    threads.reserve(kWorkers);
+    for (unsigned wid = 0; wid < kWorkers; ++wid) {
+      threads.emplace_back([&, wid] {
+        for (std::size_t j = cursor.claim(wid); j != ShardedCursor::npos;
+             j = cursor.claim(wid))
+          counts[j].fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (std::size_t j = 0; j < kTotal; ++j)
+      ASSERT_EQ(counts[j].load(), 1u) << "index " << j << " iter " << iter;
+    // Drained: every worker sees npos afterwards.
+    for (unsigned wid = 0; wid < kWorkers; ++wid)
+      EXPECT_EQ(cursor.claim(wid), ShardedCursor::npos);
+  }
+}
+
+}  // namespace
+}  // namespace paracosm::engine

@@ -9,9 +9,9 @@
 
 #include "csm/algorithm.hpp"
 #include "csm/engine.hpp"
-#include "csm/oracle.hpp"
 #include "graph/generators.hpp"
 #include "util/rng.hpp"
+#include "verify/oracle_mirror.hpp"
 
 namespace paracosm::testing {
 
@@ -47,29 +47,22 @@ inline SmallWorkload make_workload(std::uint64_t seed, std::uint32_t n = 32,
 }
 
 /// Drive `alg` through the stream with the sequential engine, checking every
-/// ΔM against the brute-force recompute oracle. Returns total |ΔM|.
+/// ΔM against the recompute oracle (src/verify). Returns total |ΔM|.
 inline std::uint64_t check_against_oracle(csm::CsmAlgorithm& alg, SmallWorkload wl) {
-  DataGraph mirror = wl.graph;  // oracle's copy, updated in lock-step
+  // Snapshot into the oracle before the engine starts mutating wl.graph.
+  verify::OracleMirror oracle(wl.query, wl.graph, alg.uses_edge_labels(),
+                              /*strict=*/false);
   csm::SequentialEngine engine(alg, wl.query, wl.graph);
-  const bool elabels = alg.uses_edge_labels();
   std::uint64_t total = 0;
-  std::uint64_t before = csm::count_all_matches(wl.query, mirror, elabels);
   for (std::size_t idx = 0; idx < wl.stream.size(); ++idx) {
     const GraphUpdate& upd = wl.stream[idx];
-    mirror.apply(upd);
-    const std::uint64_t after = csm::count_all_matches(wl.query, mirror, elabels);
+    const verify::OracleDelta& want = oracle.step(upd);
     const csm::UpdateOutcome out = engine.process(upd);
-    if (upd.op == graph::UpdateOp::kInsertEdge) {
-      EXPECT_EQ(out.positive, after - before)
-          << alg.name() << ": wrong ΔM+ at update " << idx;
-      EXPECT_EQ(out.negative, 0u);
-    } else if (upd.op == graph::UpdateOp::kRemoveEdge) {
-      EXPECT_EQ(out.negative, before - after)
-          << alg.name() << ": wrong ΔM- at update " << idx;
-      EXPECT_EQ(out.positive, 0u);
-    }
+    EXPECT_EQ(out.positive, want.positive)
+        << alg.name() << ": wrong ΔM+ at update " << idx;
+    EXPECT_EQ(out.negative, want.negative)
+        << alg.name() << ": wrong ΔM- at update " << idx;
     total += out.delta_matches();
-    before = after;
   }
   return total;
 }

@@ -1,5 +1,7 @@
 #include "bench_common/reporting.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace paracosm::bench {
@@ -23,6 +25,33 @@ std::string format_speedup(double baseline_ms, double value_ms, bool baseline_ok
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.2fx", baseline_ms / value_ms);
   return buf;
+}
+
+std::int64_t percentile_ns(std::vector<std::int64_t> samples, double p) {
+  if (samples.empty()) return 0;
+  if (p <= 0) return *std::min_element(samples.begin(), samples.end());
+  // Nearest-rank: ceil(p/100 * N), clamped into [1, N].
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  rank = std::min(std::max<std::size_t>(rank, 1), samples.size());
+  std::nth_element(samples.begin(), samples.begin() + (rank - 1), samples.end());
+  return samples[rank - 1];
+}
+
+LatencySummary summarize_latencies(const std::vector<std::int64_t>& samples) {
+  LatencySummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  long double total = 0;
+  for (const std::int64_t v : samples) {
+    total += static_cast<long double>(v);
+    s.max_ns = std::max(s.max_ns, v);
+  }
+  s.mean_ns = static_cast<double>(total / static_cast<long double>(samples.size()));
+  s.p50_ns = percentile_ns(samples, 50.0);
+  s.p95_ns = percentile_ns(samples, 95.0);
+  s.p99_ns = percentile_ns(samples, 99.0);
+  return s;
 }
 
 }  // namespace paracosm::bench

@@ -2,7 +2,9 @@
 // the paper-experiment header each binary prints before its table.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -18,5 +20,24 @@ void print_experiment_banner(const std::string& artifact, const std::string& sum
 /// "12.3x" style speedup formatting, with "TO" for timeouts like Figure 7.
 [[nodiscard]] std::string format_speedup(double baseline_ms, double value_ms,
                                          bool baseline_ok, bool value_ok);
+
+/// Nearest-rank percentile (p in [0,100]) over a latency sample; 0 if empty.
+/// Takes the sample by value — it is partially sorted in place.
+[[nodiscard]] std::int64_t percentile_ns(std::vector<std::int64_t> samples,
+                                         double p);
+
+/// Per-update latency digest reported by paracosm_serve and bench_baseline's
+/// service section (ISSUE 4 satellite: p50/p95/p99 in the JSON artifact).
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_ns = 0.0;
+  std::int64_t p50_ns = 0;
+  std::int64_t p95_ns = 0;
+  std::int64_t p99_ns = 0;
+  std::int64_t max_ns = 0;
+};
+
+[[nodiscard]] LatencySummary summarize_latencies(
+    const std::vector<std::int64_t>& samples);
 
 }  // namespace paracosm::bench

@@ -107,7 +107,7 @@ void BacktrackBase::expand_depth(const std::vector<VertexId>& order, SearchScrat
       s.clear_used(w);
       s.map[u] = graph::kInvalidVertex;
       s.assigned.pop_back();
-      if (sink.timed_out()) return;
+      if (sink.stopped()) return;
     }
   }
 }

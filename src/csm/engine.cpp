@@ -10,11 +10,12 @@ SequentialEngine::SequentialEngine(CsmAlgorithm& alg, const QueryGraph& q, DataG
 }
 
 UpdateOutcome SequentialEngine::process(const GraphUpdate& upd,
-                                        util::Clock::time_point deadline) {
+                                        util::Clock::time_point deadline,
+                                        util::CancelView cancel) {
   switch (upd.op) {
     case graph::UpdateOp::kInsertEdge:
     case graph::UpdateOp::kRemoveEdge:
-      return process_edge(upd, deadline);
+      return process_edge(upd, deadline, cancel);
     case graph::UpdateOp::kInsertVertex: {
       UpdateOutcome out;
       const bool existed = g_.has_vertex(upd.u);
@@ -32,10 +33,11 @@ UpdateOutcome SequentialEngine::process(const GraphUpdate& upd,
       for (const auto& nb : g_.neighbors(upd.u))
         edge_removals.push_back(GraphUpdate::remove_edge(upd.u, nb.v, nb.elabel));
       for (const GraphUpdate& rm : edge_removals) {
-        const UpdateOutcome sub = process_edge(rm, deadline);
+        const UpdateOutcome sub = process_edge(rm, deadline, cancel);
         out.negative += sub.negative;
         out.nodes += sub.nodes;
         out.timed_out = out.timed_out || sub.timed_out;
+        out.cancelled = out.cancelled || sub.cancelled;
       }
       g_.remove_vertex(upd.u);
       alg_.on_vertex_removed(upd.u);
@@ -47,7 +49,8 @@ UpdateOutcome SequentialEngine::process(const GraphUpdate& upd,
 }
 
 UpdateOutcome SequentialEngine::process_edge(const GraphUpdate& upd,
-                                             util::Clock::time_point deadline) {
+                                             util::Clock::time_point deadline,
+                                             util::CancelView cancel) {
   UpdateOutcome out;
   const bool insert = upd.op == graph::UpdateOp::kInsertEdge;
 
@@ -61,16 +64,18 @@ UpdateOutcome SequentialEngine::process_edge(const GraphUpdate& upd,
     util::ThreadCpuTimer fm_timer;
     MatchSink sink;
     sink.deadline = deadline;
+    sink.cancel = cancel;
     std::vector<SearchTask> roots;
     alg_.seeds(upd, roots);
     for (const SearchTask& task : roots) {
       alg_.expand(task, sink, nullptr);
-      if (sink.timed_out()) break;
+      if (sink.stopped()) break;
     }
     search_ns_ += fm_timer.elapsed_ns();
     out.positive = sink.matches;
     out.nodes = sink.nodes;
     out.timed_out = sink.timed_out();
+    out.cancelled = sink.cancelled();
   } else {
     // Deletion requests may omit (or mis-state) the edge label — the
     // benchmark stream format is "-e u v [elabel]". Resolve the actual label
@@ -85,16 +90,18 @@ UpdateOutcome SequentialEngine::process_edge(const GraphUpdate& upd,
     util::ThreadCpuTimer fm_timer;
     MatchSink sink;
     sink.deadline = deadline;
+    sink.cancel = cancel;
     std::vector<SearchTask> roots;
     alg_.seeds(del, roots);
     for (const SearchTask& task : roots) {
       alg_.expand(task, sink, nullptr);
-      if (sink.timed_out()) break;
+      if (sink.stopped()) break;
     }
     search_ns_ += fm_timer.elapsed_ns();
     out.negative = sink.matches;
     out.nodes = sink.nodes;
     out.timed_out = sink.timed_out();
+    out.cancelled = sink.cancelled();
 
     util::ThreadCpuTimer ads_timer;
     g_.remove_edge(upd.u, upd.v);

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "csm/algorithm.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace paracosm::csm {
@@ -20,6 +21,7 @@ struct UpdateOutcome {
   std::uint64_t nodes = 0;     ///< search-tree nodes expanded
   bool applied = false;        ///< whether the graph changed
   bool timed_out = false;
+  bool cancelled = false;      ///< search aborted by a CancelToken (degraded)
 
   [[nodiscard]] std::uint64_t delta_matches() const noexcept {
     return positive + negative;
@@ -32,10 +34,12 @@ class SequentialEngine {
   SequentialEngine(CsmAlgorithm& alg, const QueryGraph& q, DataGraph& g);
 
   /// Process one update end to end (graph + ADS + incremental matching).
-  /// A non-default deadline aborts the Find_Matches phase (the graph and ADS
-  /// stay consistent; reported match counts are then partial).
+  /// A non-default deadline — or a raised CancelToken epoch — aborts the
+  /// Find_Matches phase (the graph and ADS stay consistent; reported match
+  /// counts are then partial).
   UpdateOutcome process(const GraphUpdate& upd,
-                        util::Clock::time_point deadline = {});
+                        util::Clock::time_point deadline = {},
+                        util::CancelView cancel = {});
 
   /// Offline Find_Initial_Matches (brute-force enumeration).
   [[nodiscard]] std::uint64_t initial_matches() const;
@@ -50,7 +54,8 @@ class SequentialEngine {
   [[nodiscard]] const QueryGraph& query() const noexcept { return q_; }
 
  private:
-  UpdateOutcome process_edge(const GraphUpdate& upd, util::Clock::time_point deadline);
+  UpdateOutcome process_edge(const GraphUpdate& upd, util::Clock::time_point deadline,
+                             util::CancelView cancel);
 
   CsmAlgorithm& alg_;
   const QueryGraph& q_;

@@ -23,10 +23,12 @@ void IncIsoMatch::expand(const SearchTask&, MatchSink& sink, SplitHook*) const {
     // Engine contract: the edge is already present. Recount and diff.
     MatchSink recount;
     recount.deadline = sink.deadline;
+    recount.cancel = sink.cancel;
     enumerate_all_matches(*query_, *graph_, recount);
     sink.nodes += recount.nodes;
-    if (recount.timed_out()) {
-      sink.mark_timed_out();
+    if (recount.stopped()) {
+      if (recount.timed_out()) sink.mark_timed_out();
+      if (recount.cancelled()) sink.mark_cancelled();
       return;
     }
     sink.matches += recount.matches - cached_count_;
@@ -38,10 +40,12 @@ void IncIsoMatch::expand(const SearchTask&, MatchSink& sink, SplitHook*) const {
     without.remove_edge(pending_.u, pending_.v);
     MatchSink recount;
     recount.deadline = sink.deadline;
+    recount.cancel = sink.cancel;
     enumerate_all_matches(*query_, without, recount);
     sink.nodes += recount.nodes;
-    if (recount.timed_out()) {
-      sink.mark_timed_out();
+    if (recount.stopped()) {
+      if (recount.timed_out()) sink.mark_timed_out();
+      if (recount.cancelled()) sink.mark_cancelled();
       return;
     }
     sink.matches += cached_count_ - recount.matches;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace paracosm::csm {
@@ -62,16 +63,31 @@ class MatchSink {
   /// abort enumeration. Zero time_point (default) means "no deadline".
   util::Clock::time_point deadline{};
 
+  /// Cooperative cancellation (service watchdog, DESIGN.md §7). Inactive by
+  /// default; when set, the epoch is polled inside tick() on the same
+  /// amortization schedule as the deadline.
+  util::CancelView cancel{};
+
   [[nodiscard]] bool timed_out() const noexcept { return timed_out_; }
+  [[nodiscard]] bool cancelled() const noexcept { return cancelled_; }
+
+  /// The search must stop for *either* reason. Control-flow sites use this;
+  /// timed_out()/cancelled() stay distinct so callers can account degraded
+  /// updates separately from deadline misses.
+  [[nodiscard]] bool stopped() const noexcept { return timed_out_ || cancelled_; }
 
   /// Account one search-tree node; returns false when the search must stop.
+  /// The expensive probes (clock read, shared-atomic load) run once per 1024
+  /// nodes so the enabled-but-idle cost stays within the <1% budget.
   [[nodiscard]] bool tick() noexcept {
     ++nodes;
-    if (deadline != util::Clock::time_point{} && (nodes & 1023) == 0 &&
-        util::Clock::now() >= deadline) {
-      timed_out_ = true;
+    if ((nodes & 1023) == 0) {
+      if (cancel.active() && cancel.cancelled()) cancelled_ = true;
+      if (deadline != util::Clock::time_point{} && util::Clock::now() >= deadline) {
+        timed_out_ = true;
+      }
     }
-    return !timed_out_;
+    return !(timed_out_ || cancelled_);
   }
 
   void emit(std::span<const Assignment> mapping) {
@@ -84,12 +100,15 @@ class MatchSink {
     matches += other.matches;
     nodes += other.nodes;
     timed_out_ = timed_out_ || other.timed_out_;
+    cancelled_ = cancelled_ || other.cancelled_;
   }
 
   void mark_timed_out() noexcept { timed_out_ = true; }
+  void mark_cancelled() noexcept { cancelled_ = true; }
 
  private:
   bool timed_out_ = false;
+  bool cancelled_ = false;
 };
 
 /// Injected by the inner-update executor into the traversal routine

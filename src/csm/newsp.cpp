@@ -135,7 +135,7 @@ void NewSP::expand_step(SearchScratch& s, MatchSink& sink, SplitHook* hook) cons
       s.clear_used(w);
       s.map[next] = graph::kInvalidVertex;
       s.assigned.pop_back();
-      if (sink.timed_out()) return;
+      if (sink.stopped()) return;
     }
   }
 }

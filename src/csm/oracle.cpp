@@ -92,12 +92,12 @@ void recurse(OracleState& s, MatchSink& sink) {
   if (pivot != graph::kInvalidVertex) {
     for (const auto& nb : s.g->neighbors(s.map[pivot])) {
       try_vertex(nb.v);
-      if (sink.timed_out()) return;
+      if (sink.stopped()) return;
     }
   } else {
     for (const VertexId w : s.g->label_view(s.q->label(u))) {
       try_vertex(w);
-      if (sink.timed_out()) return;
+      if (sink.stopped()) return;
     }
   }
 }

@@ -111,6 +111,41 @@ std::optional<Label> DataGraph::remove_edge(VertexId u, VertexId v) {
   return label;
 }
 
+MutationStatus DataGraph::apply_checked(const GraphUpdate& upd) {
+  switch (upd.op) {
+    case UpdateOp::kInsertEdge:
+    case UpdateOp::kRemoveEdge: {
+      if (upd.u > kMaxVertexId || upd.v > kMaxVertexId ||
+          upd.label > kMaxLabel) {
+        return MutationStatus::kInvalidId;
+      }
+      if (upd.u == upd.v) return MutationStatus::kSelfLoop;
+      if (!has_vertex(upd.u) || !has_vertex(upd.v))
+        return MutationStatus::kMissingVertex;
+      if (upd.op == UpdateOp::kInsertEdge) {
+        return add_edge(upd.u, upd.v, upd.label) ? MutationStatus::kApplied
+                                                 : MutationStatus::kDuplicateEdge;
+      }
+      return remove_edge(upd.u, upd.v) ? MutationStatus::kApplied
+                                       : MutationStatus::kMissingEdge;
+    }
+    case UpdateOp::kInsertVertex: {
+      if (upd.u > kMaxVertexId || upd.label > kMaxLabel)
+        return MutationStatus::kInvalidId;
+      if (has_vertex(upd.u) && label(upd.u) == upd.label)
+        return MutationStatus::kVertexExists;
+      add_vertex_with_id(upd.u, upd.label);
+      return MutationStatus::kApplied;
+    }
+    case UpdateOp::kRemoveVertex:
+      if (upd.u > kMaxVertexId) return MutationStatus::kInvalidId;
+      if (!has_vertex(upd.u)) return MutationStatus::kMissingVertex;
+      remove_vertex(upd.u);
+      return MutationStatus::kApplied;
+  }
+  return MutationStatus::kInvalidId;
+}
+
 bool DataGraph::apply(const GraphUpdate& upd) {
   switch (upd.op) {
     case UpdateOp::kInsertEdge:

@@ -51,6 +51,32 @@
 
 namespace paracosm::graph {
 
+/// Why a checked mutation did (or did not) change the graph. kApplied is the
+/// only success value; every rejection names the precise edge case so
+/// executors and the service layer can skip + count instead of asserting.
+enum class MutationStatus : std::uint8_t {
+  kApplied,
+  kDuplicateEdge,   ///< insert of an edge that already exists
+  kMissingEdge,     ///< delete of an edge that does not exist
+  kMissingVertex,   ///< edge op naming a dead/unknown endpoint
+  kSelfLoop,        ///< insert with u == v
+  kVertexExists,    ///< vertex insert for an alive id with the same label
+  kInvalidId,       ///< id/label beyond the admission caps (types.hpp)
+};
+
+[[nodiscard]] constexpr const char* to_string(MutationStatus s) noexcept {
+  switch (s) {
+    case MutationStatus::kApplied: return "applied";
+    case MutationStatus::kDuplicateEdge: return "duplicate-edge";
+    case MutationStatus::kMissingEdge: return "missing-edge";
+    case MutationStatus::kMissingVertex: return "missing-vertex";
+    case MutationStatus::kSelfLoop: return "self-loop";
+    case MutationStatus::kVertexExists: return "vertex-exists";
+    case MutationStatus::kInvalidId: return "invalid-id";
+  }
+  return "?";
+}
+
 class DataGraph {
  public:
   DataGraph() = default;
@@ -79,6 +105,13 @@ class DataGraph {
 
   /// Apply or revert a GraphUpdate. Returns true if the graph changed.
   bool apply(const GraphUpdate& upd);
+
+  /// Diagnosing twin of apply(): same state transitions for every input
+  /// (`apply_checked(u) changes the graph` ⇔ `apply(u)` would), but reports
+  /// *why* a no-op was a no-op. Purely a pre-classification plus apply(); it
+  /// never mutates on a rejection path. Used by the service layer and the
+  /// fuzzer's invalid-op mix (ISSUE 4 satellite).
+  MutationStatus apply_checked(const GraphUpdate& upd);
 
   [[nodiscard]] bool has_vertex(VertexId id) const noexcept {
     return id < vertices_.size() && vertices_[id].alive;

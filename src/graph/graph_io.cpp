@@ -1,6 +1,7 @@
 #include "graph/graph_io.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,63 +9,161 @@ namespace paracosm::graph {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& what, std::size_t line_no,
-                       const std::string& line) {
-  throw std::runtime_error("graph_io: " + what + " at line " +
-                           std::to_string(line_no) + ": '" + line + "'");
+/// Accumulation cap for fields with no semantic range (degree hints): large
+/// enough to never reject real data, small enough that `value * 10 + digit`
+/// cannot overflow.
+inline constexpr std::uint64_t kMaxFieldValue = 1000000000000000000ULL;
+
+/// Report one bad line: collect-and-skip when a collector is present, throw
+/// otherwise. Returns only in collect mode.
+void report(std::vector<ParseError>* errors, std::string reason,
+            std::size_t line_no, const std::string& line) {
+  ParseError err{line_no, line, std::move(reason)};
+  if (errors == nullptr) throw ParseException(std::move(err));
+  errors->push_back(std::move(err));
 }
+
+/// Tokenizer over one line: whitespace-split fields, consumed left to right.
+/// Numeric fields are parsed strictly — digits only (no sign, no 0x, no
+/// trailing junk) with an explicit cap, because istream's `uint >>` silently
+/// wraps negatives and saturates overflow, both of which then index dense
+/// vectors downstream.
+class FieldReader {
+ public:
+  explicit FieldReader(const std::string& line) : ss_(line) {}
+
+  /// Next whitespace-delimited token, or empty when the line is exhausted.
+  [[nodiscard]] std::string next() {
+    std::string tok;
+    ss_ >> tok;
+    return tok;
+  }
+
+  [[nodiscard]] bool exhausted() {
+    std::string rest;
+    return !(ss_ >> rest);
+  }
+
+  /// Parse the next field as an unsigned integer in [0, cap]. On failure
+  /// sets `reason` and returns nullopt. `what` names the field for the
+  /// error message.
+  [[nodiscard]] std::optional<std::uint64_t> field(const char* what,
+                                                   std::uint64_t cap,
+                                                   std::string& reason) {
+    const std::string tok = next();
+    if (tok.empty()) {
+      reason = std::string("missing ") + what;
+      return std::nullopt;
+    }
+    std::uint64_t value = 0;
+    for (const char c : tok) {
+      if (c < '0' || c > '9') {
+        reason = std::string("non-numeric ") + what + " '" + tok + "'";
+        return std::nullopt;
+      }
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      if (value > cap) {
+        reason = std::string(what) + " '" + tok + "' out of range (max " +
+                 std::to_string(cap) + ")";
+        return std::nullopt;
+      }
+    }
+    return value;
+  }
+
+ private:
+  std::istringstream ss_;
+};
 
 struct ParsedGraph {
   std::vector<std::pair<VertexId, Label>> vertices;
   std::vector<Edge> edges;
 };
 
-[[nodiscard]] ParsedGraph parse_graph(std::istream& in) {
+[[nodiscard]] ParsedGraph parse_graph(std::istream& in,
+                                      std::vector<ParseError>* errors) {
   ParsedGraph out;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#' || line[0] == '%' || line[0] == 't') continue;
-    std::istringstream ss(line);
-    char tag = 0;
-    ss >> tag;
-    if (tag == 'v') {
-      std::uint64_t id = 0, label = 0;
-      if (!(ss >> id >> label)) fail("malformed vertex", line_no, line);
-      out.vertices.emplace_back(static_cast<VertexId>(id), static_cast<Label>(label));
-    } else if (tag == 'e') {
-      std::uint64_t u = 0, v = 0, elabel = 0;
-      if (!(ss >> u >> v)) fail("malformed edge", line_no, line);
-      ss >> elabel;  // optional
-      out.edges.push_back(
-          {static_cast<VertexId>(u), static_cast<VertexId>(v), static_cast<Label>(elabel)});
+    FieldReader fields(line);
+    const std::string tag = fields.next();
+    std::string reason;
+    if (tag == "v") {
+      // "v <id> <vlabel> [degree]" — the degree hint is validated but unused.
+      const auto id = fields.field("vertex id", kMaxVertexId, reason);
+      const auto label = id ? fields.field("vertex label", kMaxLabel, reason)
+                            : std::nullopt;
+      if (!label) {
+        report(errors, reason.empty() ? "malformed vertex" : reason, line_no, line);
+        continue;
+      }
+      if (const std::string tok = fields.next(); !tok.empty()) {
+        FieldReader one(tok);
+        if (!one.field("degree hint", kMaxFieldValue, reason)) {
+          report(errors, reason, line_no, line);
+          continue;
+        }
+      }
+      if (!fields.exhausted()) {
+        report(errors, "trailing garbage after vertex record", line_no, line);
+        continue;
+      }
+      out.vertices.emplace_back(static_cast<VertexId>(*id),
+                                static_cast<Label>(*label));
+    } else if (tag == "e") {
+      const auto u = fields.field("vertex id", kMaxVertexId, reason);
+      const auto v = u ? fields.field("vertex id", kMaxVertexId, reason)
+                       : std::nullopt;
+      if (!v) {
+        report(errors, reason.empty() ? "malformed edge" : reason, line_no, line);
+        continue;
+      }
+      std::uint64_t elabel = 0;
+      if (const std::string tok = fields.next(); !tok.empty()) {
+        FieldReader one(tok);
+        const auto parsed = one.field("edge label", kMaxLabel, reason);
+        if (!parsed) {
+          report(errors, reason, line_no, line);
+          continue;
+        }
+        elabel = *parsed;
+      }
+      if (!fields.exhausted()) {
+        report(errors, "trailing garbage after edge record", line_no, line);
+        continue;
+      }
+      out.edges.push_back({static_cast<VertexId>(*u), static_cast<VertexId>(*v),
+                           static_cast<Label>(elabel)});
     } else {
-      fail("unknown record tag", line_no, line);
+      report(errors, "unknown record tag '" + tag + "'", line_no, line);
     }
   }
   return out;
 }
 
-template <typename T>
-[[nodiscard]] T load_from_file(const std::string& path, T (*loader)(std::istream&)) {
+template <typename T, typename Loader>
+[[nodiscard]] T load_from_file(const std::string& path, Loader loader,
+                               std::vector<ParseError>* errors) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("graph_io: cannot open " + path);
-  return loader(in);
+  return loader(in, errors);
 }
 
 }  // namespace
 
-DataGraph load_data_graph(std::istream& in) {
-  const ParsedGraph parsed = parse_graph(in);
+DataGraph load_data_graph(std::istream& in, std::vector<ParseError>* errors) {
+  const ParsedGraph parsed = parse_graph(in, errors);
   DataGraph g;
   for (const auto& [id, label] : parsed.vertices) g.add_vertex_with_id(id, label);
   for (const Edge& e : parsed.edges) g.add_edge(e.u, e.v, e.elabel);
   return g;
 }
 
-QueryGraph load_query_graph(std::istream& in) {
-  const ParsedGraph parsed = parse_graph(in);
+QueryGraph load_query_graph(std::istream& in, std::vector<ParseError>* errors) {
+  const ParsedGraph parsed = parse_graph(in, errors);
   std::vector<Label> labels;
   for (const auto& [id, label] : parsed.vertices) {
     if (id >= labels.size()) labels.resize(id + 1);
@@ -73,54 +172,106 @@ QueryGraph load_query_graph(std::istream& in) {
   return QueryGraph(std::move(labels), parsed.edges);
 }
 
-std::vector<GraphUpdate> load_update_stream(std::istream& in) {
+std::vector<GraphUpdate> load_update_stream(std::istream& in,
+                                            std::vector<ParseError>* errors) {
   std::vector<GraphUpdate> out;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ss(line);
-    std::string tag;
-    ss >> tag;
+    FieldReader fields(line);
+    std::string tag = fields.next();
     bool insert = true;
     if (tag.size() == 2 && (tag[0] == '+' || tag[0] == '-')) {
       insert = tag[0] == '+';
       tag.erase(0, 1);
     }
+    std::string reason;
     if (tag == "e") {
-      std::uint64_t u = 0, v = 0, elabel = 0;
-      if (!(ss >> u >> v)) fail("malformed edge update", line_no, line);
-      ss >> elabel;
+      const auto u = fields.field("vertex id", kMaxVertexId, reason);
+      const auto v = u ? fields.field("vertex id", kMaxVertexId, reason)
+                       : std::nullopt;
+      if (!v) {
+        report(errors, reason.empty() ? "malformed edge update" : reason,
+               line_no, line);
+        continue;
+      }
+      std::uint64_t elabel = 0;
+      if (const std::string tok = fields.next(); !tok.empty()) {
+        FieldReader one(tok);
+        const auto parsed = one.field("edge label", kMaxLabel, reason);
+        if (!parsed) {
+          report(errors, reason, line_no, line);
+          continue;
+        }
+        elabel = *parsed;
+      }
+      if (!fields.exhausted()) {
+        report(errors, "trailing garbage after edge update", line_no, line);
+        continue;
+      }
       out.push_back(insert
-                        ? GraphUpdate::insert_edge(static_cast<VertexId>(u),
-                                                   static_cast<VertexId>(v),
+                        ? GraphUpdate::insert_edge(static_cast<VertexId>(*u),
+                                                   static_cast<VertexId>(*v),
                                                    static_cast<Label>(elabel))
-                        : GraphUpdate::remove_edge(static_cast<VertexId>(u),
-                                                   static_cast<VertexId>(v),
+                        : GraphUpdate::remove_edge(static_cast<VertexId>(*u),
+                                                   static_cast<VertexId>(*v),
                                                    static_cast<Label>(elabel)));
     } else if (tag == "v") {
-      std::uint64_t id = 0, label = 0;
-      if (!(ss >> id)) fail("malformed vertex update", line_no, line);
-      ss >> label;
-      out.push_back(insert ? GraphUpdate::insert_vertex(static_cast<VertexId>(id),
+      const auto id = fields.field("vertex id", kMaxVertexId, reason);
+      if (!id) {
+        report(errors, reason.empty() ? "malformed vertex update" : reason,
+               line_no, line);
+        continue;
+      }
+      std::uint64_t label = 0;
+      if (const std::string tok = fields.next(); !tok.empty()) {
+        FieldReader one(tok);
+        const auto parsed = one.field("vertex label", kMaxLabel, reason);
+        if (!parsed) {
+          report(errors, reason, line_no, line);
+          continue;
+        }
+        label = *parsed;
+      }
+      if (!fields.exhausted()) {
+        report(errors, "trailing garbage after vertex update", line_no, line);
+        continue;
+      }
+      out.push_back(insert ? GraphUpdate::insert_vertex(static_cast<VertexId>(*id),
                                                         static_cast<Label>(label))
-                           : GraphUpdate::remove_vertex(static_cast<VertexId>(id)));
+                           : GraphUpdate::remove_vertex(static_cast<VertexId>(*id)));
     } else {
-      fail("unknown update tag", line_no, line);
+      report(errors, "unknown update tag '" + tag + "'", line_no, line);
     }
   }
   return out;
 }
 
-DataGraph load_data_graph_file(const std::string& path) {
-  return load_from_file(path, load_data_graph);
+DataGraph load_data_graph_file(const std::string& path,
+                               std::vector<ParseError>* errors) {
+  return load_from_file<DataGraph>(
+      path, [](std::istream& in, std::vector<ParseError>* e) {
+        return load_data_graph(in, e);
+      },
+      errors);
 }
-QueryGraph load_query_graph_file(const std::string& path) {
-  return load_from_file(path, load_query_graph);
+QueryGraph load_query_graph_file(const std::string& path,
+                                 std::vector<ParseError>* errors) {
+  return load_from_file<QueryGraph>(
+      path, [](std::istream& in, std::vector<ParseError>* e) {
+        return load_query_graph(in, e);
+      },
+      errors);
 }
-std::vector<GraphUpdate> load_update_stream_file(const std::string& path) {
-  return load_from_file(path, load_update_stream);
+std::vector<GraphUpdate> load_update_stream_file(const std::string& path,
+                                                 std::vector<ParseError>* errors) {
+  return load_from_file<std::vector<GraphUpdate>>(
+      path, [](std::istream& in, std::vector<ParseError>* e) {
+        return load_update_stream(in, e);
+      },
+      errors);
 }
 
 void save_data_graph(const DataGraph& g, std::ostream& out) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,17 +18,53 @@
 
 namespace paracosm::graph {
 
-/// Parse a data graph. Throws std::runtime_error on malformed input.
-[[nodiscard]] DataGraph load_data_graph(std::istream& in);
-[[nodiscard]] DataGraph load_data_graph_file(const std::string& path);
+/// One rejected input line, pinned to its position. Rejection reasons cover
+/// structure (missing/garbage fields, unknown tags), lexical validity
+/// (negative or non-numeric ids), and range (ids beyond kMaxVertexId, labels
+/// beyond kMaxLabel — which would otherwise trigger multi-GB dense-vector
+/// resizes downstream).
+struct ParseError {
+  std::size_t line_no = 0;
+  std::string line;
+  std::string reason;
+
+  [[nodiscard]] std::string to_string() const {
+    return "line " + std::to_string(line_no) + ": " + reason + " ('" + line + "')";
+  }
+};
+
+/// Thrown by the loaders when no error collector is supplied. Subclasses
+/// runtime_error so pre-existing catch sites keep working.
+class ParseException : public std::runtime_error {
+ public:
+  explicit ParseException(ParseError err)
+      : std::runtime_error("graph_io: " + err.to_string()), err_(std::move(err)) {}
+  [[nodiscard]] const ParseError& error() const noexcept { return err_; }
+
+ private:
+  ParseError err_;
+};
+
+/// Parse a data graph. With `errors == nullptr` (default) the first bad line
+/// throws ParseException; with a collector, bad lines are recorded and
+/// skipped so a mostly-good file still loads (callers decide whether partial
+/// input is acceptable — paracosm_run/paracosm_serve expose `--strict`).
+[[nodiscard]] DataGraph load_data_graph(std::istream& in,
+                                        std::vector<ParseError>* errors = nullptr);
+[[nodiscard]] DataGraph load_data_graph_file(const std::string& path,
+                                             std::vector<ParseError>* errors = nullptr);
 
 /// Parse a query graph (same format; ids must be dense from 0).
-[[nodiscard]] QueryGraph load_query_graph(std::istream& in);
-[[nodiscard]] QueryGraph load_query_graph_file(const std::string& path);
+[[nodiscard]] QueryGraph load_query_graph(std::istream& in,
+                                          std::vector<ParseError>* errors = nullptr);
+[[nodiscard]] QueryGraph load_query_graph_file(const std::string& path,
+                                               std::vector<ParseError>* errors = nullptr);
 
 /// Parse an update stream.
-[[nodiscard]] std::vector<GraphUpdate> load_update_stream(std::istream& in);
-[[nodiscard]] std::vector<GraphUpdate> load_update_stream_file(const std::string& path);
+[[nodiscard]] std::vector<GraphUpdate> load_update_stream(
+    std::istream& in, std::vector<ParseError>* errors = nullptr);
+[[nodiscard]] std::vector<GraphUpdate> load_update_stream_file(
+    const std::string& path, std::vector<ParseError>* errors = nullptr);
 
 void save_data_graph(const DataGraph& g, std::ostream& out);
 void save_query_graph(const QueryGraph& q, std::ostream& out);

@@ -11,6 +11,15 @@ using Label = std::uint32_t;
 
 inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
 
+/// Admission caps for externally supplied ids (file loaders, service ingest).
+/// DataGraph stores vertices and label buckets in dense vectors indexed by
+/// id/label, so a single corrupt line claiming vertex 4e9 would otherwise
+/// force a multi-gigabyte resize. 2^27 vertices / 2^20 labels comfortably
+/// cover every paper workload while bounding a hostile line to ~the largest
+/// legitimate allocation.
+inline constexpr VertexId kMaxVertexId = (1u << 27) - 1;
+inline constexpr Label kMaxLabel = (1u << 20) - 1;
+
 /// Adjacency entry: neighbor id plus the label of the connecting edge.
 /// Query graphs keep lists sorted by `v` (this operator); DataGraph sorts by
 /// (neighbor's vertex label, v) with a per-vertex segment directory — see

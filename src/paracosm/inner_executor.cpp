@@ -63,16 +63,19 @@ InnerExecutor::~InnerExecutor() = default;
 InnerRunResult InnerExecutor::run(
     const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
     util::Clock::time_point deadline,
-    const std::function<void(std::span<const csm::Assignment>)>* on_match) {
+    const std::function<void(std::span<const csm::Assignment>)>* on_match,
+    util::CancelView cancel) {
   if (seeds.empty()) return {};
-  return dynamic_balance_ ? run_dynamic(alg, std::move(seeds), deadline, on_match)
-                          : run_static(alg, std::move(seeds), deadline, on_match);
+  return dynamic_balance_
+             ? run_dynamic(alg, std::move(seeds), deadline, on_match, cancel)
+             : run_static(alg, std::move(seeds), deadline, on_match, cancel);
 }
 
 InnerRunResult InnerExecutor::run_dynamic(
     const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
     util::Clock::time_point deadline,
-    const std::function<void(std::span<const csm::Assignment>)>* on_match) {
+    const std::function<void(std::span<const csm::Assignment>)>* on_match,
+    util::CancelView cancel) {
   InnerRunResult result;
   const unsigned n = pool_.size();
   result.stats.ensure_size(n);
@@ -91,6 +94,7 @@ InnerRunResult InnerExecutor::run_dynamic(
   // further splitting is not allowed for them anyway.
   csm::MatchSink init_sink;
   init_sink.deadline = deadline;
+  init_sink.cancel = cancel;
   if (on_match != nullptr)
     init_sink.on_match = [&match_bufs, n](std::span<const csm::Assignment> m) {
       match_bufs[n].append(m);
@@ -106,7 +110,7 @@ InnerRunResult InnerExecutor::run_dynamic(
     ForcedSplitHook hook(queue, task->depth());
     alg.expand(*task, init_sink, &hook);
     queue.retire();
-    if (init_sink.timed_out()) break;
+    if (init_sink.stopped()) break;
   }
   // Re-queue parked tasks without double-counting in_flight.
   for (csm::SearchTask& task : parked) {
@@ -116,13 +120,16 @@ InnerRunResult InnerExecutor::run_dynamic(
   result.matches += init_sink.matches;
   result.nodes += init_sink.nodes;
   result.timed_out = result.timed_out || init_sink.timed_out();
+  result.cancelled = result.cancelled || init_sink.cancelled();
   result.stats.serial_ns += serial_timer.elapsed_ns();
 
   std::atomic<bool> any_timed_out{false};
+  std::atomic<bool> any_cancelled{false};
   pool_.run([&](unsigned wid) {
     WorkerStats& ws = result.stats.workers[wid];
     csm::MatchSink sink;
     sink.deadline = deadline;
+    sink.cancel = cancel;
     if (on_match != nullptr)
       sink.on_match = [buf = &match_bufs[wid]](std::span<const csm::Assignment> m) {
         buf->append(m);
@@ -134,6 +141,15 @@ InnerRunResult InnerExecutor::run_dynamic(
     // pop + expand but not the idle spin inside pop_or_finish, keeping the
     // simulated-makespan accounting comparable across schedulers.
     while (auto task = queue.pop_or_finish(wid)) {
+      // Dispatch-path cancel check (ISSUE 4): a cancelled epoch drains the
+      // queue without expanding, so workers converge even when individual
+      // tasks are tiny and never reach the in-search amortized probe.
+      if (cancel.active() && cancel.cancelled()) {
+        sink.mark_cancelled();
+        queue.retire();
+        ++ws.tasks;
+        continue;
+      }
       util::ThreadCpuTimer timer;
       alg.expand(*task, sink, &hook);
       queue.retire();
@@ -144,6 +160,7 @@ InnerRunResult InnerExecutor::run_dynamic(
     ws.matches += sink.matches;
     queue.export_counters(wid, ws);
     if (sink.timed_out()) any_timed_out.store(true, std::memory_order_relaxed);
+    if (sink.cancelled()) any_cancelled.store(true, std::memory_order_relaxed);
   });
   result.stats.dispatch_ns += pool_.last_dispatch_ns();
   for (const WorkerStats& ws : result.stats.workers) {
@@ -152,6 +169,8 @@ InnerRunResult InnerExecutor::run_dynamic(
   }
   result.timed_out =
       result.timed_out || any_timed_out.load(std::memory_order_relaxed);
+  result.cancelled =
+      result.cancelled || any_cancelled.load(std::memory_order_relaxed);
 
   if (on_match != nullptr) emit_merged_sorted(match_bufs, *on_match);
   return result;
@@ -160,7 +179,8 @@ InnerRunResult InnerExecutor::run_dynamic(
 InnerRunResult InnerExecutor::run_static(
     const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
     util::Clock::time_point deadline,
-    const std::function<void(std::span<const csm::Assignment>)>* on_match) {
+    const std::function<void(std::span<const csm::Assignment>)>* on_match,
+    util::CancelView cancel) {
   InnerRunResult result;
   const unsigned n = pool_.size();
   result.stats.ensure_size(n);
@@ -175,24 +195,31 @@ InnerRunResult InnerExecutor::run_static(
   if (on_match != nullptr) match_bufs.resize(n);
 
   std::atomic<bool> any_timed_out{false};
+  std::atomic<bool> any_cancelled{false};
   pool_.run([&](unsigned wid) {
     WorkerStats& ws = result.stats.workers[wid];
     csm::MatchSink sink;
     sink.deadline = deadline;
+    sink.cancel = cancel;
     if (on_match != nullptr)
       sink.on_match = [buf = &match_bufs[wid]](std::span<const csm::Assignment> m) {
         buf->append(m);
       };
     util::ThreadCpuTimer timer;
     for (const csm::SearchTask& task : shares[wid]) {
+      if (cancel.active() && cancel.cancelled()) {
+        sink.mark_cancelled();
+        break;
+      }
       alg.expand(task, sink, nullptr);
       ++ws.tasks;
-      if (sink.timed_out()) break;
+      if (sink.stopped()) break;
     }
     ws.busy_ns += timer.elapsed_ns();
     ws.nodes += sink.nodes;
     ws.matches += sink.matches;
     if (sink.timed_out()) any_timed_out.store(true, std::memory_order_relaxed);
+    if (sink.cancelled()) any_cancelled.store(true, std::memory_order_relaxed);
   });
   result.stats.dispatch_ns += pool_.last_dispatch_ns();
   for (const WorkerStats& ws : result.stats.workers) {
@@ -200,6 +227,7 @@ InnerRunResult InnerExecutor::run_static(
     result.nodes += ws.nodes;
   }
   result.timed_out = any_timed_out.load(std::memory_order_relaxed);
+  result.cancelled = any_cancelled.load(std::memory_order_relaxed);
 
   if (on_match != nullptr) emit_merged_sorted(match_bufs, *on_match);
   return result;

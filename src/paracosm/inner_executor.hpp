@@ -24,6 +24,7 @@
 #include "paracosm/stats.hpp"
 #include "paracosm/task_queue.hpp"
 #include "paracosm/worker_pool.hpp"
+#include "util/cancel.hpp"
 
 namespace paracosm::engine {
 
@@ -31,6 +32,7 @@ struct InnerRunResult {
   std::uint64_t matches = 0;
   std::uint64_t nodes = 0;
   bool timed_out = false;
+  bool cancelled = false;
   ParallelStats stats;
 };
 
@@ -49,19 +51,22 @@ class InnerExecutor {
   [[nodiscard]] InnerRunResult run(
       const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
       util::Clock::time_point deadline = {},
-      const std::function<void(std::span<const csm::Assignment>)>* on_match = nullptr);
+      const std::function<void(std::span<const csm::Assignment>)>* on_match = nullptr,
+      util::CancelView cancel = {});
 
  private:
   [[nodiscard]] InnerRunResult run_dynamic(
       const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
       util::Clock::time_point deadline,
-      const std::function<void(std::span<const csm::Assignment>)>* on_match);
+      const std::function<void(std::span<const csm::Assignment>)>* on_match,
+      util::CancelView cancel);
   /// Static round-robin seed partition with no re-balancing — the
   /// "unbalanced" baseline of Figure 10.
   [[nodiscard]] InnerRunResult run_static(
       const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
       util::Clock::time_point deadline,
-      const std::function<void(std::span<const csm::Assignment>)>* on_match);
+      const std::function<void(std::span<const csm::Assignment>)>* on_match,
+      util::CancelView cancel);
 
   WorkerPool& pool_;
   std::uint32_t split_depth_;

@@ -92,7 +92,7 @@ void MultiQueryEngine::process_unsafe(const GraphUpdate& upd,
     sink.deadline = deadline;
     for (const auto& task : seeds) {
       reg.algorithm->expand(task, sink, nullptr);
-      if (sink.timed_out()) break;
+      if (sink.stopped()) break;
     }
     result.stats.serial_ns += timer.elapsed_ns();
     result.timed_out = result.timed_out || sink.timed_out();

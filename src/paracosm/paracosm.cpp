@@ -27,17 +27,19 @@ ParaCosm::ParaCosm(csm::CsmAlgorithm& alg, const graph::QueryGraph& q,
 }
 
 csm::UpdateOutcome ParaCosm::process(const GraphUpdate& upd,
-                                     util::Clock::time_point deadline) {
-  return process_into(upd, deadline, loose_stats_);
+                                     util::Clock::time_point deadline,
+                                     util::CancelView cancel) {
+  return process_into(upd, deadline, cancel, loose_stats_);
 }
 
 csm::UpdateOutcome ParaCosm::process_into(const GraphUpdate& upd,
                                           util::Clock::time_point deadline,
+                                          util::CancelView cancel,
                                           ParallelStats& stats) {
   switch (upd.op) {
     case UpdateOp::kInsertEdge:
     case UpdateOp::kRemoveEdge:
-      return process_edge(upd, deadline, stats);
+      return process_edge(upd, deadline, cancel, stats);
     case UpdateOp::kInsertVertex: {
       csm::UpdateOutcome out;
       const bool existed = g_.has_vertex(upd.u);
@@ -53,10 +55,11 @@ csm::UpdateOutcome ParaCosm::process_into(const GraphUpdate& upd,
       for (const auto& nb : g_.neighbors(upd.u))
         removals.push_back(GraphUpdate::remove_edge(upd.u, nb.v, nb.elabel));
       for (const GraphUpdate& rm : removals) {
-        const csm::UpdateOutcome sub = process_edge(rm, deadline, stats);
+        const csm::UpdateOutcome sub = process_edge(rm, deadline, cancel, stats);
         out.negative += sub.negative;
         out.nodes += sub.nodes;
         out.timed_out = out.timed_out || sub.timed_out;
+        out.cancelled = out.cancelled || sub.cancelled;
       }
       g_.remove_vertex(upd.u);
       alg_.on_vertex_removed(upd.u);
@@ -69,6 +72,7 @@ csm::UpdateOutcome ParaCosm::process_into(const GraphUpdate& upd,
 
 csm::UpdateOutcome ParaCosm::process_edge(const GraphUpdate& upd,
                                           util::Clock::time_point deadline,
+                                          util::CancelView cancel,
                                           ParallelStats& stats) {
   csm::UpdateOutcome out;
   const bool insert = upd.op == UpdateOp::kInsertEdge;
@@ -79,22 +83,25 @@ csm::UpdateOutcome ParaCosm::process_edge(const GraphUpdate& upd,
     if (config_.inner_parallelism) {
       const auto* cb = on_match_ ? &on_match_ : nullptr;
       InnerRunResult run = config_.scheduler == Scheduler::kWorkStealing
-                               ? stealing_.run(alg_, roots, deadline, cb)
-                               : inner_.run(alg_, roots, deadline, cb);
+                               ? stealing_.run(alg_, roots, deadline, cb, cancel)
+                               : inner_.run(alg_, roots, deadline, cb, cancel);
       stats.merge(run.stats);
       out.timed_out = out.timed_out || run.timed_out;
+      out.cancelled = out.cancelled || run.cancelled;
       return {run.matches, run.nodes};
     }
     util::ThreadCpuTimer timer;
     csm::MatchSink sink;
     sink.deadline = deadline;
+    sink.cancel = cancel;
     if (on_match_) sink.on_match = on_match_;
     for (const csm::SearchTask& task : roots) {
       alg_.expand(task, sink, nullptr);
-      if (sink.timed_out()) break;
+      if (sink.stopped()) break;
     }
     stats.serial_ns += timer.elapsed_ns();
     out.timed_out = out.timed_out || sink.timed_out();
+    out.cancelled = out.cancelled || sink.cancelled();
     return {sink.matches, sink.nodes};
   };
 
@@ -148,7 +155,8 @@ void ParaCosm::apply_safe(const GraphUpdate& upd) {
 }
 
 StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
-                                      util::Clock::time_point deadline) {
+                                      util::Clock::time_point deadline,
+                                      util::CancelView cancel) {
   StreamResult result;
   util::WallTimer wall;
 
@@ -160,6 +168,8 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
     result.negative += out.negative;
     result.nodes += out.nodes;
     result.timed_out = result.timed_out || out.timed_out;
+    result.cancelled = result.cancelled || out.cancelled;
+    if (!out.applied) ++result.noop_skipped;
   };
 
   if (!config_.inter_parallelism) {
@@ -168,7 +178,7 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
         result.timed_out = true;
         break;
       }
-      absorb(process_into(upd, deadline, result.stats));
+      absorb(process_into(upd, deadline, cancel, result.stats));
       ++result.updates_processed;
     }
     result.wall_ns = wall.elapsed_ns();
@@ -296,7 +306,7 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
     // inner-update executor searching; the batch remainder is deferred.
     if (hit_unsafe) {
       ++result.unsafe_sequential;
-      absorb(process_into(stream[i], deadline, result.stats));
+      absorb(process_into(stream[i], deadline, cancel, result.stats));
       ++result.updates_processed;
       ++i;
       result.deferred_after_unsafe += count - safe_prefix - 1;

@@ -30,7 +30,9 @@ struct StreamResult {
   std::uint64_t negative = 0;   ///< expired matches
   std::uint64_t nodes = 0;      ///< search-tree nodes expanded
   std::uint64_t updates_processed = 0;
+  std::uint64_t noop_skipped = 0;  ///< updates that left the graph unchanged
   bool timed_out = false;
+  bool cancelled = false;  ///< some search was cut short by a CancelToken
 
   ClassifierStats classifier;
   std::uint64_t batches = 0;
@@ -56,13 +58,17 @@ class ParaCosm {
 
   /// Process a single update: sequential graph/ADS maintenance plus
   /// parallel search-tree exploration. Always correct regardless of config.
+  /// `cancel` (service watchdog, DESIGN.md §7) aborts only the search phase;
+  /// graph and ADS maintenance always complete, so state stays consistent.
   csm::UpdateOutcome process(const graph::GraphUpdate& upd,
-                             util::Clock::time_point deadline = {});
+                             util::Clock::time_point deadline = {},
+                             util::CancelView cancel = {});
 
   /// Process a whole stream with inter-update batching (when enabled).
   /// `deadline` bounds the entire stream (the paper's success-rate metric).
   StreamResult process_stream(std::span<const graph::GraphUpdate> stream,
-                              util::Clock::time_point deadline = {});
+                              util::Clock::time_point deadline = {},
+                              util::CancelView cancel = {});
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] csm::CsmAlgorithm& algorithm() noexcept { return alg_; }
@@ -87,10 +93,10 @@ class ParaCosm {
  private:
   csm::UpdateOutcome process_into(const graph::GraphUpdate& upd,
                                   util::Clock::time_point deadline,
-                                  ParallelStats& stats);
+                                  util::CancelView cancel, ParallelStats& stats);
   csm::UpdateOutcome process_edge(const graph::GraphUpdate& upd,
                                   util::Clock::time_point deadline,
-                                  ParallelStats& stats);
+                                  util::CancelView cancel, ParallelStats& stats);
   /// Apply a safe update: adjacency plus counter-cache deltas, no
   /// enumeration (safety guarantees ΔM = ∅ and no index flips).
   void apply_safe(const graph::GraphUpdate& upd);

@@ -105,6 +105,54 @@ struct ParallelStats {
   }
 };
 
+/// Ingest-side accounting of the bounded ring between the stream reader and
+/// the executors (src/service/ingest.hpp). Exported here — next to the
+/// executor stats — so bench_baseline and paracosm_serve report one unified
+/// stats vocabulary (ISSUE 4).
+struct IngestStats {
+  std::uint64_t enqueued = 0;        ///< updates admitted into the ring
+  std::uint64_t shed = 0;            ///< overload: pushed to the defer log
+  std::uint64_t degraded = 0;        ///< overload: demoted to count-only
+  std::uint64_t blocked_pushes = 0;  ///< pushes that had to back off (block policy)
+  std::int64_t blocked_ns = 0;       ///< wall time producers spent backing off
+  std::uint64_t high_water = 0;      ///< max queue depth observed
+
+  void merge(const IngestStats& other) noexcept {
+    enqueued += other.enqueued;
+    shed += other.shed;
+    degraded += other.degraded;
+    blocked_pushes += other.blocked_pushes;
+    blocked_ns += other.blocked_ns;
+    high_water = std::max(high_water, other.high_water);
+  }
+};
+
+/// End-to-end service-layer counters (src/service/service.hpp): one consumer
+/// run's admission, degradation, durability and recovery story in numbers.
+struct ServiceStats {
+  IngestStats ingest;
+  std::uint64_t processed = 0;          ///< updates fully processed
+  std::uint64_t degraded_searches = 0;  ///< searches cut short by the watchdog
+  std::uint64_t deferred_retries = 0;   ///< shed updates replayed from the defer log
+  std::uint64_t replayed_updates = 0;   ///< WAL records replayed during recovery
+  std::uint64_t noop_skipped = 0;       ///< rejected mutations (skip + count)
+  std::uint64_t snapshots = 0;          ///< snapshots written
+  std::uint64_t wal_records = 0;        ///< WAL records appended
+  std::uint64_t watchdog_cancels = 0;   ///< deadlines enforced by the watchdog
+
+  void merge(const ServiceStats& other) noexcept {
+    ingest.merge(other.ingest);
+    processed += other.processed;
+    degraded_searches += other.degraded_searches;
+    deferred_retries += other.deferred_retries;
+    replayed_updates += other.replayed_updates;
+    noop_skipped += other.noop_skipped;
+    snapshots += other.snapshots;
+    wal_records += other.wal_records;
+    watchdog_cancels += other.watchdog_cancels;
+  }
+};
+
 /// Per-stage tallies of the update type classifier (Figure 12 / Table 4).
 struct ClassifierStats {
   std::uint64_t total = 0;

@@ -46,7 +46,8 @@ StealingExecutor::~StealingExecutor() = default;
 InnerRunResult StealingExecutor::run(
     const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
     util::Clock::time_point deadline,
-    const std::function<void(std::span<const csm::Assignment>)>* on_match) {
+    const std::function<void(std::span<const csm::Assignment>)>* on_match,
+    util::CancelView cancel) {
   InnerRunResult result;
   if (seeds.empty()) return result;
   const unsigned n = pool_.size();
@@ -59,10 +60,12 @@ InnerRunResult StealingExecutor::run(
   if (on_match != nullptr) match_bufs.resize(n);
 
   std::atomic<bool> any_timed_out{false};
+  std::atomic<bool> any_cancelled{false};
   pool_.run([&](unsigned wid) {
     WorkerStats& ws = result.stats.workers[wid];
     csm::MatchSink sink;
     sink.deadline = deadline;
+    sink.cancel = cancel;
     if (on_match != nullptr)
       sink.on_match = [buf = &match_bufs[wid]](std::span<const csm::Assignment> m) {
         buf->append(m);
@@ -73,6 +76,14 @@ InnerRunResult StealingExecutor::run(
     // pooled SearchScratch (csm/scratch.hpp) keeps expansion allocation-free
     // across stolen tasks in steady state.
     while (auto task = queue.pop_or_finish(wid)) {
+      // Dispatch-path cancel check (ISSUE 4): drain without expanding once
+      // the epoch is cancelled so the stealing swarm converges promptly.
+      if (cancel.active() && cancel.cancelled()) {
+        sink.mark_cancelled();
+        queue.retire();
+        ++ws.tasks;
+        continue;
+      }
       util::ThreadCpuTimer timer;
       alg.expand(*task, sink, &hook);
       queue.retire();
@@ -83,6 +94,7 @@ InnerRunResult StealingExecutor::run(
     ws.matches += sink.matches;
     queue.export_counters(wid, ws);
     if (sink.timed_out()) any_timed_out.store(true, std::memory_order_relaxed);
+    if (sink.cancelled()) any_cancelled.store(true, std::memory_order_relaxed);
   });
   result.stats.dispatch_ns += pool_.last_dispatch_ns();
   for (const WorkerStats& ws : result.stats.workers) {
@@ -90,6 +102,7 @@ InnerRunResult StealingExecutor::run(
     result.nodes += ws.nodes;
   }
   result.timed_out = any_timed_out.load(std::memory_order_relaxed);
+  result.cancelled = any_cancelled.load(std::memory_order_relaxed);
 
   if (on_match != nullptr) emit_merged_sorted(match_bufs, *on_match);
   return result;

@@ -19,6 +19,7 @@
 #include "paracosm/stats.hpp"
 #include "paracosm/task_queue.hpp"
 #include "paracosm/worker_pool.hpp"
+#include "util/cancel.hpp"
 
 namespace paracosm::engine {
 
@@ -39,7 +40,8 @@ class StealingExecutor {
   [[nodiscard]] InnerRunResult run(
       const csm::CsmAlgorithm& alg, std::vector<csm::SearchTask> seeds,
       util::Clock::time_point deadline = {},
-      const std::function<void(std::span<const csm::Assignment>)>* on_match = nullptr);
+      const std::function<void(std::span<const csm::Assignment>)>* on_match = nullptr,
+      util::CancelView cancel = {});
 
  private:
   WorkerPool& pool_;

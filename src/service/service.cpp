@@ -1,0 +1,255 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace paracosm::service {
+
+// ---------------------------------------------------------------- Watchdog
+
+namespace {
+
+[[nodiscard]] std::int64_t steady_ns(util::Clock::time_point tp) noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+void nap(std::int64_t ns) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+}  // namespace
+
+Watchdog::Watchdog() : thread_([this] { run(); }) {}
+
+Watchdog::~Watchdog() {
+  stop_.store(true, std::memory_order_release);
+  thread_.join();  // the poller re-checks stop_ at least every kMaxPollNs
+}
+
+void Watchdog::arm(util::CancelToken* token, std::uint64_t epoch,
+                   util::Clock::time_point deadline) {
+  // Publish order matters (see the class comment): the epoch store is the
+  // release gate, so a poller that reads this epoch sees this (or a later,
+  // farther-out) deadline — never an older one.
+  token_.store(token, std::memory_order_relaxed);
+  deadline_ns_.store(steady_ns(deadline), std::memory_order_relaxed);
+  epoch_.store(epoch, std::memory_order_release);
+}
+
+void Watchdog::disarm(std::uint64_t epoch) {
+  // A single relaxed store: if the poller still acts on the old epoch it
+  // cancels a scope that already finished — a no-op under epoch semantics.
+  if (epoch_.load(std::memory_order_relaxed) == epoch)
+    epoch_.store(0, std::memory_order_relaxed);
+}
+
+void Watchdog::run() {
+  std::uint64_t last_fired_epoch = ~std::uint64_t{0};
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Epoch first (acquire) — the ordering anchor for the torn-read argument.
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (epoch == 0) {  // disarmed
+      nap(kMaxPollNs);
+      continue;
+    }
+    const std::int64_t deadline_ns = deadline_ns_.load(std::memory_order_relaxed);
+    const std::int64_t now = steady_ns(util::Clock::now());
+    if (now < deadline_ns) {
+      // Quarter-remaining naps: a far deadline is sampled rarely (one wake
+      // per kMaxPollNs), a near one at kMinPollNs precision.
+      nap(std::clamp((deadline_ns - now) / 4, kMinPollNs, kMaxPollNs));
+      continue;
+    }
+    // Overdue. Fire once per epoch; the consumer will disarm or re-arm.
+    if (epoch != last_fired_epoch) {
+      token_.load(std::memory_order_relaxed)->cancel(epoch);
+      cancels_.fetch_add(1, std::memory_order_relaxed);
+      last_fired_epoch = epoch;
+    }
+    nap(kMinPollNs);
+  }
+}
+
+// ------------------------------------------------------------ StreamService
+
+StreamService::StreamService(engine::ParaCosm& engine, ServiceOptions opts,
+                             FaultHooks hooks)
+    : engine_(engine),
+      opts_(std::move(opts)),
+      hooks_(std::move(hooks)),
+      queue_(opts_.queue_capacity, opts_.policy),
+      budget_ns_(opts_.budget_us * 1000) {
+  if (!opts_.wal_path.empty()) {
+    wal_.emplace(opts_.wal_path, /*truncate=*/!opts_.wal_resume,
+                 opts_.wal_resume ? opts_.wal_next_seq : 0);
+    seq_ = wal_->next_seq();
+  }
+  if (budget_ns_ > 0) watchdog_.emplace();
+  // The engine-side observer is installed once; `deliver_` (consumer-thread
+  // only) gates it off for updates degraded to count-only.
+  engine_.set_match_callback([this](std::span<const csm::Assignment> m) {
+    if (deliver_ && on_match_) on_match_(m);
+  });
+  consumer_ = std::thread([this] { consumer_loop(); });
+  // Report wall time from "ready to serve": thread spawns above are one-time
+  // setup, not serving cost (they would otherwise dominate short benches).
+  wall_.reset();
+}
+
+StreamService::~StreamService() {
+  queue_.close();
+  if (consumer_.joinable()) consumer_.join();
+}
+
+PushResult StreamService::submit(const graph::GraphUpdate& upd) {
+  const PushResult r = queue_.push(upd);
+  if (r == PushResult::kShed) {
+    std::lock_guard<std::mutex> lk(defer_m_);
+    defer_log_.push_back(upd);
+  }
+  return r;
+}
+
+bool StreamService::pop_deferred(graph::GraphUpdate& out) {
+  std::lock_guard<std::mutex> lk(defer_m_);
+  if (defer_log_.empty()) return false;
+  out = defer_log_.front();
+  defer_log_.pop_front();
+  return true;
+}
+
+void StreamService::retry_deferred() {
+  {
+    std::lock_guard<std::mutex> lk(defer_m_);
+    if (defer_log_.empty()) return;
+  }
+  if (defer_countdown_ > 0) {
+    --defer_countdown_;
+    return;
+  }
+  // Only replay once the ring has visibly drained below half capacity —
+  // otherwise the replay itself would keep the overload alive. While the
+  // pressure persists, probe with exponential backoff.
+  if (queue_.approx_size() * 2 >= queue_.capacity()) {
+    defer_backoff_ = std::min<std::uint64_t>(defer_backoff_ * 2, 64);
+    defer_countdown_ = defer_backoff_;
+    return;
+  }
+  defer_backoff_ = 1;
+  graph::GraphUpdate upd;
+  if (pop_deferred(upd)) process_one(upd, /*degraded=*/false, /*deferred=*/true);
+}
+
+void StreamService::consumer_loop() {
+  try {
+    IngestItem item;
+    while (queue_.pop_wait(item)) {
+      if (hooks_.slow_consumer) hooks_.slow_consumer();
+      process_one(item.upd, item.degraded, /*deferred=*/false);
+      retry_deferred();
+    }
+    // Shutdown drain: shed updates are delayed, never dropped.
+    graph::GraphUpdate upd;
+    while (pop_deferred(upd))
+      process_one(upd, /*degraded=*/false, /*deferred=*/true);
+  } catch (const std::exception& e) {
+    error_ = e.what();
+    queue_.close();  // stop admitting; producers see kClosed
+  }
+}
+
+void StreamService::process_one(const graph::GraphUpdate& upd, bool degraded,
+                                bool deferred) {
+  util::WallTimer timer;
+
+  // Durability point: the record is on disk before the engine sees the
+  // update. A crash in the window right after (after_wal_append) is exactly
+  // what recover_state's redo replay covers.
+  std::uint64_t seq = seq_;
+  if (wal_) {
+    seq = wal_->append(upd);
+    wal_->flush();
+    ++stats_.wal_records;
+    if (hooks_.after_wal_append) hooks_.after_wal_append(seq);
+  }
+  seq_ = seq + 1;
+
+  util::CancelView view{};
+  bool armed_watchdog = false;
+  std::uint64_t epoch = 0;
+  const bool forced = hooks_.force_timeout && hooks_.force_timeout(seq);
+  if (forced || budget_ns_ > 0) {
+    // The consumer is the token's only armer, so epochs come from a plain
+    // counter instead of CancelToken::arm()'s atomic RMW — monotonicity is
+    // all cancel()/is_cancelled() need, and this runs once per update.
+    epoch = ++arm_epoch_;
+    view = util::CancelView{&token_, epoch};
+    if (forced) {
+      // Deterministic over-budget outcome: the fresh epoch is cancelled up
+      // front, so the search aborts at its first cancellation check.
+      token_.cancel(epoch);
+    } else {
+      // Deadline base = the latency timer's stamp from function entry: one
+      // clock read per update, shared with accounting. The budget therefore
+      // covers the update end-to-end (WAL flush + search), which is what a
+      // latency SLO means anyway.
+      watchdog_->arm(&token_, epoch,
+                     timer.start() + std::chrono::nanoseconds(budget_ns_));
+      armed_watchdog = true;
+    }
+  }
+
+  deliver_ = !degraded;
+  const csm::UpdateOutcome out = engine_.process(upd, {}, view);
+  deliver_ = true;
+  if (armed_watchdog) watchdog_->disarm(epoch);
+
+  ++stats_.processed;
+  if (deferred) ++stats_.deferred_retries;
+  if (out.cancelled) ++stats_.degraded_searches;
+  if (!out.applied) ++stats_.noop_skipped;
+  positive_ += out.positive;
+  negative_ += out.negative;
+  latencies_ns_.push_back(timer.elapsed_ns());
+  if (opts_.record_applied_order) applied_order_.push_back(upd);
+
+  maybe_snapshot();
+}
+
+void StreamService::maybe_snapshot() {
+  if (opts_.snapshot_path.empty() || opts_.snapshot_every == 0) return;
+  if (++since_snapshot_ < opts_.snapshot_every) return;
+  since_snapshot_ = 0;
+  SnapshotMeta meta;
+  meta.seq = seq_;
+  meta.ads_checksum = engine_.algorithm().ads_checksum();
+  meta.algorithm = std::string(engine_.algorithm().name());
+  write_snapshot(opts_.snapshot_path, engine_.graph(), meta);
+  ++stats_.snapshots;
+}
+
+ServiceReport StreamService::finish() {
+  queue_.close();
+  if (consumer_.joinable()) consumer_.join();
+
+  ServiceReport r;
+  if (!finished_) {
+    finished_ = true;
+    stats_.ingest = queue_.stats();
+    if (watchdog_) stats_.watchdog_cancels = watchdog_->cancels();
+    r.stats = stats_;
+    r.positive = positive_;
+    r.negative = negative_;
+    r.wall_ns = wall_.elapsed_ns();
+    r.latencies_ns = std::move(latencies_ns_);
+    r.applied_order = std::move(applied_order_);
+    r.error = error_;
+  }
+  return r;
+}
+
+}  // namespace paracosm::service

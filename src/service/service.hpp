@@ -1,0 +1,205 @@
+// StreamService: the overload-resilient front door (DESIGN.md §7).
+//
+// Producers push updates into the bounded ingest ring (ingest.hpp); one
+// consumer thread drains it and, per update, walks the durability + deadline
+// pipeline:
+//
+//   pop → [slow-consumer fault] → WAL append + flush → [crash hook]
+//       → arm CancelToken (+ watchdog when a budget is set)
+//       → ParaCosm::process → disarm → account
+//
+// The WAL append happens *before* the engine applies the update (redo
+// semantics, wal.hpp); the crash-recovery tests kill the process exactly in
+// between. A per-update search budget is enforced by the Watchdog thread
+// cancelling the update's armed epoch; the search stops at the next
+// cancellation check, the update is recorded as *degraded* (its ΔM counts may
+// be partial) and — crucially — graph/ADS maintenance still completed, so
+// state stays consistent and later updates are exact.
+//
+// Overload behaviour is the ring's policy: kBlock backpressures the producer,
+// kShed returns the update to the caller, which submit() parks in a defer
+// log — the consumer replays deferred updates once queue depth drops below
+// half capacity (checked with exponential backoff while pressure persists)
+// and unconditionally drains the log at shutdown: shed updates are delayed,
+// never dropped. kDegrade admits the update flagged count-only: per-mapping
+// delivery is suppressed but ΔM counts and all state stay exact.
+//
+// Threading contract: any number of submit() callers; finish() must not race
+// submit(); the match callback must be installed before the first submit.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "paracosm/paracosm.hpp"
+#include "service/fault.hpp"
+#include "service/ingest.hpp"
+#include "service/wal.hpp"
+#include "util/cancel.hpp"
+#include "util/timer.hpp"
+
+namespace paracosm::service {
+
+/// Deadline enforcer: one thread, at most one armed scope at a time (the
+/// service consumer processes one update at a time). arm() pins (token,
+/// epoch, deadline); if disarm() does not arrive first, the watchdog cancels
+/// exactly that epoch — a late cancel can never leak into the next update
+/// (see util/cancel.hpp).
+///
+/// arm()/disarm() sit on the per-update hot path — at microsecond update
+/// granularity even a futex wake per update is a double-digit-percent tax —
+/// so both are plain atomic stores, no lock, no RMW, no notify. The armed
+/// scope is published in a fixed order (token, then deadline, then epoch with
+/// release; disarm stores epoch 0) and the watchdog polls it with naps sized
+/// to a quarter of the time remaining, clamped to [kMinPollNs, kMaxPollNs].
+///
+/// Why torn reads are safe without a seqlock: epochs are monotonic and a
+/// cancel aimed at a stale epoch is a no-op by CancelToken's contract. The
+/// poller loads epoch with acquire FIRST — so the deadline it then reads was
+/// stored no earlier than that epoch's, i.e. it is that scope's deadline or a
+/// later (hence farther-out) one. Every interleaving therefore either cancels
+/// the right overdue epoch, cancels a dead old epoch (benign), or waits a
+/// little longer — it can never cancel a live scope early.
+///
+/// A generous never-firing budget costs one wake per kMaxPollNs; a genuinely
+/// overdue deadline is cancelled within ~kMinPollNs. The thread never parks —
+/// worst-case idle cost is a wake per kMaxPollNs, which also bounds how long
+/// the destructor waits for join.
+class Watchdog {
+ public:
+  Watchdog();
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void arm(util::CancelToken* token, std::uint64_t epoch,
+           util::Clock::time_point deadline);
+  void disarm(std::uint64_t epoch);
+
+  [[nodiscard]] std::uint64_t cancels() const noexcept {
+    return cancels_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::int64_t kMinPollNs = 50'000;     ///< deadline precision
+  static constexpr std::int64_t kMaxPollNs = 5'000'000;  ///< idle / far-deadline
+
+  void run();
+
+  // Armed scope; epoch_ == 0 means disarmed (CancelToken epochs start at 1).
+  std::atomic<util::CancelToken*> token_{nullptr};
+  std::atomic<std::int64_t> deadline_ns_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> cancels_{0};
+  std::thread thread_;
+};
+
+struct ServiceOptions {
+  std::size_t queue_capacity = 1024;
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+
+  /// Per-update budget in microseconds, measured end-to-end from dequeue
+  /// (WAL flush + search); 0 disables the watchdog.
+  std::int64_t budget_us = 0;
+
+  std::string wal_path;      ///< empty = durability off
+  bool wal_resume = false;   ///< append (post-recovery) instead of truncating
+  std::uint64_t wal_next_seq = 0;  ///< first seq when resuming
+
+  std::string snapshot_path;       ///< empty = snapshots off
+  std::uint64_t snapshot_every = 0;  ///< updates between snapshots; 0 = never
+
+  /// Capture the effective processing order (shed updates are replayed late,
+  /// out of submission order) — the stream the verification oracle replays.
+  bool record_applied_order = false;
+};
+
+struct ServiceReport {
+  engine::ServiceStats stats;
+  std::uint64_t positive = 0;
+  std::uint64_t negative = 0;
+  std::int64_t wall_ns = 0;
+  std::vector<std::int64_t> latencies_ns;  ///< per processed update
+  std::vector<graph::GraphUpdate> applied_order;  ///< see record_applied_order
+  std::string error;  ///< non-empty if the consumer died (e.g. WAL I/O)
+};
+
+class StreamService {
+ public:
+  /// The engine must already be attached (offline stage done). The consumer
+  /// thread starts immediately.
+  StreamService(engine::ParaCosm& engine, ServiceOptions opts,
+                FaultHooks hooks = {});
+  ~StreamService();
+
+  StreamService(const StreamService&) = delete;
+  StreamService& operator=(const StreamService&) = delete;
+
+  /// Producer side. kShed means the update went to the defer log (it will
+  /// still be processed, later); kClosed means finish() already ran.
+  PushResult submit(const graph::GraphUpdate& upd);
+
+  /// Close the ring, drain everything (including the defer log), join the
+  /// consumer, and return the final report. One-shot.
+  [[nodiscard]] ServiceReport finish();
+
+  /// Install the per-mapping observer (forwarded to ParaCosm, minus the
+  /// updates degraded to count-only). Call before the first submit().
+  void set_match_callback(
+      std::function<void(std::span<const csm::Assignment>)> cb) {
+    on_match_ = std::move(cb);
+  }
+
+  [[nodiscard]] const IngestQueue& queue() const noexcept { return queue_; }
+
+ private:
+  void consumer_loop();
+  void process_one(const graph::GraphUpdate& upd, bool degraded, bool deferred);
+  void retry_deferred();
+  [[nodiscard]] bool pop_deferred(graph::GraphUpdate& out);
+  void maybe_snapshot();
+
+  engine::ParaCosm& engine_;
+  ServiceOptions opts_;
+  FaultHooks hooks_;
+  IngestQueue queue_;
+  std::optional<WalWriter> wal_;
+  std::optional<Watchdog> watchdog_;
+  util::CancelToken token_;
+  std::uint64_t arm_epoch_ = 0;  ///< consumer-minted epochs (never token_.arm())
+  std::int64_t budget_ns_ = 0;
+
+  std::mutex defer_m_;
+  std::deque<graph::GraphUpdate> defer_log_;
+  std::uint64_t defer_backoff_ = 1;   ///< consumer iterations between probes
+  std::uint64_t defer_countdown_ = 0;
+
+  // Consumer-thread state.
+  std::uint64_t seq_ = 0;  ///< stands in for WAL seq when durability is off
+  std::uint64_t since_snapshot_ = 0;
+  bool deliver_ = true;    ///< false while processing a degraded update
+  engine::ServiceStats stats_;
+  std::uint64_t positive_ = 0;
+  std::uint64_t negative_ = 0;
+  std::vector<std::int64_t> latencies_ns_;
+  std::vector<graph::GraphUpdate> applied_order_;
+  std::string error_;
+
+  std::function<void(std::span<const csm::Assignment>)> on_match_;
+  util::WallTimer wall_;
+  std::thread consumer_;
+  bool finished_ = false;
+};
+
+}  // namespace paracosm::service

@@ -1,0 +1,228 @@
+#include "service/wal.hpp"
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/graph_io.hpp"
+#include "util/checksum.hpp"
+
+namespace paracosm::service {
+
+namespace {
+
+void put_u32(unsigned char* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+void put_u64(unsigned char* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+[[nodiscard]] std::uint32_t get_u32(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+[[nodiscard]] std::uint64_t get_u64(const unsigned char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+using RecordBuf = std::array<unsigned char, kWalRecordBytes>;
+
+void encode_record(std::uint64_t seq, const graph::GraphUpdate& upd,
+                   RecordBuf& buf) noexcept {
+  put_u64(buf.data(), seq);
+  put_u32(buf.data() + 8, static_cast<std::uint32_t>(upd.op));
+  put_u32(buf.data() + 12, upd.u);
+  put_u32(buf.data() + 16, upd.v);
+  put_u32(buf.data() + 20, upd.label);
+  put_u64(buf.data() + 24, wal_checksum(seq, upd));
+}
+
+}  // namespace
+
+std::uint64_t wal_checksum(std::uint64_t seq,
+                           const graph::GraphUpdate& upd) noexcept {
+  std::uint64_t h = util::kFnv1aOffset;
+  h = util::fnv1a_word(h, static_cast<std::uint32_t>(seq));
+  h = util::fnv1a_word(h, static_cast<std::uint32_t>(seq >> 32));
+  h = util::fnv1a_word(h, static_cast<std::uint32_t>(upd.op));
+  h = util::fnv1a_word(h, upd.u);
+  h = util::fnv1a_word(h, upd.v);
+  h = util::fnv1a_word(h, upd.label);
+  return h;
+}
+
+WalWriter::WalWriter(const std::string& path, bool truncate,
+                     std::uint64_t next_seq)
+    : path_(path), next_seq_(next_seq) {
+  const auto mode = std::ios::binary |
+                    (truncate ? std::ios::trunc : std::ios::app);
+  out_.open(path, mode);
+  if (!out_) throw std::runtime_error("wal: cannot open '" + path + "'");
+}
+
+std::uint64_t WalWriter::append(const graph::GraphUpdate& upd) {
+  const std::uint64_t seq = next_seq_++;
+  RecordBuf buf;
+  encode_record(seq, upd, buf);
+  out_.write(reinterpret_cast<const char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size()));
+  if (!out_) throw std::runtime_error("wal: write failed on '" + path_ + "'");
+  return seq;
+}
+
+void WalWriter::flush() {
+  out_.flush();
+  if (!out_) throw std::runtime_error("wal: flush failed on '" + path_ + "'");
+}
+
+WalReadResult read_wal(const std::string& path) {
+  WalReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;  // absent file == empty log
+
+  RecordBuf buf;
+  std::uint64_t expect_seq = 0;
+  bool have_seq = false;
+  for (;;) {
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    const auto got = in.gcount();
+    if (got == 0 && in.eof()) break;  // clean end
+    if (got != static_cast<std::streamsize>(kWalRecordBytes)) {
+      result.torn_tail = true;  // short read: crash mid-append
+      break;
+    }
+    WalRecord rec;
+    rec.seq = get_u64(buf.data());
+    const std::uint32_t op = get_u32(buf.data() + 8);
+    rec.upd.op = static_cast<graph::UpdateOp>(op);
+    rec.upd.u = get_u32(buf.data() + 12);
+    rec.upd.v = get_u32(buf.data() + 16);
+    rec.upd.label = get_u32(buf.data() + 20);
+    const std::uint64_t stored = get_u64(buf.data() + 24);
+    if (op > static_cast<std::uint32_t>(graph::UpdateOp::kRemoveVertex) ||
+        stored != wal_checksum(rec.seq, rec.upd) ||
+        (have_seq && rec.seq != expect_seq)) {
+      result.torn_tail = true;  // bit rot or a torn rewrite
+      break;
+    }
+    have_seq = true;
+    expect_seq = rec.seq + 1;
+    result.records.push_back(rec);
+    result.valid_bytes += kWalRecordBytes;
+  }
+  return result;
+}
+
+void truncate_wal(const std::string& path, std::uint64_t valid_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec)
+    throw std::runtime_error("wal: cannot truncate '" + path +
+                             "': " + ec.message());
+}
+
+void write_snapshot(const std::string& path, const graph::DataGraph& g,
+                    const SnapshotMeta& meta) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("snapshot: cannot open '" + tmp + "'");
+    out << "# paracosm-snapshot 1 seq=" << meta.seq << " ads=" << std::hex
+        << meta.ads_checksum << std::dec << " alg=" << meta.algorithm << "\n";
+    graph::save_data_graph(g, out);
+    out.flush();
+    if (!out)
+      throw std::runtime_error("snapshot: write failed on '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec)
+    throw std::runtime_error("snapshot: rename to '" + path +
+                             "' failed: " + ec.message());
+}
+
+std::optional<Snapshot> read_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+
+  std::string header;
+  if (!std::getline(in, header)) return std::nullopt;
+  std::istringstream hs(header);
+  std::string hash, tag;
+  int version = 0;
+  hs >> hash >> tag >> version;
+  if (hash != "#" || tag != "paracosm-snapshot" || version != 1)
+    return std::nullopt;
+
+  Snapshot snap;
+  bool have_seq = false, have_ads = false;
+  std::string field;
+  while (hs >> field) {
+    const auto eq = field.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    try {
+      if (key == "seq") {
+        snap.meta.seq = std::stoull(value);
+        have_seq = true;
+      } else if (key == "ads") {
+        snap.meta.ads_checksum = std::stoull(value, nullptr, 16);
+        have_ads = true;
+      } else if (key == "alg") {
+        snap.meta.algorithm = value;
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (!have_seq || !have_ads) return std::nullopt;
+
+  try {
+    snap.graph = graph::load_data_graph(in);
+  } catch (const graph::ParseException&) {
+    return std::nullopt;  // truncated/corrupt body: fall back to base + WAL
+  }
+  return snap;
+}
+
+RecoveredState recover_state(const graph::DataGraph& base,
+                             const std::string& wal_path,
+                             const std::string& snapshot_path) {
+  RecoveredState state;
+  std::uint64_t replay_from = 0;
+
+  if (!snapshot_path.empty()) {
+    if (auto snap = read_snapshot(snapshot_path)) {
+      state.graph = std::move(snap->graph);
+      state.snapshot = snap->meta;
+      state.used_snapshot = true;
+      replay_from = snap->meta.seq;
+    }
+  }
+  if (!state.used_snapshot) state.graph = base;
+
+  WalReadResult wal = read_wal(wal_path);
+  if (wal.torn_tail) {
+    truncate_wal(wal_path, wal.valid_bytes);
+    state.torn_tail_truncated = true;
+  }
+  state.next_seq = replay_from;
+  for (const WalRecord& rec : wal.records) {
+    state.next_seq = rec.seq + 1;
+    if (rec.seq < replay_from) continue;  // already inside the snapshot
+    // Idempotent redo: a record whose effect survived the crash (append
+    // happened, apply happened, then crash) replays as a no-op.
+    state.graph.apply(rec.upd);
+    ++state.replayed;
+  }
+  return state;
+}
+
+}  // namespace paracosm::service

@@ -1,0 +1,136 @@
+// Durability for the service layer (DESIGN.md §7.3): an append-only
+// write-ahead log of admitted updates, periodic full snapshots, and crash
+// recovery that replays the WAL suffix on top of the newest snapshot.
+//
+// WAL format — fixed 32-byte little-endian records:
+//
+//   u64 seq | u32 op | u32 u | u32 v | u32 label | u64 checksum
+//
+// The checksum is FNV-1a (util/checksum.hpp) over the five preceding fields,
+// so a torn tail — the partial or corrupted last record a crash mid-append
+// leaves behind — is detected by a short read, a checksum mismatch, or a
+// non-monotonic sequence number. Recovery truncates the file back to the last
+// good record; everything before it is trusted.
+//
+// Records are appended *before* the update is applied (redo semantics): a
+// crash between append and apply replays that update on recovery, and replay
+// is idempotent because DataGraph::apply treats an already-applied update as
+// a no-op.
+//
+// Snapshot format — a text file readable by graph_io with one header line:
+//
+//   # paracosm-snapshot 1 seq=<next_seq> ads=<hex> alg=<name>
+//
+// `seq` is the WAL sequence the snapshot is current through (the first record
+// that still needs replay); `ads` is the algorithm's ADS checksum at that
+// point, cross-checked after recovery by a fresh attach. Snapshots are
+// written to a temp file and renamed into place, so a crash mid-snapshot
+// never destroys the previous one.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.hpp"
+#include "graph/types.hpp"
+
+namespace paracosm::service {
+
+inline constexpr std::size_t kWalRecordBytes = 32;
+
+struct WalRecord {
+  std::uint64_t seq = 0;
+  graph::GraphUpdate upd;
+};
+
+/// FNV-1a over (seq, op, u, v, label) — the first 24 bytes of the record.
+[[nodiscard]] std::uint64_t wal_checksum(std::uint64_t seq,
+                                         const graph::GraphUpdate& upd) noexcept;
+
+/// Append-side handle. Not thread-safe: the service's single consumer is the
+/// only writer (append-before-apply happens on the consumer thread).
+class WalWriter {
+ public:
+  /// `truncate == true` starts a fresh log; otherwise appends to an existing
+  /// one whose torn tail (if any) has already been cut by recover_state(),
+  /// continuing at `next_seq`. Throws std::runtime_error if the file cannot
+  /// be opened.
+  WalWriter(const std::string& path, bool truncate, std::uint64_t next_seq = 0);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Append one record (buffered); returns the sequence number it received.
+  std::uint64_t append(const graph::GraphUpdate& upd);
+
+  /// Push buffered records to the OS. Called once per admitted update —
+  /// the durability point the crash-recovery tests kill against.
+  void flush();
+
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t next_seq_ = 0;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;  ///< every record up to the first bad one
+  bool torn_tail = false;          ///< trailing bytes failed validation
+  std::uint64_t valid_bytes = 0;   ///< file prefix covered by `records`
+};
+
+/// Scan a WAL file, validating length, checksum and seq monotonicity of each
+/// record. Never throws on corrupt data — corruption is the expected input.
+/// A missing file reads as empty.
+[[nodiscard]] WalReadResult read_wal(const std::string& path);
+
+/// Cut a torn tail: shrink `path` to `valid_bytes` (from read_wal).
+void truncate_wal(const std::string& path, std::uint64_t valid_bytes);
+
+struct SnapshotMeta {
+  std::uint64_t seq = 0;           ///< WAL seq the snapshot is current through
+  std::uint64_t ads_checksum = 0;  ///< algorithm ADS checksum at that point
+  std::string algorithm;           ///< algorithm the checksum belongs to
+};
+
+struct Snapshot {
+  SnapshotMeta meta;
+  graph::DataGraph graph;
+};
+
+/// Atomically (write-temp + rename) persist the graph with its metadata.
+void write_snapshot(const std::string& path, const graph::DataGraph& g,
+                    const SnapshotMeta& meta);
+
+/// Load a snapshot; nullopt if the file is absent or its header/body is
+/// malformed (recovery then falls back to the initial graph + full WAL).
+[[nodiscard]] std::optional<Snapshot> read_snapshot(const std::string& path);
+
+struct RecoveredState {
+  graph::DataGraph graph;        ///< post-replay graph
+  std::uint64_t next_seq = 0;    ///< seq the resumed WAL should continue at
+  std::uint64_t replayed = 0;    ///< WAL records re-applied
+  bool torn_tail_truncated = false;
+  bool used_snapshot = false;
+  std::optional<SnapshotMeta> snapshot;  ///< header of the snapshot used
+};
+
+/// Crash recovery: start from the newest snapshot (when `snapshot_path` is
+/// non-empty and readable), else from `base` — the initial graph the service
+/// was started with — and replay every WAL record with seq >= the base's
+/// sequence. A torn WAL tail is truncated in place so a resumed WalWriter
+/// can append cleanly. The ADS is NOT recovered from disk: callers re-attach
+/// the algorithm to the recovered graph (the offline stage), then verify the
+/// snapshot's stored `ads_checksum` against a fresh attach on the snapshot
+/// graph when they want the cross-check.
+[[nodiscard]] RecoveredState recover_state(const graph::DataGraph& base,
+                                           const std::string& wal_path,
+                                           const std::string& snapshot_path = {});
+
+}  // namespace paracosm::service

@@ -1,0 +1,80 @@
+// Cooperative cancellation for bounded-latency search (DESIGN.md §7).
+//
+// A CancelToken is an epoch counter shared between a service watchdog and the
+// executors. The service *arms* the token before dispatching an update (which
+// bumps the epoch and clears any stale cancel) and hands the armed epoch to
+// the watchdog; if the update overruns its budget the watchdog *cancels that
+// epoch*. Epoch matching is what makes the race benign: a late cancel aimed at
+// update N can never abort update N+1, because N+1 re-armed the token and the
+// cancel carries N.
+//
+// The hot-path read (`CancelView::cancelled`) is two relaxed loads — the
+// token is purely advisory and ordered by the executor's own quiescence
+// barrier, so no acquire/release is needed. Search loops check it through
+// MatchSink::tick(), amortized with the existing deadline check, keeping the
+// cost under the 1%-of-bench_baseline budget (ISSUE 4).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace paracosm::util {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Begin a new cancellable scope; returns its epoch. Any cancel targeting
+  /// an older epoch becomes a no-op for the new scope.
+  std::uint64_t arm() noexcept {
+    return epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Cancel the scope identified by `epoch`. Monotonic: only ever raises the
+  /// cancelled watermark, so concurrent cancels of different epochs resolve
+  /// to the newest one.
+  void cancel(std::uint64_t epoch) noexcept {
+    std::uint64_t seen = cancelled_.load(std::memory_order_relaxed);
+    while (seen < epoch && !cancelled_.compare_exchange_weak(
+                               seen, epoch, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Cancel whatever scope is current right now.
+  void cancel_current() noexcept { cancel(current()); }
+
+  [[nodiscard]] std::uint64_t current() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Has the given scope (or any later one) been cancelled?
+  [[nodiscard]] bool is_cancelled(std::uint64_t epoch) const noexcept {
+    return cancelled_.load(std::memory_order_relaxed) >= epoch;
+  }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+};
+
+/// Value-type view pinned to one armed epoch; this is what gets threaded
+/// through engines/executors into every MatchSink. Default-constructed view
+/// is inert (`active() == false`) so existing call sites pay nothing.
+struct CancelView {
+  const CancelToken* token = nullptr;
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] bool active() const noexcept { return token != nullptr; }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return token != nullptr && token->is_cancelled(epoch);
+  }
+};
+
+/// Convenience: arm a token and return a view pinned to the fresh epoch.
+[[nodiscard]] inline CancelView arm_view(CancelToken& token) noexcept {
+  return CancelView{&token, token.arm()};
+}
+
+}  // namespace paracosm::util

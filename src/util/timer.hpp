@@ -27,6 +27,8 @@ class WallTimer {
 
   void reset() noexcept { start_ = Clock::now(); }
 
+  [[nodiscard]] Clock::time_point start() const noexcept { return start_; }
+
   [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
         .count();

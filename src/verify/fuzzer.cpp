@@ -98,7 +98,23 @@ FuzzCase generate_case(std::uint64_t seed, const FuzzKnobs& knobs) {
   while (c.stream.size() < knobs.stream_length) {
     GraphUpdate upd;
     const double r = rng.uniform();
-    if (r < knobs.vertex_op_rate) {
+    if (r < knobs.invalid_rate) {
+      // Structurally invalid ops (ISSUE 4 satellite): edge ops naming a
+      // vertex that was never allocated, self-loops, and removes of unknown
+      // vertices. Every engine must reject them identically
+      // (DataGraph::apply_checked names the reason); the mirror.apply()
+      // below is a no-op for all of them, so the oracle agrees by
+      // construction.
+      const auto ghost =
+          static_cast<VertexId>(fresh_id + 64 + rng.bounded(64));
+      const auto live = static_cast<VertexId>(rng.bounded(fresh_id));
+      switch (rng.bounded(4)) {
+        case 0: upd = GraphUpdate::insert_edge(live, ghost, 0); break;
+        case 1: upd = GraphUpdate::remove_edge(ghost, live); break;
+        case 2: upd = GraphUpdate::insert_edge(live, live, 0); break;
+        default: upd = GraphUpdate::remove_vertex(ghost); break;
+      }
+    } else if (r < knobs.invalid_rate + knobs.vertex_op_rate) {
       if (rng.chance(0.5) || mirror.num_vertices() <= 4) {
         upd = GraphUpdate::insert_vertex(fresh_id++,
                                          draw_vertex_label(rng, vl, knobs.label_skew));
@@ -110,7 +126,8 @@ FuzzCase generate_case(std::uint64_t seed, const FuzzKnobs& knobs) {
         if (!mirror.has_vertex(victim)) continue;
         upd = GraphUpdate::remove_vertex(victim);
       }
-    } else if (r < knobs.vertex_op_rate + knobs.duplicate_rate) {
+    } else if (r < knobs.invalid_rate + knobs.vertex_op_rate +
+                       knobs.duplicate_rate) {
       // No-op attempts: duplicate insert of a live edge, or a delete of an
       // edge that is not there. Every engine must treat both as silent skips.
       if (const auto e = random_existing_edge(); e && rng.chance(0.7)) {

@@ -55,6 +55,8 @@ struct FuzzKnobs {
   double churn = 0.3;           ///< P(a delete is queued for re-insertion)
   double duplicate_rate = 0.1;  ///< P(emit an insert of an existing edge)
   double vertex_op_rate = 0.06; ///< P(emit a vertex insert/remove)
+  double invalid_rate = 0.05;   ///< P(emit a structurally invalid op: ghost
+                                ///  endpoints, self-loops, dead-vertex removes)
   double delete_rate = 0.35;    ///< P(a structural op is a deletion)
 };
 

@@ -209,5 +209,84 @@ TEST(QueryGraph, SymmetricLabelEdgeMatchesBothWays) {
   EXPECT_EQ(q.matching_edges(0, 0, 0).size(), 2u);
 }
 
+// apply_checked must classify every rejection precisely while staying
+// state-equivalent to apply(): it changes the graph iff apply() would.
+TEST(DataGraph, ApplyCheckedClassifiesEdgeOps) {
+  DataGraph g;
+  g.add_vertex(1);
+  g.add_vertex(2);
+
+  EXPECT_EQ(g.apply_checked(GraphUpdate::insert_edge(0, 1, 5)),
+            MutationStatus::kApplied);
+  EXPECT_EQ(g.apply_checked(GraphUpdate::insert_edge(0, 1, 9)),
+            MutationStatus::kDuplicateEdge);
+  EXPECT_EQ(g.edge_label(0, 1), 5u);  // rejection did not relabel
+  EXPECT_EQ(g.apply_checked(GraphUpdate::insert_edge(0, 0, 0)),
+            MutationStatus::kSelfLoop);
+  EXPECT_EQ(g.apply_checked(GraphUpdate::insert_edge(0, 7, 0)),
+            MutationStatus::kMissingVertex);
+  EXPECT_EQ(g.apply_checked(GraphUpdate::remove_edge(1, 0)),
+            MutationStatus::kApplied);
+  EXPECT_EQ(g.apply_checked(GraphUpdate::remove_edge(0, 1)),
+            MutationStatus::kMissingEdge);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DataGraph, ApplyCheckedClassifiesVertexOps) {
+  DataGraph g;
+  g.add_vertex(3);
+
+  EXPECT_EQ(g.apply_checked(GraphUpdate::insert_vertex(0, 3)),
+            MutationStatus::kVertexExists);
+  // Same id, different label: a relabel is allowed through (apply() parity).
+  EXPECT_EQ(g.apply_checked(GraphUpdate::insert_vertex(0, 4)),
+            MutationStatus::kApplied);
+  EXPECT_EQ(g.label(0), 4u);
+  EXPECT_EQ(g.apply_checked(GraphUpdate::insert_vertex(6, 1)),
+            MutationStatus::kApplied);
+  EXPECT_EQ(g.apply_checked(GraphUpdate::remove_vertex(6)),
+            MutationStatus::kApplied);
+  EXPECT_EQ(g.apply_checked(GraphUpdate::remove_vertex(6)),
+            MutationStatus::kMissingVertex);
+  EXPECT_EQ(g.apply_checked(GraphUpdate::remove_vertex(99)),
+            MutationStatus::kMissingVertex);
+}
+
+TEST(DataGraph, ApplyCheckedRejectsIdsBeyondAdmissionCaps) {
+  DataGraph g;
+  g.add_vertex(0);
+  const VertexId huge = kMaxVertexId + 1;
+  EXPECT_EQ(g.apply_checked(GraphUpdate::insert_edge(0, huge, 0)),
+            MutationStatus::kInvalidId);
+  EXPECT_EQ(g.apply_checked(GraphUpdate::insert_vertex(huge, 0)),
+            MutationStatus::kInvalidId);
+  EXPECT_EQ(g.apply_checked(GraphUpdate::insert_vertex(1, kMaxLabel + 1)),
+            MutationStatus::kInvalidId);
+  EXPECT_EQ(g.apply_checked(GraphUpdate::remove_vertex(huge)),
+            MutationStatus::kInvalidId);
+  // Nothing leaked into the dense vectors.
+  EXPECT_EQ(g.vertex_capacity(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(DataGraph, ApplyCheckedMatchesApplyOnEveryStatus) {
+  const std::vector<GraphUpdate> probes{
+      GraphUpdate::insert_vertex(0, 1), GraphUpdate::insert_vertex(1, 1),
+      GraphUpdate::insert_edge(0, 1, 2), GraphUpdate::insert_edge(0, 1, 2),
+      GraphUpdate::insert_edge(2, 3, 0), GraphUpdate::remove_edge(0, 1),
+      GraphUpdate::remove_edge(0, 1),   GraphUpdate::remove_vertex(1),
+      GraphUpdate::remove_vertex(1)};
+  DataGraph checked, plain;
+  for (const GraphUpdate& upd : probes) {
+    const bool changed =
+        checked.apply_checked(upd) == MutationStatus::kApplied;
+    // apply() on vertex inserts always reports true (relabel semantics);
+    // everything else must agree exactly.
+    const bool plain_changed = plain.apply(upd);
+    if (upd.op != UpdateOp::kInsertVertex) EXPECT_EQ(changed, plain_changed);
+    EXPECT_TRUE(checked.same_structure(plain));
+  }
+}
+
 }  // namespace
 }  // namespace paracosm::graph

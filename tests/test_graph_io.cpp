@@ -70,6 +70,66 @@ TEST(GraphIo, MalformedInputThrows) {
   EXPECT_THROW((void)load_update_stream(bad_update), std::runtime_error);
 }
 
+TEST(GraphIo, ParseExceptionCarriesLineNumberAndText) {
+  std::stringstream in("v 0 1\nv 1 2\ne 0 zebra\n");
+  try {
+    (void)load_data_graph(in);
+    FAIL() << "expected ParseException";
+  } catch (const ParseException& e) {
+    EXPECT_EQ(e.error().line_no, 3u);
+    EXPECT_EQ(e.error().line, "e 0 zebra");
+    EXPECT_NE(e.error().to_string().find("line 3"), std::string::npos);
+  }
+}
+
+TEST(GraphIo, CollectorSkipsBadLinesAndKeepsGood) {
+  std::stringstream in(
+      "v 0 1\n"
+      "v bogus\n"       // arity/numeric error
+      "v 1 2\n"
+      "e 0 1 -3\n"      // negative label
+      "e 0 1 4\n"
+      "z what\n");      // unknown tag
+  std::vector<ParseError> errors;
+  const DataGraph g = load_data_graph(in, &errors);
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.edge_label(0, 1), 4u);
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_EQ(errors[0].line_no, 2u);
+  EXPECT_EQ(errors[1].line_no, 4u);
+  EXPECT_EQ(errors[2].line_no, 6u);
+}
+
+TEST(GraphIo, AdmissionCapsRejectHugeIdsAndLabels) {
+  // A hostile id just past kMaxVertexId must be a parse error, not a
+  // multi-gigabyte dense-vector resize.
+  const std::string huge_v = "v " + std::to_string(kMaxVertexId + 1) + " 0\n";
+  std::stringstream in_v(huge_v);
+  EXPECT_THROW((void)load_data_graph(in_v), ParseException);
+
+  const std::string huge_l = "v 0 " + std::to_string(kMaxLabel + 1) + "\n";
+  std::stringstream in_l(huge_l);
+  std::vector<ParseError> errors;
+  const DataGraph g = load_data_graph(in_l, &errors);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].line_no, 1u);
+
+  std::stringstream in_s("+e 1 " + std::to_string(kMaxVertexId + 1) + " 0\n");
+  EXPECT_THROW((void)load_update_stream(in_s), ParseException);
+}
+
+TEST(GraphIo, StreamCollectorKeepsGoodUpdates) {
+  std::stringstream in("+e 1 2 3\n-e nope\n-v 4\n");
+  std::vector<ParseError> errors;
+  const auto stream = load_update_stream(in, &errors);
+  ASSERT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream[0], GraphUpdate::insert_edge(1, 2, 3));
+  EXPECT_EQ(stream[1], GraphUpdate::remove_vertex(4));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].line_no, 2u);
+}
+
 TEST(GraphIo, MissingFileThrows) {
   EXPECT_THROW((void)load_data_graph_file("/nonexistent/path.graph"),
                std::runtime_error);

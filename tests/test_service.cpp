@@ -1,0 +1,356 @@
+// Service layer (ISSUE 4): bounded ingest, WAL/snapshot durability, crash
+// recovery, and the oracle-checked fault matrix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "paracosm/paracosm.hpp"
+#include "service/ingest.hpp"
+#include "service/service.hpp"
+#include "service/wal.hpp"
+#include "tests/test_support.hpp"
+#include "verify/fuzzer.hpp"
+#include "verify/service_check.hpp"
+
+namespace paracosm {
+namespace {
+
+using graph::GraphUpdate;
+using service::IngestItem;
+using service::IngestQueue;
+using service::OverloadPolicy;
+using service::PushResult;
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ------------------------------------------------------------------ ingest
+
+TEST(IngestQueue, FifoRoundtrip) {
+  IngestQueue q(8, OverloadPolicy::kBlock);
+  for (std::uint32_t i = 0; i < 5; ++i)
+    EXPECT_EQ(q.push(GraphUpdate::insert_edge(i, i + 1, 0)), PushResult::kOk);
+  EXPECT_EQ(q.approx_size(), 5u);
+
+  IngestItem item;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_pop(item));
+    EXPECT_EQ(item.upd.u, i);
+    EXPECT_FALSE(item.degraded);
+  }
+  EXPECT_FALSE(q.try_pop(item));
+  EXPECT_EQ(q.stats().enqueued, 5u);
+  EXPECT_EQ(q.stats().high_water, 5u);
+}
+
+TEST(IngestQueue, ShedPolicyRejectsWhenFull) {
+  IngestQueue q(2, OverloadPolicy::kShed);
+  EXPECT_EQ(q.push(GraphUpdate::insert_edge(0, 1, 0)), PushResult::kOk);
+  EXPECT_EQ(q.push(GraphUpdate::insert_edge(1, 2, 0)), PushResult::kOk);
+  EXPECT_EQ(q.push(GraphUpdate::insert_edge(2, 3, 0)), PushResult::kShed);
+  EXPECT_EQ(q.stats().shed, 1u);
+  EXPECT_EQ(q.stats().enqueued, 2u);
+}
+
+TEST(IngestQueue, DegradePolicyFlagsOverloadVictims) {
+  IngestQueue q(2, OverloadPolicy::kDegrade);
+  EXPECT_EQ(q.push(GraphUpdate::insert_edge(0, 1, 0)), PushResult::kOk);
+  EXPECT_EQ(q.push(GraphUpdate::insert_edge(1, 2, 0)), PushResult::kOk);
+
+  // Third push blocks until the consumer frees a slot, then lands degraded.
+  std::thread consumer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    IngestItem item;
+    ASSERT_TRUE(q.try_pop(item));
+    EXPECT_FALSE(item.degraded);
+  });
+  EXPECT_EQ(q.push(GraphUpdate::insert_edge(2, 3, 0)), PushResult::kDegraded);
+  consumer.join();
+
+  IngestItem item;
+  ASSERT_TRUE(q.try_pop(item));
+  EXPECT_FALSE(item.degraded);
+  ASSERT_TRUE(q.try_pop(item));
+  EXPECT_TRUE(item.degraded);
+  EXPECT_EQ(q.stats().degraded, 1u);
+  EXPECT_GE(q.stats().blocked_pushes, 1u);
+}
+
+TEST(IngestQueue, PopWaitDrainsAfterClose) {
+  IngestQueue q(8, OverloadPolicy::kBlock);
+  EXPECT_EQ(q.push(GraphUpdate::insert_edge(7, 8, 1)), PushResult::kOk);
+  q.close();
+  EXPECT_EQ(q.push(GraphUpdate::insert_edge(8, 9, 1)), PushResult::kClosed);
+
+  IngestItem item;
+  ASSERT_TRUE(q.pop_wait(item));  // the pre-close item must still drain
+  EXPECT_EQ(item.upd.u, 7u);
+  EXPECT_FALSE(q.pop_wait(item));  // then clean termination
+}
+
+TEST(IngestQueue, MpscStressKeepsEveryUpdate) {
+  IngestQueue q(16, OverloadPolicy::kBlock);
+  constexpr int kProducers = 4, kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        (void)q.push(GraphUpdate::insert_edge(static_cast<graph::VertexId>(p),
+                                              static_cast<graph::VertexId>(i), 0));
+    });
+
+  std::uint64_t popped = 0, last_u[kProducers] = {};
+  bool order_ok = true;
+  std::thread consumer([&] {
+    IngestItem item;
+    while (q.pop_wait(item)) {
+      ++popped;
+      // Per-producer FIFO: each producer's sequence numbers arrive in order.
+      if (item.upd.v < last_u[item.upd.u] && item.upd.v != 0) order_ok = false;
+      last_u[item.upd.u] = item.upd.v;
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  q.close();
+  consumer.join();
+  EXPECT_EQ(popped, static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_TRUE(order_ok);
+  EXPECT_GE(q.stats().blocked_pushes, 1u);  // capacity 16 vs 2000 pushes
+}
+
+// --------------------------------------------------------------------- WAL
+
+TEST(Wal, AppendReadRoundtrip) {
+  const std::string path = tmp_path("roundtrip.wal");
+  const std::vector<GraphUpdate> updates = {
+      GraphUpdate::insert_edge(1, 2, 3), GraphUpdate::remove_edge(1, 2),
+      GraphUpdate::insert_vertex(9, 4), GraphUpdate::remove_vertex(9)};
+  {
+    service::WalWriter w(path, /*truncate=*/true);
+    for (const GraphUpdate& u : updates) (void)w.append(u);
+    w.flush();
+    EXPECT_EQ(w.next_seq(), updates.size());
+  }
+  const service::WalReadResult r = service::read_wal(path);
+  EXPECT_FALSE(r.torn_tail);
+  ASSERT_EQ(r.records.size(), updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(r.records[i].seq, i);
+    EXPECT_EQ(r.records[i].upd, updates[i]);
+  }
+}
+
+TEST(Wal, TornTailDetectedAndTruncated) {
+  const std::string path = tmp_path("torn.wal");
+  {
+    service::WalWriter w(path, /*truncate=*/true);
+    (void)w.append(GraphUpdate::insert_edge(1, 2, 0));
+    (void)w.append(GraphUpdate::insert_edge(2, 3, 0));
+    w.flush();
+  }
+  {  // crash mid-append: 11 junk bytes after the good records
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write("junkjunkjun", 11);
+  }
+  service::WalReadResult r = service::read_wal(path);
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.valid_bytes, 2 * service::kWalRecordBytes);
+
+  service::truncate_wal(path, r.valid_bytes);
+  r = service::read_wal(path);
+  EXPECT_FALSE(r.torn_tail);
+  EXPECT_EQ(r.records.size(), 2u);
+
+  // A resumed writer appends cleanly after the cut.
+  {
+    service::WalWriter w(path, /*truncate=*/false, r.records.size());
+    EXPECT_EQ(w.append(GraphUpdate::remove_edge(1, 2)), 2u);
+    w.flush();
+  }
+  r = service::read_wal(path);
+  EXPECT_FALSE(r.torn_tail);
+  EXPECT_EQ(r.records.size(), 3u);
+}
+
+TEST(Wal, CorruptedByteInvalidatesSuffix) {
+  const std::string path = tmp_path("bitrot.wal");
+  {
+    service::WalWriter w(path, /*truncate=*/true);
+    for (int i = 0; i < 4; ++i)
+      (void)w.append(GraphUpdate::insert_edge(i, i + 1, 0));
+    w.flush();
+  }
+  {  // flip one byte inside record 2
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(2 * service::kWalRecordBytes + 13));
+    f.put('\x5a');
+  }
+  const service::WalReadResult r = service::read_wal(path);
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_EQ(r.records.size(), 2u);  // everything from the bad record on drops
+}
+
+TEST(Wal, MissingFileReadsEmpty) {
+  const service::WalReadResult r = service::read_wal(tmp_path("absent.wal"));
+  EXPECT_FALSE(r.torn_tail);
+  EXPECT_TRUE(r.records.empty());
+}
+
+TEST(Snapshot, RoundtripPreservesGraphAndMeta) {
+  testing::SmallWorkload wl = testing::make_workload(/*seed=*/5);
+  const std::string path = tmp_path("snap.graph");
+  service::write_snapshot(path, wl.graph, {17, 0xabcdef12345ULL, "symbi"});
+
+  const auto snap = service::read_snapshot(path);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->meta.seq, 17u);
+  EXPECT_EQ(snap->meta.ads_checksum, 0xabcdef12345ULL);
+  EXPECT_EQ(snap->meta.algorithm, "symbi");
+  EXPECT_TRUE(snap->graph.same_structure(wl.graph));
+}
+
+TEST(Snapshot, RejectsCorruptHeaderOrBody) {
+  const std::string path = tmp_path("badsnap.graph");
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << "# not-a-snapshot 1 seq=0 ads=0 alg=x\nv 0 0\n";
+  }
+  EXPECT_FALSE(service::read_snapshot(path).has_value());
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << "# paracosm-snapshot 1 seq=3 ads=ff alg=x\nv 0 banana\n";
+  }
+  EXPECT_FALSE(service::read_snapshot(path).has_value());
+  EXPECT_FALSE(service::read_snapshot(tmp_path("nosnap.graph")).has_value());
+}
+
+TEST(Recovery, ReplaysWalSuffixOnBaseAndSnapshot) {
+  testing::SmallWorkload wl = testing::make_workload(/*seed=*/11);
+  ASSERT_GE(wl.stream.size(), 6u);
+  const std::string wal = tmp_path("recover.wal");
+  const std::string snap = tmp_path("recover.snap");
+
+  graph::DataGraph expect = wl.graph;
+  {
+    service::WalWriter w(wal, /*truncate=*/true);
+    for (const GraphUpdate& u : wl.stream) {
+      (void)w.append(u);
+      expect.apply(u);
+    }
+    w.flush();
+  }
+
+  // Base-only recovery replays the full log.
+  service::RecoveredState rec = service::recover_state(wl.graph, wal);
+  EXPECT_FALSE(rec.used_snapshot);
+  EXPECT_EQ(rec.replayed, wl.stream.size());
+  EXPECT_EQ(rec.next_seq, wl.stream.size());
+  EXPECT_TRUE(rec.graph.same_structure(expect));
+
+  // Snapshot at update s: only the suffix replays, same end state.
+  const std::uint64_t s = wl.stream.size() / 2;
+  graph::DataGraph snap_graph = wl.graph;
+  for (std::uint64_t i = 0; i < s; ++i) snap_graph.apply(wl.stream[i]);
+  service::write_snapshot(snap, snap_graph, {s, 0, "graphflow"});
+
+  rec = service::recover_state(wl.graph, wal, snap);
+  EXPECT_TRUE(rec.used_snapshot);
+  EXPECT_EQ(rec.replayed, wl.stream.size() - s);
+  EXPECT_TRUE(rec.graph.same_structure(expect));
+}
+
+// ----------------------------------------------------- StreamService + matrix
+
+TEST(StreamService, BlockPolicyIsOracleExact) {
+  const verify::FuzzCase c = verify::generate_case(321);
+  verify::ServiceCheckOptions opts;
+  opts.fault = verify::ServiceFault::kNone;
+  opts.threads = 2;
+  for (const verify::Divergence& d : verify::check_service_case(c, opts))
+    ADD_FAILURE() << d.to_string();
+}
+
+TEST(StreamService, ForcedTimeoutsDegradeButStayConsistent) {
+  const verify::FuzzCase c = verify::generate_case(654);
+  verify::ServiceCheckOptions opts;
+  opts.fault = verify::ServiceFault::kForcedTimeout;
+  opts.timeout_rate = 0.25;
+  opts.threads = 4;
+  for (const verify::Divergence& d : verify::check_service_case(c, opts))
+    ADD_FAILURE() << d.to_string();
+}
+
+TEST(StreamService, ShedIsDelayedNeverDropped) {
+  const verify::FuzzCase c = verify::generate_case(987);
+  verify::ServiceCheckOptions opts;
+  opts.fault = verify::ServiceFault::kShedIngest;
+  opts.queue_capacity = 2;
+  opts.slow_consumer_us = 100;
+  opts.threads = 2;
+  for (const verify::Divergence& d : verify::check_service_case(c, opts))
+    ADD_FAILURE() << d.to_string();
+}
+
+TEST(StreamService, DegradePolicyStaysCountExact) {
+  const verify::FuzzCase c = verify::generate_case(246);
+  verify::ServiceCheckOptions opts;
+  opts.fault = verify::ServiceFault::kDegradeIngest;
+  opts.queue_capacity = 2;
+  opts.slow_consumer_us = 100;
+  opts.threads = 2;
+  for (const verify::Divergence& d : verify::check_service_case(c, opts))
+    ADD_FAILURE() << d.to_string();
+}
+
+// The acceptance-criteria matrix: 25 seeded kill points, each crashing
+// between WAL append and apply (some with torn tails and mid-run snapshots),
+// recovered and continued — all oracle-exact.
+TEST(StreamService, CrashRecoveryMatrix25KillPoints) {
+  const verify::FuzzCase c = verify::generate_case(135);
+  verify::ServiceCheckOptions opts;
+  opts.fault = verify::ServiceFault::kCrashRecovery;
+  opts.crash_points = 25;
+  opts.threads = 2;
+  opts.dir = ::testing::TempDir();
+  for (const verify::Divergence& d : verify::check_service_case(c, opts))
+    ADD_FAILURE() << d.to_string();
+}
+
+TEST(StreamService, WatchdogBudgetRunSurvives) {
+  testing::SmallWorkload wl = testing::make_workload(/*seed=*/400);
+  const auto alg = csm::make_algorithm("graphflow");
+  engine::Config cfg;
+  cfg.threads = 2;
+  cfg.inter_parallelism = false;
+  cfg.queue_spin_iters = 1;
+  cfg.pool_spin_iters = 1;
+  engine::ParaCosm pc(*alg, wl.query, wl.graph, cfg);
+
+  service::ServiceOptions sopts;
+  sopts.budget_us = 1;  // aggressively small: the watchdog may fire anywhere
+  sopts.record_applied_order = true;
+  service::ServiceReport report;
+  {
+    service::StreamService svc(pc, sopts);
+    for (const GraphUpdate& u : wl.stream) (void)svc.submit(u);
+    report = svc.finish();
+  }
+  EXPECT_TRUE(report.error.empty()) << report.error;
+  EXPECT_EQ(report.stats.processed, wl.stream.size());
+  EXPECT_EQ(report.latencies_ns.size(), wl.stream.size());
+
+  // However many deadlines fired, maintenance stayed exact.
+  const auto fresh = csm::make_algorithm("graphflow");
+  fresh->attach(wl.query, wl.graph);
+  EXPECT_EQ(alg->ads_checksum(), fresh->ads_checksum());
+}
+
+}  // namespace
+}  // namespace paracosm

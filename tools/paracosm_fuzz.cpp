@@ -21,6 +21,7 @@
 #include "util/cli.hpp"
 #include "verify/invariants.hpp"
 #include "verify/repro.hpp"
+#include "verify/service_check.hpp"
 #include "verify/shrinker.hpp"
 
 namespace {
@@ -79,7 +80,10 @@ int main(int argc, char** argv) {
       .flag("shrink", "Minimize failing cases and write repro files")
       .flag("fault", "Inject an unsound ads_safe rule (harness self-test)")
       .flag("invariants", "Additionally run metamorphic invariant checks")
-      .flag("counts-only", "Reconcile match counts only (skip mapping multisets)");
+      .flag("counts-only", "Reconcile match counts only (skip mapping multisets)")
+      .flag("service",
+            "Run the service fault matrix (crash recovery, forced timeouts, "
+            "shed/degrade overload) instead of the engine lane matrix");
   if (!cli.parse(argc, argv)) return cli.exit_code();
 
   verify::AlgorithmFactory factory;
@@ -117,12 +121,32 @@ int main(int argc, char** argv) {
     return std::chrono::steady_clock::now() - t0 < std::chrono::seconds(budget_s);
   };
 
+  const bool service_mode = cli.get_bool("service");
+  const std::vector<unsigned> thread_list = parse_thread_list(cli.get("threads"));
+
   std::uint64_t cases = 0, failures = 0;
   for (std::uint64_t seed = start; seed < start + count && budget_left(); ++seed) {
     const verify::FuzzCase c = verify::generate_case(seed);
     ++cases;
 
-    std::vector<verify::Divergence> divs = verify::check_case(c, opts);
+    std::vector<verify::Divergence> divs;
+    if (service_mode) {
+      // Service fault matrix: every resilience lane, cross-checked against
+      // the oracle (see verify/service_check.hpp). Algorithm defaults to the
+      // first of --algorithms (or graphflow).
+      verify::ServiceCheckOptions sopts;
+      if (!algo_names.empty()) sopts.algorithm = algo_names.front();
+      if (!thread_list.empty()) sopts.threads = thread_list.back();
+      sopts.dir = cli.get("out");
+      for (const verify::ServiceFault fault : verify::all_service_faults()) {
+        sopts.fault = fault;
+        for (verify::Divergence& d : verify::check_service_case(c, sopts))
+          divs.push_back(std::move(d));
+        if (!divs.empty()) break;
+      }
+    } else {
+      divs = verify::check_case(c, opts);
+    }
     if (cli.get_bool("invariants") && divs.empty()) {
       for (std::string& v : verify::check_all_invariants(c)) {
         verify::Divergence d;
@@ -144,7 +168,9 @@ int main(int argc, char** argv) {
     const verify::Divergence& d = divs.front();
     std::fprintf(stderr, "DIVERGENCE %s\n", d.to_string().c_str());
 
-    if (cli.get_bool("shrink") && !d.algorithm.empty()) {
+    // Service-lane failures are not shrinkable with the engine-lane
+    // predicate; they carry the full seed for replay instead.
+    if (!service_mode && cli.get_bool("shrink") && !d.algorithm.empty()) {
       verify::ShrinkOptions sopts;
       sopts.factory = factory;
       sopts.check_mappings = opts.check_mappings;

@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
       .option("timeout-ms", "0", "whole-stream budget, 0 = none")
       .flag("sequential", "run the single-threaded baseline instead")
       .flag("no-inter", "disable inter-update batching")
-      .flag("print-matches", "print every match (slow; small streams only)");
+      .flag("print-matches", "print every match (slow; small streams only)")
+      .flag("strict", "abort on the first malformed input line");
   if (!cli.parse(argc, argv)) return cli.exit_code();
 
   const std::string graph_path = cli.get("graph");
@@ -49,9 +50,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  graph::DataGraph g = graph::load_data_graph_file(graph_path);
-  const graph::QueryGraph q = graph::load_query_graph_file(query_path);
-  const auto stream = graph::load_update_stream_file(stream_path);
+  // Lenient by default: malformed lines are reported and skipped so a
+  // mostly-good dataset still runs; --strict turns the first one fatal.
+  const bool strict = cli.get_bool("strict");
+  std::vector<graph::ParseError> errors;
+  auto* collector = strict ? nullptr : &errors;
+  graph::DataGraph g;
+  graph::QueryGraph q;
+  std::vector<graph::GraphUpdate> stream;
+  try {
+    g = graph::load_data_graph_file(graph_path, collector);
+    q = graph::load_query_graph_file(query_path, collector);
+    stream = graph::load_update_stream_file(stream_path, collector);
+  } catch (const graph::ParseException& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  for (const graph::ParseError& e : errors)
+    std::fprintf(stderr, "warning: skipped %s\n", e.to_string().c_str());
+  if (!errors.empty())
+    std::fprintf(stderr, "warning: %zu malformed input line(s) skipped "
+                 "(use --strict to make this fatal)\n", errors.size());
   std::printf("graph: %u vertices, %llu edges | query: %u vertices, %u edges | "
               "stream: %zu updates\n",
               g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),

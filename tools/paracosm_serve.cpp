@@ -1,0 +1,309 @@
+// paracosm_serve — run the overload-resilient service layer over files
+// (DESIGN.md §7): bounded ingest with a selectable overload policy, per-update
+// search deadlines enforced by the watchdog, WAL + snapshot durability, and
+// crash recovery.
+//
+//   paracosm_serve --graph g.graph --query q.graph --stream u.stream \
+//     --algorithm symbi --threads 8 --policy block --queue 1024 \
+//     --budget-us 500 --wal service.wal --snapshot service.snap \
+//     --snapshot-every 64
+//
+// Crash drill (the CI smoke job): run once with --kill-at N — the process
+// _exits(137) the instant record N is durable but not yet applied — then run
+// again with --recover; the service replays the WAL suffix and finishes the
+// stream. --verify-final cross-checks the end state against the recompute
+// oracle. Fault injection (--kill-at, --timeout-rate, --slow-consumer-us)
+// exists so resilience is testable, not just claimed.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common/reporting.hpp"
+#include "graph/graph_io.hpp"
+#include "paracosm/paracosm.hpp"
+#include "service/service.hpp"
+#include "service/wal.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "verify/oracle_mirror.hpp"
+
+using namespace paracosm;
+
+namespace {
+
+bool parse_policy(const std::string& name, service::OverloadPolicy& out) {
+  if (name == "block") out = service::OverloadPolicy::kBlock;
+  else if (name == "shed") out = service::OverloadPolicy::kShed;
+  else if (name == "degrade") out = service::OverloadPolicy::kDegrade;
+  else return false;
+  return true;
+}
+
+void write_json_report(const std::string& path, const service::ServiceReport& r,
+                       const bench::LatencySummary& lat, const char* algorithm,
+                       unsigned threads, const char* policy) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write --report-json '%s'\n",
+                 path.c_str());
+    return;
+  }
+  const auto& s = r.stats;
+  out << "{\n"
+      << "  \"algorithm\": \"" << algorithm << "\",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"policy\": \"" << policy << "\",\n"
+      << "  \"positive\": " << r.positive << ",\n"
+      << "  \"negative\": " << r.negative << ",\n"
+      << "  \"wall_ns\": " << r.wall_ns << ",\n"
+      << "  \"processed\": " << s.processed << ",\n"
+      << "  \"degraded_searches\": " << s.degraded_searches << ",\n"
+      << "  \"watchdog_cancels\": " << s.watchdog_cancels << ",\n"
+      << "  \"deferred_retries\": " << s.deferred_retries << ",\n"
+      << "  \"replayed_updates\": " << s.replayed_updates << ",\n"
+      << "  \"noop_skipped\": " << s.noop_skipped << ",\n"
+      << "  \"snapshots\": " << s.snapshots << ",\n"
+      << "  \"wal_records\": " << s.wal_records << ",\n"
+      << "  \"ingest\": {\n"
+      << "    \"enqueued\": " << s.ingest.enqueued << ",\n"
+      << "    \"shed\": " << s.ingest.shed << ",\n"
+      << "    \"degraded\": " << s.ingest.degraded << ",\n"
+      << "    \"blocked_pushes\": " << s.ingest.blocked_pushes << ",\n"
+      << "    \"blocked_ns\": " << s.ingest.blocked_ns << ",\n"
+      << "    \"high_water\": " << s.ingest.high_water << "\n"
+      << "  },\n"
+      << "  \"latency_ns\": {\n"
+      << "    \"count\": " << lat.count << ",\n"
+      << "    \"mean\": " << static_cast<std::int64_t>(lat.mean_ns) << ",\n"
+      << "    \"p50\": " << lat.p50_ns << ",\n"
+      << "    \"p95\": " << lat.p95_ns << ",\n"
+      << "    \"p99\": " << lat.p99_ns << ",\n"
+      << "    \"max\": " << lat.max_ns << "\n"
+      << "  }\n"
+      << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("paracosm_serve",
+                "run the CSM service layer: bounded ingest, deadlines, "
+                "WAL + snapshot durability, crash recovery");
+  cli.option("graph", "", "data graph file (required)")
+      .option("query", "", "query graph file (required)")
+      .option("stream", "", "update stream file (required)")
+      .option("algorithm", "graphflow", "graphflow|turboflux|symbi|calig|newsp")
+      .option("threads", "8", "worker threads for the search phase")
+      .option("policy", "block", "overload policy: block|shed|degrade")
+      .option("queue", "1024", "ingest ring capacity")
+      .option("budget-us", "0", "per-update search budget (0 = no deadline)")
+      .option("wal", "", "write-ahead log path (empty = durability off)")
+      .option("snapshot", "", "snapshot path (empty = snapshots off)")
+      .option("snapshot-every", "0", "updates between snapshots (0 = never)")
+      .option("kill-at", "-1",
+              "fault: _exit(137) after WAL record N is durable, before apply")
+      .option("timeout-rate", "0",
+              "fault: force this fraction of searches over budget")
+      .option("slow-consumer-us", "0", "fault: per-update consumer delay")
+      .option("seed", "42", "seed for the --timeout-rate selection")
+      .option("report-json", "", "write the final report as JSON here")
+      .flag("recover", "recover from --wal/--snapshot, then resume the stream")
+      .flag("verify-final", "cross-check the end state against the oracle")
+      .flag("strict", "abort on the first malformed input line");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const std::string graph_path = cli.get("graph");
+  const std::string query_path = cli.get("query");
+  const std::string stream_path = cli.get("stream");
+  if (graph_path.empty() || query_path.empty() || stream_path.empty()) {
+    std::fprintf(stderr, "error: --graph, --query and --stream are required\n");
+    return 2;
+  }
+  auto algorithm = csm::make_algorithm(cli.get("algorithm"));
+  if (!algorithm) {
+    std::fprintf(stderr, "error: unknown algorithm '%s'\n",
+                 cli.get("algorithm").c_str());
+    return 2;
+  }
+  service::ServiceOptions sopts;
+  if (!parse_policy(cli.get("policy"), sopts.policy)) {
+    std::fprintf(stderr, "error: unknown policy '%s'\n", cli.get("policy").c_str());
+    return 2;
+  }
+
+  const bool strict = cli.get_bool("strict");
+  std::vector<graph::ParseError> errors;
+  auto* collector = strict ? nullptr : &errors;
+  graph::DataGraph g;
+  graph::QueryGraph q;
+  std::vector<graph::GraphUpdate> stream;
+  try {
+    g = graph::load_data_graph_file(graph_path, collector);
+    q = graph::load_query_graph_file(query_path, collector);
+    stream = graph::load_update_stream_file(stream_path, collector);
+  } catch (const graph::ParseException& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  for (const graph::ParseError& e : errors)
+    std::fprintf(stderr, "warning: skipped %s\n", e.to_string().c_str());
+
+  sopts.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
+  sopts.budget_us = cli.get_int("budget-us");
+  sopts.wal_path = cli.get("wal");
+  sopts.snapshot_path = cli.get("snapshot");
+  sopts.snapshot_every = static_cast<std::uint64_t>(cli.get_int("snapshot-every"));
+  sopts.record_applied_order = cli.get_bool("verify-final");
+
+  // The initial graph doubles as the recovery base; keep it when verifying.
+  const bool verify_final = cli.get_bool("verify-final");
+  graph::DataGraph base;
+  if (verify_final) base = g;
+
+  std::uint64_t replayed = 0;
+  std::size_t resume_at = 0;
+  if (cli.get_bool("recover")) {
+    if (sopts.wal_path.empty()) {
+      std::fprintf(stderr, "error: --recover requires --wal\n");
+      return 2;
+    }
+    service::RecoveredState rec =
+        service::recover_state(g, sopts.wal_path, sopts.snapshot_path);
+    std::printf("recovery: %llu WAL record(s) replayed%s%s, resuming at seq %llu\n",
+                static_cast<unsigned long long>(rec.replayed),
+                rec.used_snapshot ? " on top of snapshot" : "",
+                rec.torn_tail_truncated ? " (torn tail truncated)" : "",
+                static_cast<unsigned long long>(rec.next_seq));
+    if (sopts.policy == service::OverloadPolicy::kShed)
+      std::fprintf(stderr,
+                   "warning: --recover assumes in-order processing; the shed "
+                   "policy reorders and is not replay-safe\n");
+    replayed = rec.replayed;
+    resume_at = static_cast<std::size_t>(rec.next_seq);
+    if (verify_final) base = rec.graph;
+    g = std::move(rec.graph);
+    sopts.wal_resume = true;
+    sopts.wal_next_seq = rec.next_seq;
+  }
+  if (resume_at > stream.size()) resume_at = stream.size();
+
+  service::FaultHooks hooks;
+  const std::int64_t kill_at = cli.get_int("kill-at");
+  if (kill_at >= 0) {
+    hooks.after_wal_append = [kill_at](std::uint64_t seq) {
+      if (seq == static_cast<std::uint64_t>(kill_at)) {
+        std::fprintf(stderr, "[fault] record %lld durable, crashing now\n",
+                     static_cast<long long>(kill_at));
+        std::_Exit(137);
+      }
+    };
+  }
+  if (const double rate = cli.get_double("timeout-rate"); rate > 0) {
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    hooks.force_timeout = [rate, seed](std::uint64_t seq) {
+      std::uint64_t h = seq ^ seed;
+      return static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53 < rate;
+    };
+  }
+  if (const std::int64_t us = cli.get_int("slow-consumer-us"); us > 0) {
+    hooks.slow_consumer = [us] {
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    };
+  }
+
+  engine::Config config;
+  config.threads = static_cast<unsigned>(cli.get_int("threads"));
+  config.inter_parallelism = false;  // the service processes one update at a time
+  engine::ParaCosm pc(*algorithm, q, g, config);
+
+  std::printf("serving %zu update(s) [%s x%u, policy %s, queue %zu%s%s]\n",
+              stream.size() - resume_at, cli.get("algorithm").c_str(),
+              config.effective_threads(), cli.get("policy").c_str(),
+              sopts.queue_capacity, sopts.budget_us > 0 ? ", deadline on" : "",
+              sopts.wal_path.empty() ? "" : ", WAL on");
+
+  service::ServiceReport report;
+  {
+    service::StreamService svc(pc, sopts, hooks);
+    for (std::size_t i = resume_at; i < stream.size(); ++i)
+      (void)svc.submit(stream[i]);
+    report = svc.finish();
+  }
+  report.stats.replayed_updates = replayed;
+
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "error: service consumer failed: %s\n",
+                 report.error.c_str());
+    return 1;
+  }
+
+  const bench::LatencySummary lat = bench::summarize_latencies(report.latencies_ns);
+  const auto& s = report.stats;
+  std::printf("[service %s] +%llu / -%llu matches in %.3f ms wall\n",
+              cli.get("algorithm").c_str(),
+              static_cast<unsigned long long>(report.positive),
+              static_cast<unsigned long long>(report.negative),
+              static_cast<double>(report.wall_ns) / 1e6);
+  std::printf("updates: %llu processed, %llu degraded, %llu watchdog cancels, "
+              "%llu deferred retries, %llu no-op skips, %llu replayed\n",
+              static_cast<unsigned long long>(s.processed),
+              static_cast<unsigned long long>(s.degraded_searches),
+              static_cast<unsigned long long>(s.watchdog_cancels),
+              static_cast<unsigned long long>(s.deferred_retries),
+              static_cast<unsigned long long>(s.noop_skipped),
+              static_cast<unsigned long long>(s.replayed_updates));
+  std::printf("ingest: %llu enqueued, %llu shed, %llu degraded, high water %llu, "
+              "%llu blocked push(es) (%.3f ms)\n",
+              static_cast<unsigned long long>(s.ingest.enqueued),
+              static_cast<unsigned long long>(s.ingest.shed),
+              static_cast<unsigned long long>(s.ingest.degraded),
+              static_cast<unsigned long long>(s.ingest.high_water),
+              static_cast<unsigned long long>(s.ingest.blocked_pushes),
+              static_cast<double>(s.ingest.blocked_ns) / 1e6);
+  std::printf("durability: %llu WAL record(s), %llu snapshot(s)\n",
+              static_cast<unsigned long long>(s.wal_records),
+              static_cast<unsigned long long>(s.snapshots));
+  std::printf("latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+              static_cast<double>(lat.p50_ns) / 1e6,
+              static_cast<double>(lat.p95_ns) / 1e6,
+              static_cast<double>(lat.p99_ns) / 1e6,
+              static_cast<double>(lat.max_ns) / 1e6);
+
+  if (const std::string jpath = cli.get("report-json"); !jpath.empty())
+    write_json_report(jpath, report, lat, cli.get("algorithm").c_str(),
+                      config.effective_threads(), cli.get("policy").c_str());
+
+  if (verify_final) {
+    // Replay the *effective* applied order through the recompute oracle from
+    // the run's base state; state must match exactly, counts must match
+    // unless searches were deliberately degraded.
+    const verify::OracleTrace trace = verify::build_trace(
+        q, base, report.applied_order, algorithm->uses_edge_labels(),
+        /*strict=*/false);
+    const bool degraded_run = s.degraded_searches > 0;
+    bool ok = pc.graph().same_structure(trace.final_graph);
+    if (ok && !degraded_run)
+      ok = report.positive == trace.total_positive &&
+           report.negative == trace.total_negative;
+    if (ok && degraded_run)
+      ok = report.positive <= trace.total_positive &&
+           report.negative <= trace.total_negative;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "VERIFY FAIL: end state diverges from the oracle "
+                   "(got +%llu/-%llu, oracle +%llu/-%llu)\n",
+                   static_cast<unsigned long long>(report.positive),
+                   static_cast<unsigned long long>(report.negative),
+                   static_cast<unsigned long long>(trace.total_positive),
+                   static_cast<unsigned long long>(trace.total_negative));
+      return 1;
+    }
+    std::printf("verify-final: OK (oracle-exact%s)\n",
+                degraded_run ? " modulo degraded searches" : "");
+  }
+  return 0;
+}

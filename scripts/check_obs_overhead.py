@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Gate the cost of compiled-in-but-idle tracing (DESIGN.md §8).
+
+Compares bench_baseline JSON outputs from a PARACOSM_TRACE=OFF build against
+a PARACOSM_TRACE=ON build running at trace level 0. Each side may supply
+several runs; the minimum per side is used (the standard noise floor for
+makespan-style metrics). Fails when the ON-idle build is more than
+--threshold percent slower than the OFF build.
+
+Usage:
+  check_obs_overhead.py --off off1.json off2.json --on on1.json on2.json \
+      [--threshold 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def makespan_ms(path):
+    """One scalar per run: macro algorithm time + the simulated parallel
+    makespan. Micro ns/op numbers are too noisy at CI sizes to gate on."""
+    with open(path) as f:
+        doc = json.load(f)
+    total = 0.0
+    for entry in doc.get("macro_sequential", []):
+        if entry.get("success"):
+            total += float(entry["total_ms"])
+    total += float(doc.get("scheduler_8threads", {}).get("sim_makespan_ms", 0.0))
+    if total <= 0.0:
+        raise SystemExit(f"{path}: no successful macro runs to gate on")
+    return total
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--off", nargs="+", required=True,
+                    help="bench_baseline JSON(s) from the PARACOSM_TRACE=OFF build")
+    ap.add_argument("--on", dest="on_", nargs="+", required=True,
+                    help="bench_baseline JSON(s) from the ON build at level 0")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="max allowed ON-idle slowdown over OFF, percent")
+    args = ap.parse_args()
+
+    off_runs = {p: makespan_ms(p) for p in args.off}
+    on_runs = {p: makespan_ms(p) for p in args.on_}
+    for label, runs in (("off", off_runs), ("on-idle", on_runs)):
+        for path, ms in sorted(runs.items()):
+            print(f"  {label:8s} {ms:10.3f} ms  {path}")
+
+    off = min(off_runs.values())
+    on = min(on_runs.values())
+    delta_pct = (on - off) / off * 100.0
+    print(f"makespan: off={off:.3f} ms, on-idle={on:.3f} ms, "
+          f"delta={delta_pct:+.2f}% (threshold +{args.threshold:.2f}%)")
+
+    if delta_pct > args.threshold:
+        print("FAIL: idle tracing instrumentation exceeds the overhead budget",
+              file=sys.stderr)
+        return 1
+    print("OK: idle tracing overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

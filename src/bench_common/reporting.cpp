@@ -38,20 +38,23 @@ std::int64_t percentile_ns(std::vector<std::int64_t> samples, double p) {
   return samples[rank - 1];
 }
 
-LatencySummary summarize_latencies(const std::vector<std::int64_t>& samples) {
+LatencySummary summarize_histogram(const obs::Histogram& hist) {
   LatencySummary s;
-  s.count = samples.size();
-  if (samples.empty()) return s;
-  long double total = 0;
-  for (const std::int64_t v : samples) {
-    total += static_cast<long double>(v);
-    s.max_ns = std::max(s.max_ns, v);
-  }
-  s.mean_ns = static_cast<double>(total / static_cast<long double>(samples.size()));
-  s.p50_ns = percentile_ns(samples, 50.0);
-  s.p95_ns = percentile_ns(samples, 95.0);
-  s.p99_ns = percentile_ns(samples, 99.0);
+  s.count = hist.count();
+  if (s.count == 0) return s;
+  s.mean_ns = hist.mean();
+  s.p50_ns = hist.quantile(50.0);
+  s.p95_ns = hist.quantile(95.0);
+  s.p99_ns = hist.quantile(99.0);
+  s.p999_ns = hist.quantile(99.9);
+  s.max_ns = hist.max();
   return s;
+}
+
+LatencySummary summarize_latencies(const std::vector<std::int64_t>& samples) {
+  obs::Histogram hist;
+  for (const std::int64_t v : samples) hist.record(v);
+  return summarize_histogram(hist);
 }
 
 }  // namespace paracosm::bench

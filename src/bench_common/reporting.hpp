@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -21,22 +22,30 @@ void print_experiment_banner(const std::string& artifact, const std::string& sum
 [[nodiscard]] std::string format_speedup(double baseline_ms, double value_ms,
                                          bool baseline_ok, bool value_ok);
 
-/// Nearest-rank percentile (p in [0,100]) over a latency sample; 0 if empty.
-/// Takes the sample by value — it is partially sorted in place.
+/// Exact nearest-rank percentile (p in [0,100]) over a latency sample; 0 if
+/// empty. Takes the sample by value — it is partially sorted in place. Kept
+/// as the exact reference the histogram property tests compare against;
+/// production reporting goes through summarize_histogram below.
 [[nodiscard]] std::int64_t percentile_ns(std::vector<std::int64_t> samples,
                                          double p);
 
 /// Per-update latency digest reported by paracosm_serve and bench_baseline's
-/// service section (ISSUE 4 satellite: p50/p95/p99 in the JSON artifact).
+/// service section. Quantiles come from the log-bucketed obs::Histogram, so
+/// they carry its documented ≤ 1/32 relative-error bound (histogram.hpp);
+/// count, mean and max are exact.
 struct LatencySummary {
   std::size_t count = 0;
   double mean_ns = 0.0;
   std::int64_t p50_ns = 0;
   std::int64_t p95_ns = 0;
   std::int64_t p99_ns = 0;
+  std::int64_t p999_ns = 0;
   std::int64_t max_ns = 0;
 };
 
+[[nodiscard]] LatencySummary summarize_histogram(const obs::Histogram& hist);
+
+/// Convenience wrapper: feed a raw sample through a histogram and summarize.
 [[nodiscard]] LatencySummary summarize_latencies(
     const std::vector<std::int64_t>& samples);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace_ring.hpp"
+
 namespace paracosm::csm {
 
 void BacktrackBase::attach(const QueryGraph& q, const DataGraph& g) {
@@ -43,7 +45,11 @@ void BacktrackBase::expand_depth(const std::vector<VertexId>& order, SearchScrat
                                  MatchSink& sink, SplitHook* hook) const {
   if (!sink.tick()) return;
   const auto depth = static_cast<std::uint32_t>(s.assigned.size());
+  // Level-2 per-node instants: trace_instant returns after one relaxed load
+  // unless the user explicitly asked for search-tree granularity.
+  PARACOSM_TRACE_INSTANT(obs::EventKind::kBacktrackEnter, depth);
   if (depth == query_->num_vertices()) {
+    PARACOSM_TRACE_INSTANT(obs::EventKind::kEmit, depth);
     sink.emit(s.assigned);
     return;
   }
@@ -93,7 +99,10 @@ void BacktrackBase::expand_depth(const std::vector<VertexId>& order, SearchScrat
         break;
       }
     }
-    if (!consistent) continue;
+    if (!consistent) {
+      PARACOSM_TRACE_INSTANT(obs::EventKind::kPrune, depth);
+      continue;
+    }
 
     if (offload) {
       SearchTask child{s.assigned};

@@ -1,0 +1,142 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace paracosm::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(ch) < 0x20) continue;  // drop control chars
+    out.push_back(ch);
+  }
+}
+
+/// Nanoseconds -> "<us>.<frac3>" with integer math (byte-stable).
+void append_us(std::string& out, std::int64_t ns) {
+  if (ns < 0) ns = 0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03" PRId64, ns / 1000, ns % 1000);
+  out += buf;
+}
+
+void append_args(std::string& out, const TraceEvent& ev) {
+  const auto kind = static_cast<EventKind>(
+      ev.kind < kEventKindCount ? ev.kind : 0);
+  const auto names = event_arg_names(kind);
+  const std::uint64_t values[3] = {ev.a, ev.b, ev.c};
+  out += "\"args\":{";
+  bool first = true;
+  for (int i = 0; i < 3; ++i) {
+    if (names[i] == nullptr) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out += names[i];
+    out += "\":";
+    out += std::to_string(values[i]);
+  }
+  out.push_back('}');
+}
+
+void append_event(std::string& out, const TraceEvent& ev, std::uint32_t tid,
+                  std::int64_t base_ns) {
+  const auto kind = static_cast<EventKind>(
+      ev.kind < kEventKindCount ? ev.kind : 0);
+  out += "{\"ph\":\"";
+  out += ev.dur_ns < 0 ? "i" : "X";
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  append_us(out, ev.ts_ns - base_ns);
+  if (ev.dur_ns >= 0) {
+    out += ",\"dur\":";
+    append_us(out, ev.dur_ns);
+  } else {
+    out += ",\"s\":\"t\"";  // instant scope: thread
+  }
+  out += ",\"name\":\"";
+  out += event_name(kind);
+  out += "\",\"cat\":\"";
+  out += event_category(kind);
+  out += "\",";
+  append_args(out, ev);
+  out.push_back('}');
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::vector<RingSnapshot> rings) {
+  std::sort(rings.begin(), rings.end(),
+            [](const RingSnapshot& a, const RingSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.tid < b.tid;
+            });
+
+  std::int64_t base_ns = std::numeric_limits<std::int64_t>::max();
+  for (const RingSnapshot& ring : rings)
+    for (const TraceEvent& ev : ring.events) base_ns = std::min(base_ns, ev.ts_ns);
+  if (base_ns == std::numeric_limits<std::int64_t>::max()) base_ns = 0;
+
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  sep();
+  out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"paracosm\"}}";
+
+  // Lane metadata first so viewers label every thread row, then the events.
+  for (const RingSnapshot& ring : rings) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(ring.tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_escaped(out, ring.name.empty()
+                            ? "thread " + std::to_string(ring.tid)
+                            : ring.name);
+    out += "\"}}";
+  }
+  for (const RingSnapshot& ring : rings) {
+    for (const TraceEvent& ev : ring.events) {
+      sep();
+      append_event(out, ev, ring.tid, base_ns);
+    }
+    if (ring.dropped > 0) {
+      // Overwritten-events marker so a truncated lane is visible in-trace.
+      sep();
+      out += "{\"ph\":\"i\",\"pid\":1,\"tid\":";
+      out += std::to_string(ring.tid);
+      out += ",\"ts\":0.000,\"s\":\"t\",\"name\":\"ring_dropped\","
+             "\"cat\":\"obs\",\"args\":{\"dropped\":";
+      out += std::to_string(ring.dropped);
+      out += "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        std::vector<RingSnapshot> rings) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) throw std::runtime_error("trace: cannot open '" + path + "'");
+  const std::string json = chrome_trace_json(std::move(rings));
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("trace: write failed on '" + path + "'");
+}
+
+}  // namespace paracosm::obs

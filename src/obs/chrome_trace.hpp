@@ -1,0 +1,28 @@
+// Chrome trace_event JSON exporter: one lane per traced thread, loadable in
+// Perfetto / chrome://tracing (DESIGN.md §8, README "Profiling a run").
+//
+// Serialization is deterministic and byte-stable for a fixed event sequence:
+// lanes are sorted by (name, tid), events keep ring order (per-thread epoch
+// order), timestamps are rebased to the earliest event and printed as
+// microseconds with exactly three decimals via integer math — no
+// double-formatting in the output path. The golden-file schema test in
+// tests/test_trace_ring.cpp pins the exact bytes.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_ring.hpp"
+
+namespace paracosm::obs {
+
+/// Serialize collected lanes as Chrome trace JSON.
+[[nodiscard]] std::string chrome_trace_json(std::vector<RingSnapshot> rings);
+
+/// Write chrome_trace_json() to `path`; throws std::runtime_error on I/O
+/// failure.
+void write_chrome_trace(const std::string& path,
+                        std::vector<RingSnapshot> rings);
+
+}  // namespace paracosm::obs

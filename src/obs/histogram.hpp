@@ -1,0 +1,168 @@
+// Log-bucketed ("HDR-style") latency histograms (DESIGN.md §8).
+//
+// Layout: values 0..63 land in their own exact bucket; above that, each
+// power-of-two octave is cut into kHistSubCount = 32 equal sub-buckets (the
+// top 5 value bits index within the octave). A bucket [low, high] therefore
+// satisfies (high - low) <= low / 32, which gives the documented guarantee:
+//
+//   quantile(p) returns the *upper bound* of the bucket holding the
+//   nearest-rank sample, so for any recorded distribution
+//       exact <= quantile(p) <= exact * (1 + 1/32)    (3.125% relative error)
+//   and values < 64 are reported exactly. Counts, sum, min and max are exact.
+//
+// merge() adds per-bucket counts, so quantiles of merge(a, b) are *identical*
+// to the quantiles of one histogram fed both streams — the property the
+// per-thread -> aggregate latency pipeline relies on (and the property test
+// in tests/test_histogram.cpp pins).
+//
+// Histogram is single-writer; ConcurrentHistogram allows racing record()
+// calls (relaxed per-bucket atomics, CAS min/max) and snapshots into a plain
+// Histogram for querying. Both fit in ~15 KiB.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace paracosm::obs {
+
+inline constexpr std::uint32_t kHistSubBits = 5;
+inline constexpr std::uint32_t kHistSubCount = 1u << kHistSubBits;  // 32
+/// Highest index is reached by the top octave: shift = 64 - (kHistSubBits+1).
+inline constexpr std::uint32_t kHistBuckets =
+    (64 - kHistSubBits - 1) * kHistSubCount + 2 * kHistSubCount;  // 1920
+
+/// Bucket index of a non-negative value.
+[[nodiscard]] constexpr std::uint32_t hist_bucket(std::uint64_t v) noexcept {
+  if (v < 2 * kHistSubCount) return static_cast<std::uint32_t>(v);  // exact
+  const int shift = std::bit_width(v) - (static_cast<int>(kHistSubBits) + 1);
+  return static_cast<std::uint32_t>(shift) * kHistSubCount +
+         static_cast<std::uint32_t>(v >> shift);
+}
+
+/// Smallest / largest value mapping to bucket `idx`.
+[[nodiscard]] constexpr std::uint64_t hist_bucket_low(std::uint32_t idx) noexcept {
+  if (idx < 2 * kHistSubCount) return idx;
+  const std::uint32_t shift = idx / kHistSubCount - 1;
+  const std::uint64_t sub = kHistSubCount + idx % kHistSubCount;
+  return sub << shift;
+}
+[[nodiscard]] constexpr std::uint64_t hist_bucket_high(std::uint32_t idx) noexcept {
+  if (idx < 2 * kHistSubCount) return idx;
+  const std::uint32_t shift = idx / kHistSubCount - 1;
+  const std::uint64_t sub = kHistSubCount + idx % kHistSubCount;
+  return ((sub + 1) << shift) - 1;
+}
+
+class Histogram {
+ public:
+  Histogram() : counts_(kHistBuckets, 0) {}
+
+  /// Record one sample; negative values clamp to 0 (latencies only).
+  void record(std::int64_t value) noexcept {
+    const std::uint64_t v = value < 0 ? 0 : static_cast<std::uint64_t>(value);
+    ++counts_[hist_bucket(v)];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  void merge(const Histogram& other) noexcept {
+    for (std::uint32_t i = 0; i < kHistBuckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::int64_t min() const noexcept {
+    return count_ == 0 ? 0 : static_cast<std::int64_t>(min_);
+  }
+  [[nodiscard]] std::int64_t max() const noexcept {
+    return static_cast<std::int64_t>(max_);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::uint32_t idx) const noexcept {
+    return counts_[idx];
+  }
+
+  /// Nearest-rank quantile, p in [0, 100]. Returns the upper bound of the
+  /// bucket holding the rank-th smallest sample, clamped into [min, max] —
+  /// see the error bound in the file comment. 0 when empty.
+  [[nodiscard]] std::int64_t quantile(double p) const noexcept {
+    if (count_ == 0) return 0;
+    if (p <= 0.0) return min();
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    rank = std::min(std::max<std::uint64_t>(rank, 1), count_);
+    std::uint64_t seen = 0;
+    for (std::uint32_t i = 0; i < kHistBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank)
+        return static_cast<std::int64_t>(
+            std::clamp(hist_bucket_high(i), min_, max_));
+    }
+    return max();  // unreachable: seen == count_ after the loop
+  }
+
+ private:
+  friend class ConcurrentHistogram;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+/// Multi-writer variant: record() may race from any number of threads; counts
+/// are conserved exactly (the 8-thread TSan property test pins this).
+class ConcurrentHistogram {
+ public:
+  ConcurrentHistogram() : counts_(kHistBuckets) {}
+
+  void record(std::int64_t value) noexcept {
+    const std::uint64_t v = value < 0 ? 0 : static_cast<std::uint64_t>(value);
+    counts_[hist_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Materialize a queryable copy. Linearizes per bucket (relaxed loads):
+  /// exact once writers are quiescent, a consistent-enough view while live.
+  [[nodiscard]] Histogram snapshot() const {
+    Histogram h;
+    for (std::uint32_t i = 0; i < kHistBuckets; ++i) {
+      const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+      h.counts_[i] = c;
+      h.count_ += c;
+    }
+    h.sum_ = sum_.load(std::memory_order_relaxed);
+    h.min_ = min_.load(std::memory_order_relaxed);
+    h.max_ = max_.load(std::memory_order_relaxed);
+    return h;
+  }
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace paracosm::obs

@@ -1,0 +1,91 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace paracosm::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsSnapshot::add_counter(const std::string& name, std::int64_t value) {
+  Entry e;
+  e.name = name;
+  e.int_value = value;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsSnapshot::add_gauge(const std::string& name, double value) {
+  Entry e;
+  e.name = name;
+  e.is_float = true;
+  e.float_value = value;
+  entries_.push_back(std::move(e));
+}
+
+void MetricsSnapshot::add_histogram(const std::string& name,
+                                    const Histogram& hist) {
+  add_counter(name + ".count", static_cast<std::int64_t>(hist.count()));
+  add_gauge(name + ".mean", hist.mean());
+  add_counter(name + ".min", hist.min());
+  add_counter(name + ".p50", hist.quantile(50.0));
+  add_counter(name + ".p95", hist.quantile(95.0));
+  add_counter(name + ".p99", hist.quantile(99.0));
+  add_counter(name + ".p999", hist.quantile(99.9));
+  add_counter(name + ".max", hist.max());
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out += "  \"";
+    out += e.name;
+    out += "\": ";
+    out += e.is_float ? format_double(e.float_value)
+                      : std::to_string(e.int_value);
+    if (i + 1 < entries_.size()) out.push_back(',');
+    out.push_back('\n');
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::string out = "metric,value\n";
+  for (const Entry& e : entries_) {
+    out += e.name;
+    out.push_back(',');
+    out += e.is_float ? format_double(e.float_value)
+                      : std::to_string(e.int_value);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void MetricsSnapshot::write(const std::string& path) const {
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const std::string body = csv ? to_csv() : to_json();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) throw std::runtime_error("metrics: cannot open '" + tmp + "'");
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("metrics: write failed on '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("metrics: rename to '" + path + "' failed");
+}
+
+}  // namespace paracosm::obs

@@ -1,0 +1,43 @@
+// Flat metrics snapshot exporter (DESIGN.md §8): named counters plus
+// histogram summaries, serialized as JSON or CSV. Used by `paracosm_serve
+// --metrics-out`, the in-service periodic flusher, and bench_baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace paracosm::obs {
+
+/// One flat snapshot. Entries keep insertion order so output is deterministic
+/// for a fixed recording sequence.
+class MetricsSnapshot {
+ public:
+  void add_counter(const std::string& name, std::int64_t value);
+  void add_gauge(const std::string& name, double value);
+  /// Expands to <name>.count/.mean/.min/.p50/.p95/.p99/.p999/.max entries.
+  void add_histogram(const std::string& name, const Histogram& hist);
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write to `path`; format chosen by extension (".csv" -> CSV, else JSON).
+  /// Writes to a temp file then renames, so readers never see a torn
+  /// snapshot. Throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    bool is_float = false;
+    std::int64_t int_value = 0;
+    double float_value = 0.0;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace paracosm::obs

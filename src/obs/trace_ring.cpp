@@ -1,0 +1,59 @@
+#include "obs/trace_ring.hpp"
+
+namespace paracosm::obs {
+
+TraceRegistry& TraceRegistry::instance() {
+  static TraceRegistry registry;
+  return registry;
+}
+
+TraceRegistry::Entry* TraceRegistry::entry_for_this_thread() {
+  // Cached per-thread entry pointer: one TLS load on the steady-state path.
+  // NOTE: the registry is a process singleton, so a single cache is enough.
+  static thread_local Entry* t_entry = nullptr;
+  if (t_entry != nullptr) return t_entry;
+  const std::lock_guard<std::mutex> lock(m_);
+  auto entry = std::make_unique<Entry>();
+  entry->tid = static_cast<std::uint32_t>(entries_.size());
+  entry->ring = std::make_unique<TraceRing>(ring_capacity_);
+  t_entry = entry.get();
+  entries_.push_back(std::move(entry));
+  return t_entry;
+}
+
+TraceRing& TraceRegistry::ring() { return *entry_for_this_thread()->ring; }
+
+void TraceRegistry::set_thread_name(const std::string& name) {
+  TraceRegistry& reg = instance();
+  Entry* entry = reg.entry_for_this_thread();
+  const std::lock_guard<std::mutex> lock(reg.m_);
+  entry->name = name;
+}
+
+void TraceRegistry::set_ring_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(m_);
+  ring_capacity_ = capacity;
+}
+
+std::vector<RingSnapshot> TraceRegistry::collect() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  std::vector<RingSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    RingSnapshot snap;
+    snap.tid = entry->tid;
+    snap.name = entry->name;
+    entry->ring->snapshot(snap.events);
+    snap.pushed = entry->ring->pushed();
+    snap.dropped = entry->ring->dropped();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void TraceRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(m_);
+  for (const auto& entry : entries_) entry->ring->clear();
+}
+
+}  // namespace paracosm::obs

@@ -1,8 +1,25 @@
 #include "paracosm/classifier.hpp"
 
+#include "obs/trace_ring.hpp"
+
 namespace paracosm::engine {
 
 UpdateClass UpdateClassifier::classify(const graph::GraphUpdate& upd) const {
+#if defined(PARACOSM_TRACE_ENABLED)
+  // The verdict is part of the span's args, so an RAII scope cannot capture
+  // it; stamp the start and record the completed span around the impl.
+  if (obs::trace_level() >= obs::event_level(obs::EventKind::kClassify)) {
+    const std::int64_t t0 = obs::now_ns();
+    const UpdateClass c = classify_impl(upd);
+    obs::trace_complete(obs::EventKind::kClassify, t0,
+                        static_cast<std::uint64_t>(c), upd.u, upd.v);
+    return c;
+  }
+#endif
+  return classify_impl(upd);
+}
+
+UpdateClass UpdateClassifier::classify_impl(const graph::GraphUpdate& upd) const {
   using graph::UpdateOp;
   // Vertex operations are trivial but touch index storage; the sequential
   // path handles them (they are rare in CSM streams).

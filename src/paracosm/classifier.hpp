@@ -50,6 +50,8 @@ class UpdateClassifier {
                                ClassifierStats& stats) const;
 
  private:
+  [[nodiscard]] UpdateClass classify_impl(const graph::GraphUpdate& upd) const;
+
   const graph::QueryGraph& q_;
   const graph::DataGraph& g_;
   const csm::CsmAlgorithm& alg_;

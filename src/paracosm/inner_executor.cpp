@@ -1,5 +1,6 @@
 #include "paracosm/inner_executor.hpp"
 
+#include "obs/trace_ring.hpp"
 #include "paracosm/match_buffer.hpp"
 #include "paracosm/task_queue.hpp"
 #include "util/timer.hpp"
@@ -22,6 +23,7 @@ class AdaptiveHook final : public csm::SplitHook {
   }
   void offload(csm::SearchTask&& task) override {
     ++ws_.offloads;
+    PARACOSM_TRACE_INSTANT(obs::EventKind::kResplit, task.depth());
     queue_.push(wid_, std::move(task));
   }
 
@@ -151,7 +153,11 @@ InnerRunResult InnerExecutor::run_dynamic(
         continue;
       }
       util::ThreadCpuTimer timer;
-      alg.expand(*task, sink, &hook);
+      {
+        PARACOSM_TRACE_SPAN(task_span, obs::EventKind::kTaskExpand,
+                            task->depth());
+        alg.expand(*task, sink, &hook);
+      }
       queue.retire();
       ++ws.tasks;
       ws.busy_ns += timer.elapsed_ns();
@@ -211,7 +217,11 @@ InnerRunResult InnerExecutor::run_static(
         sink.mark_cancelled();
         break;
       }
-      alg.expand(task, sink, nullptr);
+      {
+        PARACOSM_TRACE_SPAN(task_span, obs::EventKind::kTaskExpand,
+                            task.depth());
+        alg.expand(task, sink, nullptr);
+      }
       ++ws.tasks;
       if (sink.stopped()) break;
     }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/trace_ring.hpp"
 #include "paracosm/shard_cursor.hpp"
 #include "util/timer.hpp"
 
@@ -36,6 +37,8 @@ csm::UpdateOutcome ParaCosm::process_into(const GraphUpdate& upd,
                                           util::Clock::time_point deadline,
                                           util::CancelView cancel,
                                           ParallelStats& stats) {
+  PARACOSM_TRACE_SPAN(update_span, obs::EventKind::kUpdate,
+                      static_cast<std::uint64_t>(upd.op), upd.u, upd.v);
   switch (upd.op) {
     case UpdateOp::kInsertEdge:
     case UpdateOp::kRemoveEdge:
@@ -96,6 +99,7 @@ csm::UpdateOutcome ParaCosm::process_edge(const GraphUpdate& upd,
     sink.cancel = cancel;
     if (on_match_) sink.on_match = on_match_;
     for (const csm::SearchTask& task : roots) {
+      PARACOSM_TRACE_SPAN(task_span, obs::EventKind::kTaskExpand, task.depth());
       alg_.expand(task, sink, nullptr);
       if (sink.stopped()) break;
     }
@@ -110,7 +114,10 @@ csm::UpdateOutcome ParaCosm::process_edge(const GraphUpdate& upd,
     if (!g_.add_edge(upd.u, upd.v, upd.label)) return out;
     alg_.on_edge_inserted(upd);
     std::vector<csm::SearchTask> roots;
-    alg_.seeds(upd, roots);
+    {
+      PARACOSM_TRACE_SPAN(seed_span, obs::EventKind::kSeedGen, upd.u, upd.v);
+      alg_.seeds(upd, roots);
+    }
     stats.serial_ns += serial.elapsed_ns();
     out.applied = true;
     const auto [matches, nodes] = explore(roots);
@@ -126,7 +133,10 @@ csm::UpdateOutcome ParaCosm::process_edge(const GraphUpdate& upd,
     del.label = *actual_label;
     util::ThreadCpuTimer serial;
     std::vector<csm::SearchTask> roots;
-    alg_.seeds(del, roots);
+    {
+      PARACOSM_TRACE_SPAN(seed_span, obs::EventKind::kSeedGen, del.u, del.v);
+      alg_.seeds(del, roots);
+    }
     stats.serial_ns += serial.elapsed_ns();
     const auto [matches, nodes] = explore(roots);
     out.negative = matches;
@@ -198,6 +208,14 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
     }
     const std::size_t count = std::min<std::size_t>(k, stream.size() - i);
     ++result.batches;
+#if defined(PARACOSM_TRACE_ENABLED)
+    // The batch span covers classify + safe-apply (phases 1–2b) and is
+    // recorded *before* the sequential unsafe update of phase 2c runs, so a
+    // trace never shows an unsafe kUpdate span inside a kBatch span — the
+    // integration test asserts exactly that nesting.
+    const std::int64_t trace_batch_t0 =
+        obs::trace_level() >= 1 ? obs::now_ns() : 0;
+#endif
 
     // Phase 1 — parallel classification against the batch-start snapshot
     // (read-only on graph and ADS).
@@ -279,6 +297,7 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
             locks_.lock_pair(upd.u, upd.v);
             apply_safe(upd);
             locks_.unlock_pair(upd.u, upd.v);
+            PARACOSM_TRACE_INSTANT(obs::EventKind::kSafeApply, upd.u, upd.v);
             ++applied;
           }
           WorkerStats& ws = result.stats.workers[wid];
@@ -288,7 +307,11 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
         result.stats.dispatch_ns += pool_.last_dispatch_ns();
       } else {
         util::ThreadCpuTimer timer;
-        for (std::size_t j = 0; j < safe_prefix; ++j) apply_safe(stream[i + j]);
+        for (std::size_t j = 0; j < safe_prefix; ++j) {
+          apply_safe(stream[i + j]);
+          PARACOSM_TRACE_INSTANT(obs::EventKind::kSafeApply, stream[i + j].u,
+                                 stream[i + j].v);
+        }
         result.stats.serial_ns += timer.elapsed_ns();
       }
 #ifdef PARACOSM_VERIFY
@@ -300,6 +323,11 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
       result.safe_applied += safe_prefix;
       result.updates_processed += safe_prefix;
     }
+#if defined(PARACOSM_TRACE_ENABLED)
+    if (obs::trace_level() >= 1)
+      obs::trace_complete(obs::EventKind::kBatch, trace_batch_t0,
+                          result.batches - 1, count, safe_prefix);
+#endif
     i += safe_prefix;
 
     // Phase 2c — the unsafe update runs sequentially (ADS) with the

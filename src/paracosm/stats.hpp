@@ -139,6 +139,7 @@ struct ServiceStats {
   std::uint64_t snapshots = 0;          ///< snapshots written
   std::uint64_t wal_records = 0;        ///< WAL records appended
   std::uint64_t watchdog_cancels = 0;   ///< deadlines enforced by the watchdog
+  std::uint64_t metrics_flushes = 0;    ///< periodic metrics snapshots written
 
   void merge(const ServiceStats& other) noexcept {
     ingest.merge(other.ingest);
@@ -150,6 +151,7 @@ struct ServiceStats {
     snapshots += other.snapshots;
     wal_records += other.wal_records;
     watchdog_cancels += other.watchdog_cancels;
+    metrics_flushes += other.metrics_flushes;
   }
 };
 

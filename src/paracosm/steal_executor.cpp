@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/trace_ring.hpp"
 #include "paracosm/inner_executor.hpp"
 #include "paracosm/match_buffer.hpp"
 #include "util/timer.hpp"
@@ -23,6 +24,7 @@ class StealHook final : public csm::SplitHook {
   }
   void offload(csm::SearchTask&& task) override {
     ++ws_.offloads;
+    PARACOSM_TRACE_INSTANT(obs::EventKind::kResplit, task.depth());
     queue_.push(wid_, std::move(task));
   }
 
@@ -85,7 +87,11 @@ InnerRunResult StealingExecutor::run(
         continue;
       }
       util::ThreadCpuTimer timer;
-      alg.expand(*task, sink, &hook);
+      {
+        PARACOSM_TRACE_SPAN(task_span, obs::EventKind::kTaskExpand,
+                            task->depth());
+        alg.expand(*task, sink, &hook);
+      }
       queue.retire();
       ++ws.tasks;
       ws.busy_ns += timer.elapsed_ns();

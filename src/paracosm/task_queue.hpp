@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "csm/match.hpp"
+#include "obs/trace_ring.hpp"
 #include "paracosm/cl_deque.hpp"
 #include "paracosm/stats.hpp"
 #include "util/rng.hpp"
@@ -132,6 +133,7 @@ class TaskQueue {
         ++me.steals_attempted;
         if (csm::SearchTask* node = w_[v].deque.steal_top()) {
           ++me.steals_succeeded;
+          PARACOSM_TRACE_INSTANT(obs::EventKind::kSteal, v, wid);
           pending_.fetch_sub(1, std::memory_order_relaxed);
           idle_.fetch_sub(1, std::memory_order_relaxed);
           return take(wid, node);

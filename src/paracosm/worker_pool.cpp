@@ -1,7 +1,9 @@
 #include "paracosm/worker_pool.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/trace_ring.hpp"
 #include "util/sync.hpp"
 #include "util/timer.hpp"
 
@@ -79,6 +81,7 @@ std::uint64_t WorkerPool::total_parks() const noexcept {
 }
 
 void WorkerPool::worker_loop(unsigned id) {
+  PARACOSM_TRACE_THREAD_NAME("worker " + std::to_string(id));
   Slot& slot = slots_[id];
   std::uint64_t seen = 0;
   for (;;) {

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
+
 namespace paracosm::service {
 
 // ---------------------------------------------------------------- Watchdog
@@ -47,6 +50,7 @@ void Watchdog::disarm(std::uint64_t epoch) {
 }
 
 void Watchdog::run() {
+  PARACOSM_TRACE_THREAD_NAME("watchdog");
   std::uint64_t last_fired_epoch = ~std::uint64_t{0};
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) return;
@@ -67,6 +71,7 @@ void Watchdog::run() {
     // Overdue. Fire once per epoch; the consumer will disarm or re-arm.
     if (epoch != last_fired_epoch) {
       token_.load(std::memory_order_relaxed)->cancel(epoch);
+      PARACOSM_TRACE_INSTANT(obs::EventKind::kWatchdogFire, epoch);
       cancels_.fetch_add(1, std::memory_order_relaxed);
       last_fired_epoch = epoch;
     }
@@ -145,6 +150,7 @@ void StreamService::retry_deferred() {
 }
 
 void StreamService::consumer_loop() {
+  PARACOSM_TRACE_THREAD_NAME("service");
   try {
     IngestItem item;
     while (queue_.pop_wait(item)) {
@@ -165,14 +171,24 @@ void StreamService::consumer_loop() {
 void StreamService::process_one(const graph::GraphUpdate& upd, bool degraded,
                                 bool deferred) {
   util::WallTimer timer;
+  // seq_ at entry is exactly the sequence this update gets (the constructor
+  // seeds it from the WAL and the tail of this function keeps it in sync).
+  PARACOSM_TRACE_SPAN(service_span, obs::EventKind::kServiceUpdate, seq_,
+                      static_cast<std::uint64_t>(upd.op));
 
   // Durability point: the record is on disk before the engine sees the
   // update. A crash in the window right after (after_wal_append) is exactly
   // what recover_state's redo replay covers.
   std::uint64_t seq = seq_;
   if (wal_) {
-    seq = wal_->append(upd);
-    wal_->flush();
+    {
+      PARACOSM_TRACE_SPAN(append_span, obs::EventKind::kWalAppend, seq_);
+      seq = wal_->append(upd);
+    }
+    {
+      PARACOSM_TRACE_SPAN(fsync_span, obs::EventKind::kWalFsync);
+      wal_->flush();
+    }
     ++stats_.wal_records;
     if (hooks_.after_wal_append) hooks_.after_wal_append(seq);
   }
@@ -214,10 +230,11 @@ void StreamService::process_one(const graph::GraphUpdate& upd, bool degraded,
   if (!out.applied) ++stats_.noop_skipped;
   positive_ += out.positive;
   negative_ += out.negative;
-  latencies_ns_.push_back(timer.elapsed_ns());
+  latency_hist_.record(timer.elapsed_ns());
   if (opts_.record_applied_order) applied_order_.push_back(upd);
 
   maybe_snapshot();
+  maybe_flush_metrics();
 }
 
 void StreamService::maybe_snapshot() {
@@ -232,6 +249,39 @@ void StreamService::maybe_snapshot() {
   ++stats_.snapshots;
 }
 
+void StreamService::maybe_flush_metrics() {
+  if (opts_.metrics_path.empty() || opts_.metrics_every == 0) return;
+  if (++since_metrics_ < opts_.metrics_every) return;
+  since_metrics_ = 0;
+  flush_metrics();
+}
+
+void StreamService::flush_metrics() {
+  PARACOSM_TRACE_SPAN(flush_span, obs::EventKind::kMetricsFlush,
+                      stats_.processed);
+  obs::MetricsSnapshot snap;
+  snap.add_counter("service.processed",
+                   static_cast<std::int64_t>(stats_.processed));
+  snap.add_counter("service.degraded_searches",
+                   static_cast<std::int64_t>(stats_.degraded_searches));
+  snap.add_counter("service.deferred_retries",
+                   static_cast<std::int64_t>(stats_.deferred_retries));
+  snap.add_counter("service.noop_skipped",
+                   static_cast<std::int64_t>(stats_.noop_skipped));
+  snap.add_counter("service.wal_records",
+                   static_cast<std::int64_t>(stats_.wal_records));
+  snap.add_counter("service.snapshots",
+                   static_cast<std::int64_t>(stats_.snapshots));
+  snap.add_counter("service.watchdog_cancels",
+                   static_cast<std::int64_t>(
+                       watchdog_ ? watchdog_->cancels() : 0));
+  snap.add_counter("service.positive", static_cast<std::int64_t>(positive_));
+  snap.add_counter("service.negative", static_cast<std::int64_t>(negative_));
+  snap.add_histogram("service.latency_ns", latency_hist_);
+  snap.write(opts_.metrics_path);
+  ++stats_.metrics_flushes;
+}
+
 ServiceReport StreamService::finish() {
   queue_.close();
   if (consumer_.joinable()) consumer_.join();
@@ -241,11 +291,15 @@ ServiceReport StreamService::finish() {
     finished_ = true;
     stats_.ingest = queue_.stats();
     if (watchdog_) stats_.watchdog_cancels = watchdog_->cancels();
+    // Final snapshot (even when the stream was shorter than metrics_every),
+    // so a metrics consumer always sees the end-of-run totals. The consumer
+    // thread has joined, so writing from here cannot race a periodic flush.
+    if (!opts_.metrics_path.empty()) flush_metrics();
     r.stats = stats_;
     r.positive = positive_;
     r.negative = negative_;
     r.wall_ns = wall_.elapsed_ns();
-    r.latencies_ns = std::move(latencies_ns_);
+    r.latency = latency_hist_;
     r.applied_order = std::move(applied_order_);
     r.error = error_;
   }

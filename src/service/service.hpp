@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "paracosm/paracosm.hpp"
 #include "service/fault.hpp"
 #include "service/ingest.hpp"
@@ -123,6 +124,14 @@ struct ServiceOptions {
   /// Capture the effective processing order (shed updates are replayed late,
   /// out of submission order) — the stream the verification oracle replays.
   bool record_applied_order = false;
+
+  /// Periodic metrics flushing (obs/metrics.hpp): every `metrics_every`
+  /// processed updates the consumer writes a flat counter + latency-histogram
+  /// snapshot to `metrics_path` (format by extension: .csv or JSON; atomic
+  /// tmp+rename). A final snapshot is always written at finish(). Empty path
+  /// or 0 disables.
+  std::string metrics_path;
+  std::uint64_t metrics_every = 0;
 };
 
 struct ServiceReport {
@@ -130,7 +139,11 @@ struct ServiceReport {
   std::uint64_t positive = 0;
   std::uint64_t negative = 0;
   std::int64_t wall_ns = 0;
-  std::vector<std::int64_t> latencies_ns;  ///< per processed update
+  /// Per-update end-to-end latency distribution (WAL flush + search). The
+  /// log-bucketed histogram replaces the old raw sample vector: constant
+  /// memory at any stream length, exact count/mean/max, quantiles within the
+  /// documented 1/32 relative-error bound (obs/histogram.hpp).
+  obs::Histogram latency;
   std::vector<graph::GraphUpdate> applied_order;  ///< see record_applied_order
   std::string error;  ///< non-empty if the consumer died (e.g. WAL I/O)
 };
@@ -169,6 +182,8 @@ class StreamService {
   void retry_deferred();
   [[nodiscard]] bool pop_deferred(graph::GraphUpdate& out);
   void maybe_snapshot();
+  void maybe_flush_metrics();
+  void flush_metrics();
 
   engine::ParaCosm& engine_;
   ServiceOptions opts_;
@@ -188,11 +203,12 @@ class StreamService {
   // Consumer-thread state.
   std::uint64_t seq_ = 0;  ///< stands in for WAL seq when durability is off
   std::uint64_t since_snapshot_ = 0;
+  std::uint64_t since_metrics_ = 0;
   bool deliver_ = true;    ///< false while processing a degraded update
   engine::ServiceStats stats_;
   std::uint64_t positive_ = 0;
   std::uint64_t negative_ = 0;
-  std::vector<std::int64_t> latencies_ns_;
+  obs::Histogram latency_hist_;
   std::vector<graph::GraphUpdate> applied_order_;
   std::string error_;
 

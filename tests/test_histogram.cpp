@@ -1,0 +1,271 @@
+// Property tests for the log-bucketed latency histogram (ISSUE 5): the
+// documented ≤ 1/32 relative-error bound against the exact nearest-rank
+// reference, merge/quantile equivalence, exact count conservation under
+// concurrent recording, and the pinned percentile regression that replaced
+// the ad-hoc sorted-vector percentiles in the service layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_common/reporting.hpp"
+#include "obs/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace paracosm {
+namespace {
+
+using obs::ConcurrentHistogram;
+using obs::Histogram;
+using obs::hist_bucket;
+using obs::hist_bucket_high;
+using obs::hist_bucket_low;
+using obs::kHistBuckets;
+
+// Quantile grid shared by the property tests (includes the tails).
+const double kGrid[] = {0.1, 1.0, 10.0, 25.0, 50.0,  75.0,
+                        90.0, 95.0, 99.0, 99.9, 100.0};
+
+// ------------------------------------------------------------- bucket math
+
+TEST(HistBucket, ValuesBelow64AreExact) {
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(hist_bucket(v), v);
+    EXPECT_EQ(hist_bucket_low(hist_bucket(v)), v);
+    EXPECT_EQ(hist_bucket_high(hist_bucket(v)), v);
+  }
+}
+
+TEST(HistBucket, BoundsHoldForRandomValues) {
+  util::Rng rng(42);
+  for (int i = 0; i < 100000; ++i) {
+    // Bias toward small values but cover the full 60-bit range.
+    const std::uint64_t v = rng() >> rng.bounded(60);
+    const std::uint32_t b = hist_bucket(v);
+    ASSERT_LT(b, kHistBuckets);
+    const std::uint64_t low = hist_bucket_low(b);
+    const std::uint64_t high = hist_bucket_high(b);
+    ASSERT_LE(low, v);
+    ASSERT_LE(v, high);
+    // The documented relative-error bound: high <= low * (1 + 1/32).
+    // Written subtraction-side so the top octave can't overflow uint64.
+    if (v >= 64) {
+      ASSERT_LE(high - low, low / 32);
+    }
+  }
+}
+
+TEST(HistBucket, BucketsAreContiguousAndMonotonic) {
+  // Adjacent buckets tile the value axis with no gaps or overlaps.
+  for (std::uint32_t b = 0; b + 1 < kHistBuckets; ++b) {
+    ASSERT_EQ(hist_bucket_high(b) + 1, hist_bucket_low(b + 1)) << "bucket " << b;
+    ASSERT_EQ(hist_bucket(hist_bucket_low(b)), b);
+    ASSERT_EQ(hist_bucket(hist_bucket_high(b)), b);
+  }
+}
+
+// ------------------------------------------------- pinned percentile values
+
+// The known-distribution regression from ISSUE 5 satellite (d): samples
+// 1..1000 ns. These exact values pin the bucket layout — any change to
+// kHistSubBits or the quantile rule shows up here first.
+TEST(Histogram, PinnedPercentilesOnOneToThousand) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), 500500u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+  EXPECT_EQ(h.quantile(50.0), 503);
+  EXPECT_EQ(h.quantile(95.0), 959);
+  EXPECT_EQ(h.quantile(99.0), 991);
+  EXPECT_EQ(h.quantile(99.9), 1000);  // bucket high 1007 clamps to max
+  EXPECT_EQ(h.quantile(100.0), 1000);
+  EXPECT_EQ(h.quantile(0.0), 1);
+}
+
+// The same distribution through the bench reporting pipeline that
+// paracosm_serve and the service report use.
+TEST(Histogram, SummarizeLatenciesPinsServicePercentiles) {
+  std::vector<std::int64_t> samples(1000);
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    samples[i] = static_cast<std::int64_t>(i + 1);
+  const bench::LatencySummary s = bench::summarize_latencies(samples);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean_ns, 500.5);
+  EXPECT_EQ(s.p50_ns, 503);
+  EXPECT_EQ(s.p95_ns, 959);
+  EXPECT_EQ(s.p99_ns, 991);
+  EXPECT_EQ(s.p999_ns, 1000);
+  EXPECT_EQ(s.max_ns, 1000);
+}
+
+// --------------------------------------------- error bound vs exact ranks
+
+void check_against_exact(const std::vector<std::int64_t>& samples) {
+  Histogram h;
+  for (const std::int64_t v : samples) h.record(v);
+  for (const double p : kGrid) {
+    const std::int64_t exact = bench::percentile_ns(samples, p);
+    const std::int64_t q = h.quantile(p);
+    ASSERT_GE(q, exact) << "p=" << p;
+    ASSERT_LE(q, exact + exact / 32) << "p=" << p;
+    if (exact < 64) {
+      ASSERT_EQ(q, exact) << "small values are exact, p=" << p;
+    }
+  }
+}
+
+TEST(Histogram, QuantileWithinBoundUniform) {
+  util::Rng rng(1);
+  std::vector<std::int64_t> samples(10000);
+  for (auto& v : samples)
+    v = static_cast<std::int64_t>(rng.bounded(1000000000));
+  check_against_exact(samples);
+}
+
+TEST(Histogram, QuantileWithinBoundHeavyTail) {
+  // Latency-shaped: mostly microseconds, a long millisecond tail.
+  util::Rng rng(2);
+  std::vector<std::int64_t> samples(10000);
+  for (auto& v : samples) {
+    const std::uint64_t r = rng();
+    v = static_cast<std::int64_t>((r % 4000) + 1);
+    if (r % 100 == 0) v *= 1000;  // 1% outliers
+  }
+  check_against_exact(samples);
+}
+
+TEST(Histogram, QuantileWithinBoundSmallValues) {
+  util::Rng rng(3);
+  std::vector<std::int64_t> samples(10000);
+  for (auto& v : samples) v = static_cast<std::int64_t>(rng.bounded(64));
+  check_against_exact(samples);  // all < 64: exact equality branch
+}
+
+TEST(Histogram, QuantileOfConstantIsConstant) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(123456789);
+  for (const double p : kGrid) EXPECT_EQ(h.quantile(p), 123456789);
+}
+
+// ------------------------------------------------------------------ merge
+
+TEST(Histogram, MergeQuantilesEqualCombinedStream) {
+  util::Rng rng(4);
+  std::vector<std::int64_t> sa(6000), sb(4000);
+  for (auto& v : sa) v = static_cast<std::int64_t>(rng.bounded(5000000));
+  for (auto& v : sb)
+    v = static_cast<std::int64_t>(rng.bounded(800));  // disjoint-ish range
+
+  Histogram a, b, combined;
+  for (const std::int64_t v : sa) {
+    a.record(v);
+    combined.record(v);
+  }
+  for (const std::int64_t v : sb) {
+    b.record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (std::uint32_t i = 0; i < kHistBuckets; ++i)
+    ASSERT_EQ(a.bucket_count(i), combined.bucket_count(i)) << "bucket " << i;
+  for (const double p : kGrid)
+    EXPECT_EQ(a.quantile(p), combined.quantile(p)) << "p=" << p;
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  for (std::int64_t v = 1; v <= 100; ++v) a.record(v);
+  const std::int64_t p50 = a.quantile(50.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_EQ(a.quantile(50.0), p50);
+}
+
+// ------------------------------------------------------------- edge cases
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(50.0), 0);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-1000);
+  h.record(-1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.quantile(99.0), 0);
+}
+
+// ------------------------------------------------------------- concurrency
+
+// ISSUE 5 satellite (a): exact count conservation with 8 writers racing, and
+// live snapshots staying monotone. Run under TSan in the sanitizer CI job.
+TEST(ConcurrentHistogram, EightThreadCountConservation) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+
+  ConcurrentHistogram ch;
+  Histogram reference;
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t)
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      const std::int64_t v =
+          static_cast<std::int64_t>((t * kPerThread + i * 37) % 1000003);
+      reference.record(v);
+      expected_sum += static_cast<std::uint64_t>(v);
+    }
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    // Live snapshots: per-bucket counts only grow, so count() is monotone.
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t c = ch.snapshot().count();
+      EXPECT_GE(c, last);
+      EXPECT_LE(c, kThreads * kPerThread);
+      last = c;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&ch, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        ch.record(static_cast<std::int64_t>((t * kPerThread + i * 37) % 1000003));
+    });
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const Histogram snap = ch.snapshot();
+  EXPECT_EQ(snap.count(), kThreads * kPerThread);
+  EXPECT_EQ(snap.sum(), expected_sum);
+  EXPECT_EQ(snap.min(), reference.min());
+  EXPECT_EQ(snap.max(), reference.max());
+  for (std::uint32_t i = 0; i < kHistBuckets; ++i)
+    ASSERT_EQ(snap.bucket_count(i), reference.bucket_count(i)) << "bucket " << i;
+  for (const double p : kGrid)
+    EXPECT_EQ(snap.quantile(p), reference.quantile(p)) << "p=" << p;
+}
+
+}  // namespace
+}  // namespace paracosm

@@ -344,7 +344,7 @@ TEST(StreamService, WatchdogBudgetRunSurvives) {
   }
   EXPECT_TRUE(report.error.empty()) << report.error;
   EXPECT_EQ(report.stats.processed, wl.stream.size());
-  EXPECT_EQ(report.latencies_ns.size(), wl.stream.size());
+  EXPECT_EQ(report.latency.count(), wl.stream.size());
 
   // However many deadlines fired, maintenance stayed exact.
   const auto fresh = csm::make_algorithm("graphflow");

@@ -26,6 +26,7 @@
 #include "csm/scratch.hpp"
 #include "graph/generators.hpp"
 #include "graph/nlf_signature.hpp"
+#include "obs/metrics.hpp"
 #include "paracosm/paracosm.hpp"
 #include "service/service.hpp"
 #include "util/cli.hpp"
@@ -238,7 +239,7 @@ ServiceLane run_service_lane(const bench::Workload& wl, std::int64_t budget_us) 
   for (const graph::GraphUpdate& upd : wl.stream) (void)svc.submit(upd);
   const service::ServiceReport report = svc.finish();
   out.wall_ms = static_cast<double>(report.wall_ns) / 1e6;
-  out.latency = bench::summarize_latencies(report.latencies_ns);
+  out.latency = bench::summarize_histogram(report.latency);
   out.stats = report.stats;
   return out;
 }
@@ -271,7 +272,7 @@ void write_service_lane_json(std::FILE* f, const char* name,
   std::fprintf(f,
                "    \"%s\": {\"wall_ms\": %.3f, "
                "\"latency_us\": {\"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f, "
-               "\"max\": %.1f}, "
+               "\"p999\": %.1f, \"max\": %.1f}, "
                "\"degraded_searches\": %llu, \"watchdog_cancels\": %llu, "
                "\"shed\": %llu, \"deferred_retries\": %llu, "
                "\"replayed_updates\": %llu}%s\n",
@@ -279,6 +280,7 @@ void write_service_lane_json(std::FILE* f, const char* name,
                static_cast<double>(lane.latency.p50_ns) / 1e3,
                static_cast<double>(lane.latency.p95_ns) / 1e3,
                static_cast<double>(lane.latency.p99_ns) / 1e3,
+               static_cast<double>(lane.latency.p999_ns) / 1e3,
                static_cast<double>(lane.latency.max_ns) / 1e3,
                static_cast<unsigned long long>(s.degraded_searches),
                static_cast<unsigned long long>(s.watchdog_cancels),
@@ -353,6 +355,42 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
   std::fclose(f);
 }
 
+/// Flat counter view of the same run (obs/metrics.hpp): one metric per line,
+/// CSV or JSON by extension — the form dashboards and diff tooling ingest
+/// without parsing the nested report above.
+void write_metrics(const std::string& path, const std::vector<MicroResult>& micro,
+                   const std::vector<MacroResult>& macro,
+                   const SchedulerResult& sched, const ServiceResult& svc) {
+  obs::MetricsSnapshot snap;
+  for (const MicroResult& m : micro)
+    snap.add_gauge("micro." + m.name + ".ns_per_op", m.ns_per_op);
+  for (const MacroResult& m : macro) {
+    snap.add_gauge("macro." + m.algorithm + ".total_ms", m.run.cpu_ms);
+    snap.add_counter("macro." + m.algorithm + ".delta_matches",
+                     static_cast<std::int64_t>(m.run.delta_matches));
+  }
+  snap.add_counter("scheduler.steals_succeeded",
+                   static_cast<std::int64_t>(sched.steals_succeeded));
+  snap.add_counter("scheduler.steals_attempted",
+                   static_cast<std::int64_t>(sched.steals_attempted));
+  snap.add_counter("scheduler.tasks_resplit",
+                   static_cast<std::int64_t>(sched.offloads));
+  snap.add_counter("scheduler.parks", static_cast<std::int64_t>(sched.parks));
+  snap.add_gauge("service.no_deadline.wall_ms", svc.no_deadline.wall_ms);
+  snap.add_gauge("service.armed.wall_ms", svc.armed.wall_ms);
+  snap.add_counter("service.no_deadline.latency_ns.p50",
+                   svc.no_deadline.latency.p50_ns);
+  snap.add_counter("service.no_deadline.latency_ns.p99",
+                   svc.no_deadline.latency.p99_ns);
+  snap.add_counter("service.no_deadline.latency_ns.p999",
+                   svc.no_deadline.latency.p999_ns);
+  try {
+    snap.write(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: %s\n", e.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -364,6 +402,8 @@ int main(int argc, char** argv) {
       .option("queries", "3", "queries in the macro workload")
       .option("stream", "2000", "stream updates for the macro section (0 = all)")
       .option("timeout-ms", "4000", "per-query budget for the macro section")
+      .option("metrics-out", "",
+              "also write a flat metrics snapshot (.csv or JSON by extension)")
       .option("seed", "42", "random seed");
   if (!cli.parse(argc, argv)) return cli.exit_code();
 
@@ -384,6 +424,8 @@ int main(int argc, char** argv) {
   const auto svc = run_service(scale, stream_cap, seed);
   write_json(cli.get("out"), micro, macro, sched, svc, scale, queries, stream_cap,
              seed);
+  if (const std::string mpath = cli.get("metrics-out"); !mpath.empty())
+    write_metrics(mpath, micro, macro, sched, svc);
 
   for (const auto& m : micro)
     std::printf("%-26s %10.2f ns/op\n", m.name.c_str(), m.ns_per_op);

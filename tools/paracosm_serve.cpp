@@ -24,6 +24,9 @@
 
 #include "bench_common/reporting.hpp"
 #include "graph/graph_io.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "paracosm/paracosm.hpp"
 #include "service/service.hpp"
 #include "service/wal.hpp"
@@ -82,6 +85,7 @@ void write_json_report(const std::string& path, const service::ServiceReport& r,
       << "    \"p50\": " << lat.p50_ns << ",\n"
       << "    \"p95\": " << lat.p95_ns << ",\n"
       << "    \"p99\": " << lat.p99_ns << ",\n"
+      << "    \"p999\": " << lat.p999_ns << ",\n"
       << "    \"max\": " << lat.max_ns << "\n"
       << "  }\n"
       << "}\n";
@@ -111,6 +115,14 @@ int main(int argc, char** argv) {
       .option("slow-consumer-us", "0", "fault: per-update consumer delay")
       .option("seed", "42", "seed for the --timeout-rate selection")
       .option("report-json", "", "write the final report as JSON here")
+      .option("trace-out", "",
+              "write a Chrome/Perfetto trace of the run here (enables tracing)")
+      .option("metrics-out", "",
+              "write a flat metrics snapshot here (.csv or JSON by extension)")
+      .option("metrics-every", "0",
+              "flush --metrics-out every N processed updates (0 = final only)")
+      .flag("trace-verbose",
+            "trace at level 2: per-search-node instants (huge traces)")
       .flag("recover", "recover from --wal/--snapshot, then resume the stream")
       .flag("verify-final", "cross-check the end state against the oracle")
       .flag("strict", "abort on the first malformed input line");
@@ -158,6 +170,21 @@ int main(int argc, char** argv) {
   sopts.snapshot_path = cli.get("snapshot");
   sopts.snapshot_every = static_cast<std::uint64_t>(cli.get_int("snapshot-every"));
   sopts.record_applied_order = cli.get_bool("verify-final");
+  sopts.metrics_path = cli.get("metrics-out");
+  sopts.metrics_every = static_cast<std::uint64_t>(cli.get_int("metrics-every"));
+
+  // Tracing must be on before the engine spawns its workers so every lane is
+  // named; level 2 adds per-search-node instants.
+  const std::string trace_path = cli.get("trace-out");
+  if (!trace_path.empty()) {
+    PARACOSM_TRACE_THREAD_NAME("main");
+    obs::set_trace_level(cli.get_bool("trace-verbose") ? 2 : 1);
+#if !defined(PARACOSM_TRACE_ENABLED)
+    std::fprintf(stderr,
+                 "warning: built with PARACOSM_TRACE=OFF — the trace will "
+                 "contain no engine events\n");
+#endif
+  }
 
   // The initial graph doubles as the recovery base; keep it when verifying.
   const bool verify_final = cli.get_bool("verify-final");
@@ -241,7 +268,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const bench::LatencySummary lat = bench::summarize_latencies(report.latencies_ns);
+  if (!trace_path.empty()) {
+    obs::set_trace_level(0);
+    try {
+      obs::write_chrome_trace(trace_path,
+                              obs::TraceRegistry::instance().collect());
+      std::printf("trace: wrote %s (load in ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: %s\n", e.what());
+    }
+  }
+
+  const bench::LatencySummary lat = bench::summarize_histogram(report.latency);
   const auto& s = report.stats;
   std::printf("[service %s] +%llu / -%llu matches in %.3f ms wall\n",
               cli.get("algorithm").c_str(),
@@ -267,10 +306,12 @@ int main(int argc, char** argv) {
   std::printf("durability: %llu WAL record(s), %llu snapshot(s)\n",
               static_cast<unsigned long long>(s.wal_records),
               static_cast<unsigned long long>(s.snapshots));
-  std::printf("latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+  std::printf("latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, p99.9 %.3f ms, "
+              "max %.3f ms\n",
               static_cast<double>(lat.p50_ns) / 1e6,
               static_cast<double>(lat.p95_ns) / 1e6,
               static_cast<double>(lat.p99_ns) / 1e6,
+              static_cast<double>(lat.p999_ns) / 1e6,
               static_cast<double>(lat.max_ns) / 1e6);
 
   if (const std::string jpath = cli.get("report-json"); !jpath.empty())

@@ -1,0 +1,190 @@
+// Shared multi-query evaluation at scale (ISSUE 6 / DESIGN.md §9): register
+// a growing catalogue of standing queries (patterns cycled from a small
+// pool, the fraud-catalogue deployment shape) and stream the same mixed
+// update sequence through two engines over identical graph copies:
+//
+//   shared      — the three-tier shared-evaluation path (query index,
+//                 grouped classification, sub-pattern sharing),
+//   independent — set_shared_evaluation(false): every registration gets a
+//                 private class, classified and searched on its own — the
+//                 O(queries)-per-update baseline.
+//
+// Reported: whole-stream wall time, per-update cost, speedup, and the tier
+// counters that explain it (share of per-query verdicts settled by the
+// index vs grouped passes, searches served by fan-out, anchor skips). The
+// per-query ΔM totals of both modes are cross-checked; any mismatch fails
+// the run. Acceptance target: ≥5x lower per-update cost at 1024 queries.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "paracosm/multi_query.hpp"
+#include "util/timer.hpp"
+
+using namespace paracosm;
+using namespace paracosm::bench;
+
+namespace {
+
+struct ModeResult {
+  double wall_ms = 0.0;
+  double us_per_update = 0.0;
+  std::size_t classes = 0;
+  bool timed_out = false;
+  engine::MultiStreamResult res;
+};
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string token;
+  for (const char ch : csv + ",") {
+    if (ch == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token.push_back(ch);
+    }
+  }
+  return out;
+}
+
+/// One mode at one catalogue size: fresh graph copy, `total` registrations
+/// (pattern i % pool, algorithm tied to the pattern so duplicates share),
+/// one timed process_stream over the whole stream.
+ModeResult run_mode(const Workload& wl, const std::vector<std::string>& algs,
+                    std::size_t total, bool shared, unsigned threads,
+                    std::int64_t timeout_ms) {
+  graph::DataGraph g = wl.graph;
+  engine::Config cfg;
+  cfg.threads = threads;
+  engine::MultiQueryEngine eng(g, cfg);
+  eng.set_shared_evaluation(shared);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::size_t p = i % wl.queries.size();
+    eng.add_query(algs[p % algs.size()], wl.queries[p]);
+  }
+
+  util::Clock::time_point deadline{};
+  if (timeout_ms > 0)
+    deadline = util::Clock::now() + std::chrono::milliseconds(timeout_ms);
+
+  ModeResult out;
+  out.classes = eng.num_classes();
+  const util::WallTimer timer;
+  out.res = eng.process_stream(wl.stream, deadline);
+  out.wall_ms = timer.elapsed_ms();
+  out.timed_out = out.res.timed_out;
+  if (out.res.updates_processed > 0)
+    out.us_per_update = static_cast<double>(timer.elapsed_ns()) / 1e3 /
+                        static_cast<double>(out.res.updates_processed);
+  return out;
+}
+
+/// Byte-identical per-query ΔM between the two modes (only comparable when
+/// neither run was cut by the stream deadline).
+bool totals_equal(const ModeResult& a, const ModeResult& b) {
+  return a.res.positive == b.res.positive && a.res.negative == b.res.negative;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli = standard_cli(
+      "multi_query_scale",
+      "shared vs independent per-update cost as the query catalogue grows");
+  cli.option("max-queries", "1024", "Largest catalogue size in the sweep")
+      .option("query-size", "5", "Vertices per query pattern")
+      .option("algorithms", "graphflow",
+              "Comma-separated algorithms cycled over the pattern pool")
+      .option("delete-fraction", "0.3", "Share of inserted edges re-deleted");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const double scale = cli.get_double("scale");
+  const auto pool = static_cast<std::uint32_t>(cli.get_int("queries"));
+  const std::int64_t stream_cap = cli.get_int("stream");
+  const std::int64_t timeout_ms = cli.get_int("timeout-ms");
+  const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::int64_t max_queries = cli.get_int("max-queries");
+  const std::vector<std::string> algs = split_csv(cli.get("algorithms"));
+  if (algs.empty() || max_queries <= 0) {
+    std::fprintf(stderr, "multi_query_scale: need --algorithms and --max-queries > 0\n");
+    return 2;
+  }
+
+  print_experiment_banner(
+      "Shared multi-query evaluation scaling",
+      "Per-update cost vs catalogue size, shared three-tier evaluation "
+      "against the independent per-query baseline (ISSUE 6 / DESIGN.md §9)");
+
+  Workload wl = build_workload(
+      livejournal_hard_spec(scale, 8),
+      static_cast<std::uint32_t>(cli.get_int("query-size")), pool, 0.10, seed,
+      cli.get_double("delete-fraction"));
+  cap_stream(wl, stream_cap);
+  std::printf("stream: %zu updates, pattern pool: %zu, algorithms:", wl.stream.size(),
+              wl.queries.size());
+  for (const std::string& a : algs) std::printf(" %s", a.c_str());
+  std::printf("\n\n");
+
+  std::vector<std::size_t> sweep;
+  for (const std::size_t q : {16u, 64u, 256u, 1024u})
+    if (q <= static_cast<std::size_t>(max_queries)) sweep.push_back(q);
+  if (sweep.empty()) sweep.push_back(static_cast<std::size_t>(max_queries));
+
+  util::Table table({"queries", "classes", "shared_ms", "indep_ms", "speedup",
+                     "shared_us/upd", "indep_us/upd", "idx_verdicts%", "check"});
+  util::CsvWriter csv(
+      results_path("multi_query_scale"),
+      {"queries", "classes", "shared_ms", "indep_ms", "speedup",
+       "shared_us_per_update", "indep_us_per_update", "verdicts_by_index",
+       "verdicts_grouped", "group_hits", "searches_shared", "searches_skipped",
+       "matches", "check"});
+
+  bool all_ok = true;
+  for (const std::size_t q : sweep) {
+    const ModeResult shared = run_mode(wl, algs, q, true, threads, timeout_ms);
+    const ModeResult indep = run_mode(wl, algs, q, false, threads, timeout_ms);
+
+    const bool comparable = !shared.timed_out && !indep.timed_out;
+    const bool equal = !comparable || totals_equal(shared, indep);
+    all_ok = all_ok && equal;
+    const std::string check = !comparable ? "timeout" : equal ? "ok" : "MISMATCH";
+
+    const double speedup = shared.us_per_update > 0
+                               ? indep.us_per_update / shared.us_per_update
+                               : 0.0;
+    const engine::MultiQueryStats& mq = shared.res.mq;
+    const std::uint64_t verdicts = mq.verdicts_by_index + mq.verdicts_grouped;
+    const double idx_pct =
+        verdicts > 0 ? 100.0 * static_cast<double>(mq.verdicts_by_index) /
+                           static_cast<double>(verdicts)
+                     : 0.0;
+
+    table.row({std::to_string(q), std::to_string(shared.classes),
+               util::Table::num(shared.wall_ms), util::Table::num(indep.wall_ms),
+               util::Table::num(speedup) + "x", util::Table::num(shared.us_per_update),
+               util::Table::num(indep.us_per_update), util::Table::num(idx_pct),
+               check});
+    csv.row({std::to_string(q), std::to_string(shared.classes),
+             util::CsvWriter::num(shared.wall_ms), util::CsvWriter::num(indep.wall_ms),
+             util::CsvWriter::num(speedup),
+             util::CsvWriter::num(shared.us_per_update),
+             util::CsvWriter::num(indep.us_per_update),
+             std::to_string(mq.verdicts_by_index),
+             std::to_string(mq.verdicts_grouped), std::to_string(mq.group_hits),
+             std::to_string(mq.searches_shared),
+             std::to_string(mq.searches_skipped),
+             std::to_string(shared.res.total_matches()), check});
+  }
+
+  std::puts("Catalogue scaling (same stream, same graph, both modes):");
+  table.print();
+  std::printf("\nCSV written to %s\n", results_path("multi_query_scale").c_str());
+  if (!all_ok) {
+    std::fprintf(stderr, "multi_query_scale: per-query ΔM mismatch between modes\n");
+    return 1;
+  }
+  return 0;
+}

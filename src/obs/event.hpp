@@ -45,6 +45,12 @@ enum class EventKind : std::uint32_t {
   kWatchdogFire,   ///< instant: deadline enforced; args epoch
   kMetricsFlush,   ///< span: periodic metrics snapshot written; args processed
 
+  // Shared multi-query evaluation (per update / per class).
+  kMultiClassify,  ///< span: shared classification of one update across all
+                   ///< classes; args candidates, u, v
+  kMultiSearch,    ///< span: one shared per-class search; args class, members,
+                   ///< matches
+
   kCount
 };
 
@@ -83,6 +89,8 @@ inline constexpr std::uint32_t kEventKindCount =
     case EventKind::kWalFsync: return "wal_fsync";
     case EventKind::kWatchdogFire: return "watchdog_fire";
     case EventKind::kMetricsFlush: return "metrics_flush";
+    case EventKind::kMultiClassify: return "multi_classify";
+    case EventKind::kMultiSearch: return "multi_search";
     case EventKind::kCount: break;
   }
   return "?";
@@ -97,7 +105,10 @@ inline constexpr std::uint32_t kEventKindCount =
     case EventKind::kSafeApply:
       return "engine";
     case EventKind::kClassify:
+    case EventKind::kMultiClassify:
       return "classifier";
+    case EventKind::kMultiSearch:
+      return "engine";
     case EventKind::kTaskExpand:
     case EventKind::kSteal:
     case EventKind::kResplit:
@@ -137,6 +148,8 @@ inline constexpr std::uint32_t kEventKindCount =
     case EventKind::kWalFsync: return {nullptr, nullptr, nullptr};
     case EventKind::kWatchdogFire: return {"epoch", nullptr, nullptr};
     case EventKind::kMetricsFlush: return {"processed", nullptr, nullptr};
+    case EventKind::kMultiClassify: return {"candidates", "u", "v"};
+    case EventKind::kMultiSearch: return {"class", "members", "matches"};
     default: return {"a", "b", "c"};
   }
 }

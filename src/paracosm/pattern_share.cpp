@@ -1,0 +1,224 @@
+#include "paracosm/pattern_share.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace paracosm::engine {
+
+namespace {
+
+using graph::Label;
+using graph::QueryGraph;
+using graph::VertexId;
+
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  // splitmix64 finalizer: deterministic across platforms, so WL colors are
+  // identical for isomorphic graphs wherever they were built.
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// One WL round: color'(v) = hash(color(v), sorted multiset of
+/// (edge label, neighbor color)).
+void wl_round(const QueryGraph& q, const std::vector<std::uint64_t>& color,
+              std::vector<std::uint64_t>& next) {
+  const std::uint32_t n = q.num_vertices();
+  std::vector<std::pair<Label, std::uint64_t>> nbrs;
+  for (VertexId v = 0; v < n; ++v) {
+    nbrs.clear();
+    for (const graph::Neighbor& nb : q.neighbors(v))
+      nbrs.emplace_back(nb.elabel, color[nb.v]);
+    std::sort(nbrs.begin(), nbrs.end());
+    std::uint64_t h = mix64(color[v]);
+    for (const auto& [el, c] : nbrs) h = mix64(h ^ mix64(el) ^ mix64(c));
+    next[v] = h;
+  }
+}
+
+/// Serialize the pattern under vertex ordering `order` (order[i] = original
+/// id at canonical position i).
+std::string serialize(const QueryGraph& q, const std::vector<VertexId>& order) {
+  const std::uint32_t n = q.num_vertices();
+  std::vector<std::uint32_t> pos(n);
+  for (std::uint32_t i = 0; i < n; ++i) pos[order[i]] = i;
+  std::string s;
+  s.reserve(8 * n + 12 * q.num_edges());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s += std::to_string(q.label(order[i]));
+    s += ',';
+  }
+  s += ';';
+  std::vector<std::array<std::uint32_t, 3>> edges;
+  edges.reserve(q.num_edges());
+  for (const graph::Edge& e : q.edges()) {
+    std::uint32_t a = pos[e.u], b = pos[e.v];
+    if (a > b) std::swap(a, b);
+    edges.push_back({a, b, e.elabel});
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const auto& [a, b, el] : edges) {
+    s += std::to_string(a);
+    s += '-';
+    s += std::to_string(b);
+    s += ':';
+    s += std::to_string(el);
+    s += ',';
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string canonical_query_key(const QueryGraph& q) {
+  const std::uint32_t n = q.num_vertices();
+  if (n == 0) return "C|0;";
+
+  // WL color refinement to a (near-)stable partition. Colors are raw hashes:
+  // numerically comparable and isomorphism-invariant, which is all the
+  // ordering below needs.
+  std::vector<std::uint64_t> color(n), next(n);
+  for (VertexId v = 0; v < n; ++v) color[v] = mix64(q.label(v));
+  for (std::uint32_t round = 0; round < n; ++round) {
+    wl_round(q, color, next);
+    if (next == color) break;
+    color.swap(next);
+  }
+
+  // Base ordering: by (color, id); equal-color runs are the orbits whose
+  // permutations we enumerate.
+  std::vector<VertexId> base(n);
+  for (VertexId v = 0; v < n; ++v) base[v] = v;
+  std::sort(base.begin(), base.end(), [&](VertexId a, VertexId b) {
+    return color[a] != color[b] ? color[a] < color[b] : a < b;
+  });
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> groups;  // [begin, end)
+  std::size_t perms = 1;
+  for (std::uint32_t i = 0; i < n;) {
+    std::uint32_t j = i + 1;
+    while (j < n && color[base[j]] == color[base[i]]) ++j;
+    groups.emplace_back(i, j);
+    for (std::uint32_t k = 2; k <= j - i; ++k) {
+      perms *= k;
+      if (perms > kCanonicalPermBudget) break;
+    }
+    if (perms > kCanonicalPermBudget)
+      return "X|" + serialize(q, [&] {
+               std::vector<VertexId> ident(n);
+               for (VertexId v = 0; v < n; ++v) ident[v] = v;
+               return ident;
+             }());
+    i = j;
+  }
+
+  // Odometer over within-group permutations; keep the lexicographically
+  // minimal serialization.
+  std::vector<VertexId> order = base;
+  std::string best = serialize(q, order);
+  for (;;) {
+    // Advance: next_permutation on the first group that still has one.
+    std::size_t gi = 0;
+    for (; gi < groups.size(); ++gi) {
+      auto [b, e] = groups[gi];
+      if (std::next_permutation(order.begin() + b, order.begin() + e)) break;
+      // wrapped to the sorted start; carry into the next group
+    }
+    if (gi == groups.size()) break;  // full cycle
+    std::string s = serialize(q, order);
+    if (s < best) best = std::move(s);
+  }
+  return "C|" + best;
+}
+
+void AnchorTable::add_anchor(Table& table, const std::uint64_t key,
+                             const graph::NlfSig need_u, const graph::NlfSig need_v,
+                             const std::size_t class_id) {
+  std::vector<Anchor>& anchors = table[key];
+  for (Anchor& a : anchors) {
+    if (a.need_u == need_u && a.need_v == need_v) {
+      a.classes.set(class_id);
+      return;
+    }
+  }
+  Anchor a;
+  a.need_u = need_u;
+  a.need_v = need_v;
+  a.classes.set(class_id);
+  anchors.push_back(std::move(a));
+}
+
+void AnchorTable::remove_anchor(Table& table, const std::uint64_t key,
+                                const graph::NlfSig need_u, const graph::NlfSig need_v,
+                                const std::size_t class_id) {
+  const auto it = table.find(key);
+  if (it == table.end()) return;
+  std::vector<Anchor>& anchors = it->second;
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    Anchor& a = anchors[i];
+    if (a.need_u != need_u || a.need_v != need_v) continue;
+    a.classes.clear(class_id);
+    if (!a.classes.any()) {
+      anchors[i] = std::move(anchors.back());
+      anchors.pop_back();
+    }
+    break;
+  }
+  if (anchors.empty()) table.erase(it);
+}
+
+void AnchorTable::visit_class_anchors(const graph::QueryGraph& q,
+                                      const bool ignore_edge_labels,
+                                      const std::size_t class_id, const bool add) {
+  for (const graph::Edge& e : q.edges()) {
+    const Label la = q.label(e.u), lb = q.label(e.v);
+    const graph::NlfSig sa = q.nlf_signature(e.u), sb = q.nlf_signature(e.v);
+    if (ignore_edge_labels) {
+      if (add) {
+        add_anchor(wildcard_, QueryIndex::pack_pair(la, lb), sa, sb, class_id);
+        add_anchor(wildcard_, QueryIndex::pack_pair(lb, la), sb, sa, class_id);
+      } else {
+        remove_anchor(wildcard_, QueryIndex::pack_pair(la, lb), sa, sb, class_id);
+        remove_anchor(wildcard_, QueryIndex::pack_pair(lb, la), sb, sa, class_id);
+      }
+    } else {
+      if (add) {
+        add_anchor(exact_, QueryIndex::pack(la, lb, e.elabel), sa, sb, class_id);
+        add_anchor(exact_, QueryIndex::pack(lb, la, e.elabel), sb, sa, class_id);
+      } else {
+        remove_anchor(exact_, QueryIndex::pack(la, lb, e.elabel), sa, sb, class_id);
+        remove_anchor(exact_, QueryIndex::pack(lb, la, e.elabel), sb, sa, class_id);
+      }
+    }
+  }
+}
+
+void AnchorTable::add_class(const std::size_t class_id, const graph::QueryGraph& q,
+                            const bool ignore_edge_labels) {
+  visit_class_anchors(q, ignore_edge_labels, class_id, /*add=*/true);
+}
+
+void AnchorTable::remove_class(const std::size_t class_id, const graph::QueryGraph& q,
+                               const bool ignore_edge_labels) {
+  visit_class_anchors(q, ignore_edge_labels, class_id, /*add=*/false);
+}
+
+void AnchorTable::filter(const Label lu, const Label lv, const Label le,
+                         const graph::NlfSig sig_u, const graph::NlfSig sig_v,
+                         QueryBitmap& passing, std::uint64_t& checked) const {
+  const auto check = [&](const Table& table, const std::uint64_t key) {
+    const auto it = table.find(key);
+    if (it == table.end()) return;
+    for (const Anchor& a : it->second) {
+      ++checked;
+      if (graph::nlf_sig_covers(sig_u, a.need_u) &&
+          graph::nlf_sig_covers(sig_v, a.need_v))
+        passing.or_with(a.classes);
+    }
+  };
+  check(exact_, QueryIndex::pack(lu, lv, le));
+  check(wildcard_, QueryIndex::pack_pair(lu, lv));
+}
+
+}  // namespace paracosm::engine

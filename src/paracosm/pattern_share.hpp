@@ -1,0 +1,83 @@
+// Sub-pattern sharing across registered queries (ISSUE 6 tier 3).
+//
+// Two instruments:
+//
+//  * canonical_query_key — a canonical form for small patterns under
+//    label-preserving isomorphism (WL color refinement, then the
+//    lexicographically minimal edge list over the refinement-respecting
+//    vertex orderings). Queries with equal keys have identical match counts
+//    against every data graph, so the engine evaluates one representative
+//    per (algorithm, key, budget) class and fans the counts out to members.
+//    When the orbit enumeration would exceed kCanonicalPermBudget orderings
+//    the key falls back to the exact (non-canonicalized) representation —
+//    still a sound dedup key, it just shares less.
+//
+//  * AnchorTable — the shared seed-expansion prefix of every class's search.
+//    A class's searches for an updated edge (u, v) are seeded by mapping some
+//    query edge (a, b) onto it; for an embedding to exist the endpoints'
+//    neighbor-label multisets must dominate the query vertices' (each query
+//    neighbor needs a distinct same-label data neighbor). The table stores,
+//    per label triple, the deduplicated packed-NLF requirement pairs
+//    (sig(a), sig(b)) with the classes demanding them; evaluating one pair is
+//    two SWAR containment tests (nlf_signature.hpp), shared by every class
+//    with that prefix. A class none of whose anchors pass cannot gain or lose
+//    a match through this edge, so its search is skipped with ΔM = 0 — the
+//    signature test is a certain-reject, never a false accept of "skip".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/nlf_signature.hpp"
+#include "graph/query_graph.hpp"
+#include "paracosm/query_index.hpp"
+
+namespace paracosm::engine {
+
+/// Orderings tried before canonicalization falls back to the exact key.
+inline constexpr std::size_t kCanonicalPermBudget = 40320;  // 8!
+
+/// Canonical (isomorphism-invariant) key, or an exact fallback prefixed so
+/// the two key families never collide.
+[[nodiscard]] std::string canonical_query_key(const graph::QueryGraph& q);
+
+class AnchorTable {
+ public:
+  void add_class(std::size_t class_id, const graph::QueryGraph& q,
+                 bool ignore_edge_labels);
+  void remove_class(std::size_t class_id, const graph::QueryGraph& q,
+                    bool ignore_edge_labels);
+
+  /// OR into `passing` every class with at least one anchor for triple
+  /// (lu, lv, le) whose signature requirements are covered by (sig_u, sig_v).
+  /// `checked` counts distinct anchor evaluations performed.
+  void filter(graph::Label lu, graph::Label lv, graph::Label le,
+              graph::NlfSig sig_u, graph::NlfSig sig_v, QueryBitmap& passing,
+              std::uint64_t& checked) const;
+
+  [[nodiscard]] std::size_t num_entries() const noexcept {
+    return exact_.size() + wildcard_.size();
+  }
+
+ private:
+  struct Anchor {
+    graph::NlfSig need_u = 0;
+    graph::NlfSig need_v = 0;
+    QueryBitmap classes;
+  };
+  using Table = std::unordered_map<std::uint64_t, std::vector<Anchor>>;
+
+  static void add_anchor(Table& table, std::uint64_t key, graph::NlfSig need_u,
+                         graph::NlfSig need_v, std::size_t class_id);
+  static void remove_anchor(Table& table, std::uint64_t key, graph::NlfSig need_u,
+                            graph::NlfSig need_v, std::size_t class_id);
+  void visit_class_anchors(const graph::QueryGraph& q, bool ignore_edge_labels,
+                           std::size_t class_id, bool add);
+
+  Table exact_;     ///< keyed by QueryIndex::pack(lu, lv, le)
+  Table wildcard_;  ///< keyed by QueryIndex::pack_pair(lu, lv)
+};
+
+}  // namespace paracosm::engine

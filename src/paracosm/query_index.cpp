@@ -1,0 +1,54 @@
+#include "paracosm/query_index.hpp"
+
+namespace paracosm::engine {
+
+void QueryIndex::add_bit(std::unordered_map<std::uint64_t, QueryBitmap>& table,
+                         const std::uint64_t key, const std::size_t class_id) {
+  table[key].set(class_id);
+}
+
+void QueryIndex::clear_bit(std::unordered_map<std::uint64_t, QueryBitmap>& table,
+                           const std::uint64_t key, const std::size_t class_id) {
+  const auto it = table.find(key);
+  if (it == table.end()) return;
+  it->second.clear(class_id);
+  if (!it->second.any()) table.erase(it);
+}
+
+void QueryIndex::add_class(const std::size_t class_id, const graph::QueryGraph& q,
+                           const bool ignore_edge_labels) {
+  for (const graph::Edge& e : q.edges()) {
+    const graph::Label la = q.label(e.u), lb = q.label(e.v);
+    if (ignore_edge_labels) {
+      add_bit(wildcard_, pack_pair(la, lb), class_id);
+      add_bit(wildcard_, pack_pair(lb, la), class_id);
+    } else {
+      add_bit(exact_, pack(la, lb, e.elabel), class_id);
+      add_bit(exact_, pack(lb, la, e.elabel), class_id);
+    }
+  }
+}
+
+void QueryIndex::remove_class(const std::size_t class_id, const graph::QueryGraph& q,
+                              const bool ignore_edge_labels) {
+  for (const graph::Edge& e : q.edges()) {
+    const graph::Label la = q.label(e.u), lb = q.label(e.v);
+    if (ignore_edge_labels) {
+      clear_bit(wildcard_, pack_pair(la, lb), class_id);
+      clear_bit(wildcard_, pack_pair(lb, la), class_id);
+    } else {
+      clear_bit(exact_, pack(la, lb, e.elabel), class_id);
+      clear_bit(exact_, pack(lb, la, e.elabel), class_id);
+    }
+  }
+}
+
+void QueryIndex::probe(const graph::Label lu, const graph::Label lv,
+                       const graph::Label le, QueryBitmap& out) const {
+  if (const auto it = exact_.find(pack(lu, lv, le)); it != exact_.end())
+    out.or_with(it->second);
+  if (const auto it = wildcard_.find(pack_pair(lu, lv)); it != wildcard_.end())
+    out.or_with(it->second);
+}
+
+}  // namespace paracosm::engine

@@ -1,0 +1,128 @@
+// Query index (ISSUE 6 tier 1): one O(1) probe instead of Q classifier calls.
+//
+// Every registered evaluation class contributes the label triples of its
+// pattern's edges (both orientations) to a hash map from packed
+// (endpoint label, endpoint label, edge label) triples to a bitmap of class
+// ids. Probing with a data edge's triple returns the classes whose stage-1
+// label filter *could* match; every class whose bit is clear would have
+// returned kSafeLabel from its own classifier — `matching_edges` on its
+// pattern is empty for this triple — so the safe verdict is recorded without
+// dispatching anything per query. This is sound for every algorithm,
+// including ADS-bearing ones: the classifier's stage 1 never consults
+// `ads_safe` (see classifier.cpp), so "no matching label triple" already
+// implies "no ADS change and no match change".
+//
+// Classes whose algorithm ignores edge labels (CaLiG mode) are indexed under
+// a wildcard key on the endpoint-label pair only; a probe ORs the exact and
+// wildcard entries.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/query_graph.hpp"
+#include "graph/types.hpp"
+
+namespace paracosm::engine {
+
+/// Dense bitmap over evaluation-class ids. Grows on demand; all operations
+/// tolerate size mismatches (missing words read as zero).
+class QueryBitmap {
+ public:
+  void reset() noexcept {
+    for (std::uint64_t& w : words_) w = 0;
+  }
+  void clear_and_shrink() { words_.clear(); }
+
+  void set(std::size_t bit) {
+    const std::size_t word = bit >> 6;
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    words_[word] |= std::uint64_t{1} << (bit & 63);
+  }
+  void clear(std::size_t bit) noexcept {
+    const std::size_t word = bit >> 6;
+    if (word < words_.size()) words_[word] &= ~(std::uint64_t{1} << (bit & 63));
+  }
+  [[nodiscard]] bool test(std::size_t bit) const noexcept {
+    const std::size_t word = bit >> 6;
+    return word < words_.size() &&
+           (words_[word] >> (bit & 63)) & std::uint64_t{1};
+  }
+
+  void or_with(const QueryBitmap& other) {
+    if (other.words_.size() > words_.size()) words_.resize(other.words_.size(), 0);
+    for (std::size_t i = 0; i < other.words_.size(); ++i)
+      words_[i] |= other.words_[i];
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (const std::uint64_t w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (const std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// Visit every set bit in ascending order.
+  template <typename F>
+  void for_each_set(F&& f) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const unsigned tz = static_cast<unsigned>(__builtin_ctzll(w));
+        f((i << 6) + tz);
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+class QueryIndex {
+ public:
+  /// Register a class's label triples. `ignore_edge_labels` selects the
+  /// wildcard table (edge-label-blind algorithms).
+  void add_class(std::size_t class_id, const graph::QueryGraph& q,
+                 bool ignore_edge_labels);
+  /// Clear the class's bits; entries left empty are erased so the table
+  /// shrinks as classes retire.
+  void remove_class(std::size_t class_id, const graph::QueryGraph& q,
+                    bool ignore_edge_labels);
+
+  /// OR the candidate classes for data-edge triple (lu, lv, le) into `out`.
+  /// `out` is NOT reset here (callers may accumulate).
+  void probe(graph::Label lu, graph::Label lv, graph::Label le,
+             QueryBitmap& out) const;
+
+  [[nodiscard]] std::size_t num_entries() const noexcept {
+    return exact_.size() + wildcard_.size();
+  }
+
+  /// Packed 21-bit-per-field triple key (labels are <= 2^20 - 1).
+  [[nodiscard]] static constexpr std::uint64_t pack(graph::Label lu, graph::Label lv,
+                                                    graph::Label le) noexcept {
+    return static_cast<std::uint64_t>(lu) | (static_cast<std::uint64_t>(lv) << 21) |
+           (static_cast<std::uint64_t>(le) << 42);
+  }
+  [[nodiscard]] static constexpr std::uint64_t pack_pair(graph::Label lu,
+                                                         graph::Label lv) noexcept {
+    return static_cast<std::uint64_t>(lu) | (static_cast<std::uint64_t>(lv) << 21);
+  }
+
+ private:
+  static void add_bit(std::unordered_map<std::uint64_t, QueryBitmap>& table,
+                      std::uint64_t key, std::size_t class_id);
+  static void clear_bit(std::unordered_map<std::uint64_t, QueryBitmap>& table,
+                        std::uint64_t key, std::size_t class_id);
+
+  std::unordered_map<std::uint64_t, QueryBitmap> exact_;     ///< (lu, lv, le)
+  std::unordered_map<std::uint64_t, QueryBitmap> wildcard_;  ///< (lu, lv, *)
+};
+
+}  // namespace paracosm::engine

@@ -155,6 +155,41 @@ struct ServiceStats {
   }
 };
 
+/// Shared multi-query evaluation counters (ISSUE 6): how many per-query
+/// verdicts and searches the index / grouping / sharing tiers resolved
+/// without per-query dispatch. `verdicts_by_index` + `verdicts_grouped`
+/// account every (query, update) pair an independent loop would have
+/// classified individually.
+struct MultiQueryStats {
+  std::uint64_t updates_classified = 0;  ///< shared classification passes
+  std::uint64_t index_probes = 0;        ///< query-index lookups
+  std::uint64_t index_empty = 0;         ///< probes with no candidate class
+  std::uint64_t verdicts_by_index = 0;   ///< (query, update) safe-by-construction
+  std::uint64_t verdicts_grouped = 0;    ///< (query, update) settled via a class pass
+  std::uint64_t group_checks = 0;        ///< shared degree-stage evaluations
+  std::uint64_t group_hits = 0;          ///< degree results reused across classes
+  std::uint64_t ads_checks = 0;          ///< per-class stage-3 dispatches
+  std::uint64_t searches_run = 0;        ///< per-class ΔM searches executed
+  std::uint64_t searches_shared = 0;     ///< member fan-outs served by those
+  std::uint64_t searches_skipped = 0;    ///< searches skipped (anchor reject)
+  std::uint64_t anchors_checked = 0;     ///< SWAR anchor evaluations
+
+  void merge(const MultiQueryStats& other) noexcept {
+    updates_classified += other.updates_classified;
+    index_probes += other.index_probes;
+    index_empty += other.index_empty;
+    verdicts_by_index += other.verdicts_by_index;
+    verdicts_grouped += other.verdicts_grouped;
+    group_checks += other.group_checks;
+    group_hits += other.group_hits;
+    ads_checks += other.ads_checks;
+    searches_run += other.searches_run;
+    searches_shared += other.searches_shared;
+    searches_skipped += other.searches_skipped;
+    anchors_checked += other.anchors_checked;
+  }
+};
+
 /// Per-stage tallies of the update type classifier (Figure 12 / Table 4).
 struct ClassifierStats {
   std::uint64_t total = 0;

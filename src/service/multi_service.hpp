@@ -1,0 +1,148 @@
+// MultiStreamService: the standing-query front door (ISSUE 6).
+//
+// Wraps a MultiQueryEngine behind the same bounded ingest ring StreamService
+// uses, adding a runtime *admin plane*: queries can be registered and removed
+// while the stream is live. Admin operations are serialized with update
+// processing by the consumer thread itself — callers enqueue a closure and
+// block until the consumer executes it between updates, so add_query's
+// index/anchor-table surgery never races a classification pass and a newly
+// registered query observes exactly the updates submitted after its
+// registration returned (see test_multi_query.cpp AddRemoveMidStream).
+//
+// Per the durability pipeline, an optional WAL records the admitted update
+// order (redo semantics, wal.hpp) — but unlike StreamService there is no
+// snapshot/recovery path in multi mode yet: recovery would also have to
+// re-register the query catalogue, which lives outside the WAL. The log is
+// still useful as an audit trail and for offline replay.
+//
+// Threading contract: any number of submit() callers; add_query / remove_query
+// / drain / finish must come from one control thread and must not race each
+// other; finish() must not race submit().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "paracosm/multi_query.hpp"
+#include "service/ingest.hpp"
+#include "service/wal.hpp"
+#include "util/timer.hpp"
+
+namespace paracosm::service {
+
+struct MultiServiceOptions {
+  std::size_t queue_capacity = 1024;
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+
+  /// Per-update wall budget in microseconds (deadline handed to the engine's
+  /// process_stream for each update); 0 = none. Per-*query* budgets are the
+  /// engine's QueryOptions::budget_us and compose with this.
+  std::int64_t budget_us = 0;
+
+  std::string wal_path;  ///< empty = durability off (see file comment)
+};
+
+struct MultiServiceReport {
+  engine::ServiceStats stats;   ///< ingest + processed + wal_records
+  engine::MultiQueryStats mq;   ///< shared-evaluation tier counters
+  engine::ParallelStats exec;   ///< executor accounting across all updates
+  /// Indexed by query handle, accumulated across the whole run (slots of
+  /// queries removed mid-run keep their totals).
+  std::vector<std::uint64_t> positive;
+  std::vector<std::uint64_t> negative;
+  std::vector<std::uint64_t> degraded;
+  std::uint64_t deadline_hits = 0;  ///< updates cut by the per-update budget
+  std::int64_t wall_ns = 0;
+  obs::Histogram latency;  ///< per-update end-to-end ns (pop -> processed)
+  std::string error;       ///< non-empty if the consumer died (e.g. WAL I/O)
+};
+
+class MultiStreamService {
+ public:
+  /// Queries may be pre-registered on the engine before construction;
+  /// afterwards use add_query(). The consumer thread starts immediately.
+  MultiStreamService(engine::MultiQueryEngine& engine, MultiServiceOptions opts);
+  ~MultiStreamService();
+
+  MultiStreamService(const MultiStreamService&) = delete;
+  MultiStreamService& operator=(const MultiStreamService&) = delete;
+
+  /// Producer side. kShed means the update went to the defer log (delayed,
+  /// never dropped); kClosed means finish() already ran.
+  PushResult submit(const graph::GraphUpdate& upd);
+
+  /// Admin plane (runtime registration). Blocks until the consumer thread has
+  /// applied the change between updates; the handle is live from the next
+  /// submitted update onwards. Throws what the engine throws (e.g. unknown
+  /// algorithm).
+  std::size_t add_query(std::string algorithm, graph::QueryGraph query,
+                        engine::QueryOptions qopts = {});
+  bool remove_query(std::size_t handle);
+
+  /// Barrier: returns once every update submitted before the call (including
+  /// deferred ones) has been processed. Admin ops enqueued before drain() are
+  /// applied too.
+  void drain();
+
+  /// Close the ring, drain everything, join the consumer, and return the
+  /// final report. One-shot.
+  [[nodiscard]] MultiServiceReport finish();
+
+  [[nodiscard]] const IngestQueue& queue() const noexcept { return queue_; }
+
+ private:
+  struct AdminOp {
+    std::function<void()> fn;
+    bool done = false;
+    std::exception_ptr error;
+  };
+
+  void consumer_loop();
+  void process_one(const graph::GraphUpdate& upd);
+  void run_admin();
+  [[nodiscard]] bool pop_deferred(graph::GraphUpdate& out);
+  template <typename F>
+  auto run_on_consumer(F&& fn) -> decltype(fn());
+
+  engine::MultiQueryEngine& engine_;
+  MultiServiceOptions opts_;
+  IngestQueue queue_;
+  std::optional<WalWriter> wal_;
+
+  std::mutex admin_m_;
+  std::condition_variable admin_cv_;
+  std::deque<AdminOp*> admin_queue_;
+
+  std::mutex defer_m_;
+  std::deque<graph::GraphUpdate> defer_log_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::mutex drain_m_;
+  std::condition_variable drain_cv_;
+
+  // Consumer-thread state.
+  engine::ServiceStats stats_;
+  engine::MultiQueryStats mq_;
+  engine::ParallelStats exec_;
+  std::vector<std::uint64_t> positive_;
+  std::vector<std::uint64_t> negative_;
+  std::vector<std::uint64_t> degraded_;
+  std::uint64_t deadline_hits_ = 0;
+  obs::Histogram latency_hist_;
+  std::string error_;
+
+  util::WallTimer wall_;
+  std::thread consumer_;
+  bool finished_ = false;
+};
+
+}  // namespace paracosm::service

@@ -115,5 +115,178 @@ TEST(MultiQueryEngine, RejectsUnknownAlgorithm) {
                std::invalid_argument);
 }
 
+TEST(MultiQueryEngine, DuplicateQueriesShareAClassAndMatch) {
+  util::Rng rng(991);
+  graph::DataGraph base = graph::generate_erdos_renyi(36, 90, 3, 2, rng);
+  const auto qa = graph::extract_query(base, 4, rng);
+  const auto qb = graph::extract_query(base, 3, rng);
+  ASSERT_TRUE(qa.has_value() && qb.has_value());
+  auto stream = graph::make_mixed_stream(base, 0.3, 0.4, rng);
+
+  const auto expect_a = single_query_totals(base, *qa, "symbi", stream);
+  const auto expect_b = single_query_totals(base, *qb, "graphflow", stream);
+
+  graph::DataGraph g = base;
+  MultiQueryEngine engine(g, Config{.threads = 2});
+  const std::size_t h0 = engine.add_query("symbi", *qa);
+  const std::size_t h1 = engine.add_query("symbi", *qa);   // duplicate: shared
+  const std::size_t h2 = engine.add_query("graphflow", *qb);
+  const std::size_t h3 = engine.add_query("graphflow", *qa);  // same pattern,
+                                                              // other algorithm
+  EXPECT_EQ(engine.num_queries(), 4u);
+  EXPECT_EQ(engine.num_classes(), 3u);  // h0+h1 share; h2, h3 are their own
+
+  const MultiStreamResult r = engine.process_stream(stream);
+  EXPECT_EQ(r.positive[h0], expect_a.first);
+  EXPECT_EQ(r.negative[h0], expect_a.second);
+  EXPECT_EQ(r.positive[h1], expect_a.first);   // fan-out, not re-search
+  EXPECT_EQ(r.negative[h1], expect_a.second);
+  EXPECT_EQ(r.positive[h2], expect_b.first);
+  EXPECT_EQ(r.negative[h2], expect_b.second);
+  EXPECT_EQ(r.positive[h3], expect_a.first);   // cross-algorithm agreement
+  EXPECT_EQ(r.negative[h3], expect_a.second);
+  EXPECT_GT(r.mq.searches_shared, 0u);  // the duplicate rode shared searches
+}
+
+TEST(MultiQueryEngine, SharingOffMatchesSharingOn) {
+  util::Rng rng(414);
+  graph::DataGraph base = graph::generate_erdos_renyi(32, 80, 3, 2, rng);
+  const auto q = graph::extract_query(base, 4, rng);
+  ASSERT_TRUE(q.has_value());
+  auto stream = graph::make_mixed_stream(base, 0.3, 0.4, rng);
+
+  graph::DataGraph g1 = base, g2 = base;
+  MultiQueryEngine shared(g1, Config{.threads = 2});
+  MultiQueryEngine independent(g2, Config{.threads = 2});
+  independent.set_shared_evaluation(false);
+  for (MultiQueryEngine* e : {&shared, &independent}) {
+    e->add_query("symbi", *q);
+    e->add_query("symbi", *q);
+  }
+  EXPECT_EQ(shared.num_classes(), 1u);
+  EXPECT_EQ(independent.num_classes(), 2u);
+
+  const MultiStreamResult rs = shared.process_stream(stream);
+  const MultiStreamResult ri = independent.process_stream(stream);
+  for (std::size_t h = 0; h < 2; ++h) {
+    EXPECT_EQ(rs.positive[h], ri.positive[h]);
+    EXPECT_EQ(rs.negative[h], ri.negative[h]);
+  }
+}
+
+TEST(MultiQueryEngine, AddMidStreamSeesOnlyLaterUpdates) {
+  util::Rng rng(515);
+  graph::DataGraph base = graph::generate_erdos_renyi(36, 90, 3, 2, rng);
+  const auto qa = graph::extract_query(base, 4, rng);
+  const auto qb = graph::extract_query(base, 3, rng);
+  ASSERT_TRUE(qa.has_value() && qb.has_value());
+  auto stream = graph::make_mixed_stream(base, 0.3, 0.4, rng);
+  ASSERT_GE(stream.size(), 2u);
+  const std::size_t mid = stream.size() / 2;
+  const std::vector<graph::GraphUpdate> first(stream.begin(),
+                                              stream.begin() + mid);
+  const std::vector<graph::GraphUpdate> second(stream.begin() + mid,
+                                               stream.end());
+
+  // Expected for the late query: a sequential run that warms through the
+  // first half without counting — state identical to "registered at mid".
+  std::uint64_t want_pos = 0, want_neg = 0;
+  {
+    auto alg = csm::make_algorithm("graphflow");
+    graph::DataGraph g = base;
+    csm::SequentialEngine eng(*alg, *qb, g);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const auto out = eng.process(stream[i]);
+      if (i < mid) continue;
+      want_pos += out.positive;
+      want_neg += out.negative;
+    }
+  }
+
+  graph::DataGraph g = base;
+  MultiQueryEngine engine(g, Config{.threads = 2});
+  engine.add_query("symbi", *qa);
+  const MultiStreamResult r1 = engine.process_stream(first);
+  const std::size_t hb = engine.add_query("graphflow", *qb);
+  EXPECT_EQ(r1.positive.size(), 1u);  // registered after the first result
+  const MultiStreamResult r2 = engine.process_stream(second);
+  EXPECT_EQ(r2.positive[hb], want_pos);
+  EXPECT_EQ(r2.negative[hb], want_neg);
+}
+
+TEST(MultiQueryEngine, RemoveFreesClassesAndReusesHandles) {
+  util::Rng rng(616);
+  graph::DataGraph base = graph::generate_erdos_renyi(30, 70, 3, 2, rng);
+  const auto qa = graph::extract_query(base, 4, rng);
+  const auto qb = graph::extract_query(base, 3, rng);
+  ASSERT_TRUE(qa.has_value() && qb.has_value());
+  auto stream = graph::make_mixed_stream(base, 0.3, 0.4, rng);
+
+  graph::DataGraph g = base;
+  MultiQueryEngine engine(g, Config{.threads = 1});
+  const std::size_t h0 = engine.add_query("symbi", *qa);
+  const std::size_t h1 = engine.add_query("symbi", *qa);  // shares h0's class
+  const std::size_t h2 = engine.add_query("graphflow", *qb);
+  EXPECT_EQ(engine.num_queries(), 3u);
+  EXPECT_EQ(engine.num_classes(), 2u);
+
+  // Removing one member keeps the class alive for the other.
+  EXPECT_TRUE(engine.remove_query(h0));
+  EXPECT_EQ(engine.num_queries(), 2u);
+  EXPECT_EQ(engine.num_classes(), 2u);
+  // Removing the last member releases the class (and its index entries).
+  EXPECT_TRUE(engine.remove_query(h1));
+  EXPECT_EQ(engine.num_classes(), 1u);
+  // Stale/double removal is rejected.
+  EXPECT_FALSE(engine.remove_query(h0));
+  EXPECT_FALSE(engine.remove_query(engine.num_slots() + 7));
+
+  // A freed handle is recycled; the catalogue keeps working after churn.
+  const std::size_t h3 = engine.add_query("turboflux", *qa);
+  EXPECT_TRUE(h3 == h0 || h3 == h1);
+  EXPECT_EQ(engine.num_queries(), 2u);
+  EXPECT_EQ(engine.num_classes(), 2u);
+
+  const auto expect_a = single_query_totals(base, *qa, "turboflux", stream);
+  const auto expect_b = single_query_totals(base, *qb, "graphflow", stream);
+  const MultiStreamResult r = engine.process_stream(stream);
+  EXPECT_EQ(r.positive[h3], expect_a.first);
+  EXPECT_EQ(r.negative[h3], expect_a.second);
+  EXPECT_EQ(r.positive[h2], expect_b.first);
+  EXPECT_EQ(r.negative[h2], expect_b.second);
+  // The slot freed for good reports nothing.
+  const std::size_t dead = h3 == h0 ? h1 : h0;
+  EXPECT_EQ(r.positive[dead], 0u);
+  EXPECT_EQ(r.negative[dead], 0u);
+}
+
+TEST(MultiQueryEngine, SharedTierCountersAccount) {
+  util::Rng rng(717);
+  graph::DataGraph base = graph::generate_erdos_renyi(36, 90, 3, 2, rng);
+  std::vector<graph::QueryGraph> queries;
+  for (int i = 0; i < 3; ++i) {
+    const auto q = graph::extract_query(base, 4, rng);
+    ASSERT_TRUE(q.has_value());
+    queries.push_back(*q);
+  }
+  auto stream = graph::make_mixed_stream(base, 0.3, 0.4, rng);
+
+  graph::DataGraph g = base;
+  MultiQueryEngine engine(g, Config{.threads = 2});
+  for (const auto& q : queries) engine.add_query("graphflow", q);
+  const MultiStreamResult r = engine.process_stream(stream);
+
+  EXPECT_GT(r.mq.updates_classified, 0u);
+  // Structurally invalid updates (duplicate inserts, ghost deletes) classify
+  // without probing; every structurally valid edge op probes exactly once.
+  EXPECT_GT(r.mq.index_probes, 0u);
+  EXPECT_LE(r.mq.index_probes, r.mq.updates_classified);
+  // Every (query, update) verdict is settled by exactly one tier.
+  EXPECT_GT(r.mq.verdicts_by_index + r.mq.verdicts_grouped, 0u);
+  EXPECT_EQ((r.mq.verdicts_by_index + r.mq.verdicts_grouped) %
+                engine.num_queries(),
+            0u);
+}
+
 }  // namespace
 }  // namespace paracosm::testing

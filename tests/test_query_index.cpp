@@ -1,0 +1,207 @@
+// Shared-evaluation data structures (ISSUE 6): the query bitmap, the label
+// triple index (probe hit ⟺ the query has a matching edge — the kSafeLabel
+// guarantee), the canonical key behind sub-pattern sharing (isomorphism
+// invariance), and the NLF anchor table (a reject proves ΔM == 0).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "csm/engine.hpp"
+#include "paracosm/pattern_share.hpp"
+#include "paracosm/query_index.hpp"
+#include "tests/test_support.hpp"
+
+namespace paracosm::testing {
+namespace {
+
+using engine::AnchorTable;
+using engine::QueryBitmap;
+using engine::QueryIndex;
+using engine::canonical_query_key;
+
+TEST(QueryBitmap, SetTestClearGrowAndIterate) {
+  QueryBitmap b;
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.count(), 0u);
+  for (const std::size_t bit : {0u, 1u, 63u, 64u, 200u, 1023u}) b.set(bit);
+  for (const std::size_t bit : {0u, 1u, 63u, 64u, 200u, 1023u})
+    EXPECT_TRUE(b.test(bit)) << bit;
+  EXPECT_FALSE(b.test(2));
+  EXPECT_FALSE(b.test(4096));  // past the end: false, no growth
+  EXPECT_EQ(b.count(), 6u);
+
+  std::vector<std::size_t> seen;
+  b.for_each_set([&](std::size_t bit) { seen.push_back(bit); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 63, 64, 200, 1023}));
+
+  b.clear(63);
+  b.clear(5000);  // out of range: no-op
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 5u);
+
+  QueryBitmap other;
+  other.set(63);
+  other.set(2000);
+  b.or_with(other);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(2000));
+  EXPECT_TRUE(b.test(1023));
+
+  b.reset();
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(QueryIndex, ProbeMatchesBruteForceMatchingEdges) {
+  util::Rng rng(4242);
+  std::vector<graph::QueryGraph> queries;
+  graph::DataGraph base = graph::generate_erdos_renyi(40, 110, 4, 3, rng);
+  for (int i = 0; i < 6; ++i) {
+    const auto q = graph::extract_query(base, 3 + (i % 3), rng);
+    ASSERT_TRUE(q.has_value());
+    queries.push_back(*q);
+  }
+
+  QueryIndex index;
+  // Classes 0..4 exact; class 5 edge-label-blind (calig mode).
+  for (std::size_t c = 0; c < queries.size(); ++c)
+    index.add_class(c, queries[c], /*ignore_edge_labels=*/c == 5);
+
+  QueryBitmap hits;
+  for (graph::Label lu = 0; lu < 5; ++lu) {
+    for (graph::Label lv = 0; lv < 5; ++lv) {
+      for (graph::Label le = 0; le < 4; ++le) {
+        hits.reset();
+        index.probe(lu, lv, le, hits);
+        for (std::size_t c = 0; c < queries.size(); ++c) {
+          const bool expect =
+              !queries[c].matching_edges(lu, lv, le, c == 5).empty();
+          EXPECT_EQ(hits.test(c), expect)
+              << "class " << c << " triple (" << lu << "," << lv << "," << le
+              << ")";
+        }
+      }
+    }
+  }
+
+  // remove_class erases exactly that class's bits.
+  index.remove_class(2, queries[2], false);
+  index.remove_class(5, queries[5], true);
+  for (graph::Label lu = 0; lu < 5; ++lu)
+    for (graph::Label lv = 0; lv < 5; ++lv)
+      for (graph::Label le = 0; le < 4; ++le) {
+        hits.reset();
+        index.probe(lu, lv, le, hits);
+        EXPECT_FALSE(hits.test(2));
+        EXPECT_FALSE(hits.test(5));
+        for (const std::size_t c : {0u, 1u, 3u, 4u})
+          EXPECT_EQ(hits.test(c),
+                    !queries[c].matching_edges(lu, lv, le, false).empty());
+      }
+}
+
+/// Rebuild a query with its vertices renamed by `perm` (perm[old] = new).
+graph::QueryGraph permuted(const graph::QueryGraph& q,
+                           const std::vector<graph::VertexId>& perm) {
+  const std::uint32_t n = q.num_vertices();
+  std::vector<graph::Label> labels(n);
+  for (graph::VertexId v = 0; v < n; ++v) labels[perm[v]] = q.label(v);
+  std::vector<graph::Edge> edges;
+  for (const graph::Edge& e : q.edges())
+    edges.push_back({perm[e.u], perm[e.v], e.elabel});
+  return graph::QueryGraph(labels, edges);
+}
+
+TEST(CanonicalQueryKey, InvariantUnderVertexPermutation) {
+  util::Rng rng(333);
+  graph::DataGraph base = graph::generate_erdos_renyi(40, 110, 3, 2, rng);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto q = graph::extract_query(base, 3 + (trial % 4), rng);
+    ASSERT_TRUE(q.has_value());
+    const std::string key = canonical_query_key(*q);
+    EXPECT_FALSE(key.empty());
+
+    std::vector<graph::VertexId> perm(q->num_vertices());
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int shuffle = 0; shuffle < 4; ++shuffle) {
+      for (std::size_t i = perm.size(); i > 1; --i)
+        std::swap(perm[i - 1], perm[rng() % i]);
+      EXPECT_EQ(canonical_query_key(permuted(*q, perm)), key)
+          << "trial " << trial << " shuffle " << shuffle;
+    }
+  }
+}
+
+TEST(CanonicalQueryKey, DistinguishesLabelsAndStructure) {
+  // Path with different vertex labels.
+  const graph::QueryGraph path_a({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}});
+  const graph::QueryGraph path_b({0, 1, 1}, {{0, 1, 0}, {1, 2, 0}});
+  EXPECT_NE(canonical_query_key(path_a), canonical_query_key(path_b));
+  // Path vs triangle over the same labels.
+  const graph::QueryGraph tri({0, 1, 2}, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}});
+  EXPECT_NE(canonical_query_key(path_a), canonical_query_key(tri));
+  // Edge labels matter.
+  const graph::QueryGraph path_c({0, 1, 2}, {{0, 1, 1}, {1, 2, 0}});
+  EXPECT_NE(canonical_query_key(path_a), canonical_query_key(path_c));
+}
+
+TEST(AnchorTable, RejectImpliesZeroDeltaM) {
+  // For every update the sequential engine enumerates, check the anchor
+  // filter first: when no anchor of the class passes (insert checked after
+  // the edge exists, delete before removal — matching run_searches), the
+  // engine must report ΔM == 0 for that update. The other direction is not
+  // claimed (anchors may pass with no match).
+  util::Rng rng(2024);
+  graph::DataGraph base = graph::generate_erdos_renyi(32, 70, 3, 2, rng);
+  const auto q = graph::extract_query(base, 4, rng);
+  ASSERT_TRUE(q.has_value());
+  auto stream = graph::make_mixed_stream(base, 0.4, 0.4, rng);
+
+  AnchorTable anchors;
+  anchors.add_class(0, *q, /*ignore_edge_labels=*/false);
+
+  auto alg = csm::make_algorithm("graphflow");
+  graph::DataGraph g = base;
+  csm::SequentialEngine eng(*alg, *q, g);
+  QueryBitmap passing;
+  std::uint64_t checked = 0;
+  std::uint64_t rejects = 0;
+  for (const graph::GraphUpdate& upd : stream) {
+    bool rejected = false;
+    if (upd.op == graph::UpdateOp::kInsertEdge && g.has_vertex(upd.u) &&
+        g.has_vertex(upd.v) && upd.u != upd.v && !g.has_edge(upd.u, upd.v)) {
+      // Evaluate against the post-insert signatures the engine will see.
+      graph::DataGraph probe = g;
+      probe.add_edge(upd.u, upd.v, upd.label);
+      passing.reset();
+      anchors.filter(probe.label(upd.u), probe.label(upd.v), upd.label,
+                     probe.nlf_signature(upd.u), probe.nlf_signature(upd.v),
+                     passing, checked);
+      rejected = !passing.test(0);
+    } else if (upd.op == graph::UpdateOp::kRemoveEdge && g.has_vertex(upd.u) &&
+               g.has_vertex(upd.v)) {
+      const auto le = g.edge_label(upd.u, upd.v);
+      if (le) {
+        passing.reset();
+        anchors.filter(g.label(upd.u), g.label(upd.v), *le,
+                       g.nlf_signature(upd.u), g.nlf_signature(upd.v), passing,
+                       checked);
+        rejected = !passing.test(0);
+      }
+    }
+    const auto out = eng.process(upd);
+    if (rejected) {
+      ++rejects;
+      EXPECT_EQ(out.positive, 0u);
+      EXPECT_EQ(out.negative, 0u);
+    }
+  }
+  EXPECT_GT(checked, 0u);  // the filter actually evaluated anchors
+  // remove_class empties the table: nothing passes, nothing is checked.
+  anchors.remove_class(0, *q, false);
+  EXPECT_EQ(anchors.num_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace paracosm::testing

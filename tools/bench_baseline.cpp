@@ -27,6 +27,7 @@
 #include "graph/generators.hpp"
 #include "graph/nlf_signature.hpp"
 #include "obs/metrics.hpp"
+#include "paracosm/multi_query.hpp"
 #include "paracosm/paracosm.hpp"
 #include "service/service.hpp"
 #include "util/cli.hpp"
@@ -266,6 +267,66 @@ ServiceResult run_service(double scale, std::int64_t stream_cap,
   return out;
 }
 
+/// Shared multi-query evaluation at a fixed catalogue size (DESIGN.md §9):
+/// the same registrations through the three-tier shared path and through the
+/// independent per-query baseline, so tier regressions show up as a speedup
+/// drop in the archived JSON.
+struct MultiQueryLane {
+  double wall_ms = 0;
+  std::size_t classes = 0;
+  engine::MultiStreamResult res;
+};
+
+struct MultiQueryResult {
+  std::uint64_t updates = 0;
+  std::size_t catalogue = 0;
+  MultiQueryLane shared;
+  MultiQueryLane independent;
+  bool totals_match = true;
+};
+
+MultiQueryLane run_multi_query_lane(const bench::Workload& wl, std::size_t catalogue,
+                                    bool shared) {
+  MultiQueryLane out;
+  graph::DataGraph g = wl.graph;
+  engine::Config cfg;
+  cfg.threads = 4;
+  engine::MultiQueryEngine eng(g, cfg);
+  eng.set_shared_evaluation(shared);
+  for (std::size_t i = 0; i < catalogue; ++i)
+    eng.add_query("graphflow", wl.queries[i % wl.queries.size()]);
+  out.classes = eng.num_classes();
+  const util::WallTimer timer;
+  out.res = eng.process_stream(wl.stream);
+  out.wall_ms = timer.elapsed_ms();
+  return out;
+}
+
+MultiQueryResult run_multi_query(double scale, std::uint32_t queries,
+                                 std::int64_t stream_cap, std::uint64_t seed) {
+  constexpr std::size_t kCatalogue = 64;
+  bench::Workload wl = bench::build_workload(graph::livejournal_spec(scale), 5,
+                                             std::max(queries, 1u), 0.10, seed,
+                                             /*delete_fraction=*/0.3);
+  if (stream_cap > 0 && wl.stream.size() > static_cast<std::size_t>(stream_cap))
+    wl.stream.resize(static_cast<std::size_t>(stream_cap));
+  MultiQueryResult out;
+  if (wl.queries.empty()) return out;
+  out.updates = wl.stream.size();
+  out.catalogue = kCatalogue;
+  // Same best-of-repeats discipline as the service section.
+  constexpr int kRepeats = 3;
+  for (int i = 0; i < kRepeats; ++i) {
+    MultiQueryLane sh = run_multi_query_lane(wl, kCatalogue, true);
+    MultiQueryLane in = run_multi_query_lane(wl, kCatalogue, false);
+    if (i == 0 || sh.wall_ms < out.shared.wall_ms) out.shared = std::move(sh);
+    if (i == 0 || in.wall_ms < out.independent.wall_ms) out.independent = std::move(in);
+  }
+  out.totals_match = out.shared.res.positive == out.independent.res.positive &&
+                     out.shared.res.negative == out.independent.res.negative;
+  return out;
+}
+
 void write_service_lane_json(std::FILE* f, const char* name,
                              const ServiceLane& lane, bool last) {
   const auto& s = lane.stats;
@@ -292,8 +353,9 @@ void write_service_lane_json(std::FILE* f, const char* name,
 
 void write_json(const std::string& path, const std::vector<MicroResult>& micro,
                 const std::vector<MacroResult>& macro, const SchedulerResult& sched,
-                const ServiceResult& svc, double scale, std::uint32_t queries,
-                std::int64_t stream_cap, std::uint64_t seed) {
+                const ServiceResult& svc, const MultiQueryResult& multi,
+                double scale, std::uint32_t queries, std::int64_t stream_cap,
+                std::uint64_t seed) {
   const std::filesystem::path parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) {
     std::error_code ec;
@@ -350,7 +412,26 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
   const double base = svc.no_deadline.wall_ms;
   std::fprintf(f, "    \"armed_overhead_pct\": %.2f\n",
                base > 0 ? (svc.armed.wall_ms - base) / base * 100.0 : 0.0);
-  std::fprintf(f, "  }\n");
+  std::fprintf(f, "  },\n");
+  const engine::MultiQueryStats& mq = multi.shared.res.mq;
+  std::fprintf(f,
+               "  \"multi_query\": {\"updates\": %llu, \"catalogue\": %zu, "
+               "\"classes\": %zu, \"shared_ms\": %.3f, \"independent_ms\": %.3f, "
+               "\"speedup\": %.2f, \"verdicts_by_index\": %llu, "
+               "\"verdicts_grouped\": %llu, \"group_hits\": %llu, "
+               "\"searches_shared\": %llu, \"searches_skipped\": %llu, "
+               "\"totals_match\": %s}\n",
+               static_cast<unsigned long long>(multi.updates), multi.catalogue,
+               multi.shared.classes, multi.shared.wall_ms, multi.independent.wall_ms,
+               multi.shared.wall_ms > 0
+                   ? multi.independent.wall_ms / multi.shared.wall_ms
+                   : 0.0,
+               static_cast<unsigned long long>(mq.verdicts_by_index),
+               static_cast<unsigned long long>(mq.verdicts_grouped),
+               static_cast<unsigned long long>(mq.group_hits),
+               static_cast<unsigned long long>(mq.searches_shared),
+               static_cast<unsigned long long>(mq.searches_skipped),
+               multi.totals_match ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -360,7 +441,8 @@ void write_json(const std::string& path, const std::vector<MicroResult>& micro,
 /// without parsing the nested report above.
 void write_metrics(const std::string& path, const std::vector<MicroResult>& micro,
                    const std::vector<MacroResult>& macro,
-                   const SchedulerResult& sched, const ServiceResult& svc) {
+                   const SchedulerResult& sched, const ServiceResult& svc,
+                   const MultiQueryResult& multi) {
   obs::MetricsSnapshot snap;
   for (const MicroResult& m : micro)
     snap.add_gauge("micro." + m.name + ".ns_per_op", m.ns_per_op);
@@ -384,6 +466,16 @@ void write_metrics(const std::string& path, const std::vector<MicroResult>& micr
                    svc.no_deadline.latency.p99_ns);
   snap.add_counter("service.no_deadline.latency_ns.p999",
                    svc.no_deadline.latency.p999_ns);
+  snap.add_gauge("multi_query.shared_ms", multi.shared.wall_ms);
+  snap.add_gauge("multi_query.independent_ms", multi.independent.wall_ms);
+  snap.add_counter("multi_query.verdicts_by_index",
+                   static_cast<std::int64_t>(multi.shared.res.mq.verdicts_by_index));
+  snap.add_counter("multi_query.verdicts_grouped",
+                   static_cast<std::int64_t>(multi.shared.res.mq.verdicts_grouped));
+  snap.add_counter("multi_query.searches_shared",
+                   static_cast<std::int64_t>(multi.shared.res.mq.searches_shared));
+  snap.add_counter("multi_query.searches_skipped",
+                   static_cast<std::int64_t>(multi.shared.res.mq.searches_skipped));
   try {
     snap.write(path);
   } catch (const std::exception& e) {
@@ -422,10 +514,11 @@ int main(int argc, char** argv) {
                                cli.get_int("timeout-ms"), seed);
   const auto sched = run_scheduler(scale, stream_cap, seed);
   const auto svc = run_service(scale, stream_cap, seed);
-  write_json(cli.get("out"), micro, macro, sched, svc, scale, queries, stream_cap,
-             seed);
+  const auto multi = run_multi_query(scale, queries, stream_cap, seed);
+  write_json(cli.get("out"), micro, macro, sched, svc, multi, scale, queries,
+             stream_cap, seed);
   if (const std::string mpath = cli.get("metrics-out"); !mpath.empty())
-    write_metrics(mpath, micro, macro, sched, svc);
+    write_metrics(mpath, micro, macro, sched, svc, multi);
 
   for (const auto& m : micro)
     std::printf("%-26s %10.2f ns/op\n", m.name.c_str(), m.ns_per_op);
@@ -451,6 +544,14 @@ int main(int argc, char** argv) {
       static_cast<double>(svc.no_deadline.latency.p95_ns) / 1e3,
       static_cast<double>(svc.no_deadline.latency.p99_ns) / 1e3,
       base_ms > 0 ? (svc.armed.wall_ms - base_ms) / base_ms * 100.0 : 0.0);
+  std::printf(
+      "multiquery@4t: %zu standing queries -> %zu classes, shared %.3f ms vs "
+      "independent %.3f ms (%.2fx, totals %s)\n",
+      multi.catalogue, multi.shared.classes, multi.shared.wall_ms,
+      multi.independent.wall_ms,
+      multi.shared.wall_ms > 0 ? multi.independent.wall_ms / multi.shared.wall_ms
+                               : 0.0,
+      multi.totals_match ? "match" : "MISMATCH");
   std::printf("wrote %s\n", cli.get("out").c_str());
   return 0;
 }

@@ -20,6 +20,7 @@
 
 #include "util/cli.hpp"
 #include "verify/invariants.hpp"
+#include "verify/multi_check.hpp"
 #include "verify/repro.hpp"
 #include "verify/service_check.hpp"
 #include "verify/shrinker.hpp"
@@ -83,7 +84,10 @@ int main(int argc, char** argv) {
       .flag("counts-only", "Reconcile match counts only (skip mapping multisets)")
       .flag("service",
             "Run the service fault matrix (crash recovery, forced timeouts, "
-            "shed/degrade overload) instead of the engine lane matrix");
+            "shed/degrade overload) instead of the engine lane matrix")
+      .flag("multi",
+            "Diff the shared multi-query engine against independent "
+            "single-query runs (static + runtime add/remove lanes)");
   if (!cli.parse(argc, argv)) return cli.exit_code();
 
   verify::AlgorithmFactory factory;
@@ -122,15 +126,30 @@ int main(int argc, char** argv) {
   };
 
   const bool service_mode = cli.get_bool("service");
+  const bool multi_mode = cli.get_bool("multi");
   const std::vector<unsigned> thread_list = parse_thread_list(cli.get("threads"));
+
+  // The multi lane wants more standing queries per case than the engine
+  // matrix default — more sharing and more index pressure per seed.
+  verify::FuzzKnobs multi_knobs;
+  multi_knobs.num_queries = 4;
 
   std::uint64_t cases = 0, failures = 0;
   for (std::uint64_t seed = start; seed < start + count && budget_left(); ++seed) {
-    const verify::FuzzCase c = verify::generate_case(seed);
+    const verify::FuzzCase c =
+        multi_mode ? verify::generate_case(seed, multi_knobs)
+                   : verify::generate_case(seed);
     ++cases;
 
     std::vector<verify::Divergence> divs;
-    if (service_mode) {
+    if (multi_mode) {
+      // Shared multi-query evaluation vs N independent single-query engines
+      // (see verify/multi_check.hpp). Not shrinkable: the predicate spans
+      // the whole query catalogue, so failures carry the seed for replay.
+      verify::MultiCheckOptions mopts;
+      if (!thread_list.empty()) mopts.thread_counts = thread_list;
+      divs = verify::check_multi_case(c, mopts);
+    } else if (service_mode) {
       // Service fault matrix: every resilience lane, cross-checked against
       // the oracle (see verify/service_check.hpp). Algorithm defaults to the
       // first of --algorithms (or graphflow).

@@ -14,6 +14,7 @@
 // stream. --verify-final cross-checks the end state against the recompute
 // oracle. Fault injection (--kill-at, --timeout-rate, --slow-consumer-us)
 // exists so resilience is testable, not just claimed.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,7 +28,9 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_ring.hpp"
+#include "paracosm/multi_query.hpp"
 #include "paracosm/paracosm.hpp"
+#include "service/multi_service.hpp"
 #include "service/service.hpp"
 #include "service/wal.hpp"
 #include "util/cli.hpp"
@@ -44,6 +47,274 @@ bool parse_policy(const std::string& name, service::OverloadPolicy& out) {
   else if (name == "degrade") out = service::OverloadPolicy::kDegrade;
   else return false;
   return true;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// One runtime admin event for --add-at / --remove-at, applied at a stream
+/// position with a drain barrier (so the boundary is exact).
+struct AdminEvent {
+  std::size_t at = 0;
+  bool add = false;
+  std::string query_file;  // add
+  std::string algorithm;   // add
+  std::size_t handle = 0;  // remove
+};
+
+/// --add-at clause: "N:file:alg"; --remove-at clause: "N:handle".
+bool parse_admin_events(const std::string& add_spec, const std::string& rm_spec,
+                        std::vector<AdminEvent>& out) {
+  for (const std::string& clause : split_csv(add_spec)) {
+    const std::size_t c1 = clause.find(':');
+    const std::size_t c2 = c1 == std::string::npos ? c1 : clause.find(':', c1 + 1);
+    if (c2 == std::string::npos) return false;
+    AdminEvent ev;
+    ev.add = true;
+    ev.at = static_cast<std::size_t>(std::stoull(clause.substr(0, c1)));
+    ev.query_file = clause.substr(c1 + 1, c2 - c1 - 1);
+    ev.algorithm = clause.substr(c2 + 1);
+    out.push_back(std::move(ev));
+  }
+  for (const std::string& clause : split_csv(rm_spec)) {
+    const std::size_t c1 = clause.find(':');
+    if (c1 == std::string::npos) return false;
+    AdminEvent ev;
+    ev.at = static_cast<std::size_t>(std::stoull(clause.substr(0, c1)));
+    ev.handle = static_cast<std::size_t>(std::stoull(clause.substr(c1 + 1)));
+    out.push_back(std::move(ev));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const AdminEvent& a, const AdminEvent& b) { return a.at < b.at; });
+  return true;
+}
+
+struct MultiQueryInfo {
+  std::size_t handle = 0;
+  std::string file;
+  std::string algorithm;
+};
+
+void write_multi_json_report(const std::string& path,
+                             const service::MultiServiceReport& r,
+                             const std::vector<MultiQueryInfo>& queries,
+                             const bench::LatencySummary& lat, unsigned threads,
+                             const char* policy) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write --report-json '%s'\n",
+                 path.c_str());
+    return;
+  }
+  const auto& s = r.stats;
+  const auto& mq = r.mq;
+  out << "{\n"
+      << "  \"mode\": \"multi\",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"policy\": \"" << policy << "\",\n"
+      << "  \"wall_ns\": " << r.wall_ns << ",\n"
+      << "  \"processed\": " << s.processed << ",\n"
+      << "  \"deadline_hits\": " << r.deadline_hits << ",\n"
+      << "  \"wal_records\": " << s.wal_records << ",\n"
+      << "  \"queries\": [\n";
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const MultiQueryInfo& info = queries[i];
+    const std::size_t h = info.handle;
+    out << "    {\"handle\": " << h << ", \"file\": \"" << info.file
+        << "\", \"algorithm\": \"" << info.algorithm
+        << "\", \"positive\": " << (h < r.positive.size() ? r.positive[h] : 0)
+        << ", \"negative\": " << (h < r.negative.size() ? r.negative[h] : 0)
+        << ", \"degraded\": " << (h < r.degraded.size() ? r.degraded[h] : 0)
+        << "}" << (i + 1 < queries.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"multi_query\": {\n"
+      << "    \"updates_classified\": " << mq.updates_classified << ",\n"
+      << "    \"index_probes\": " << mq.index_probes << ",\n"
+      << "    \"index_empty\": " << mq.index_empty << ",\n"
+      << "    \"verdicts_by_index\": " << mq.verdicts_by_index << ",\n"
+      << "    \"verdicts_grouped\": " << mq.verdicts_grouped << ",\n"
+      << "    \"group_checks\": " << mq.group_checks << ",\n"
+      << "    \"group_hits\": " << mq.group_hits << ",\n"
+      << "    \"ads_checks\": " << mq.ads_checks << ",\n"
+      << "    \"searches_run\": " << mq.searches_run << ",\n"
+      << "    \"searches_shared\": " << mq.searches_shared << ",\n"
+      << "    \"searches_skipped\": " << mq.searches_skipped << ",\n"
+      << "    \"anchors_checked\": " << mq.anchors_checked << "\n"
+      << "  },\n"
+      << "  \"ingest\": {\n"
+      << "    \"enqueued\": " << s.ingest.enqueued << ",\n"
+      << "    \"shed\": " << s.ingest.shed << ",\n"
+      << "    \"high_water\": " << s.ingest.high_water << "\n"
+      << "  },\n"
+      << "  \"latency_ns\": {\n"
+      << "    \"count\": " << lat.count << ",\n"
+      << "    \"mean\": " << static_cast<std::int64_t>(lat.mean_ns) << ",\n"
+      << "    \"p50\": " << lat.p50_ns << ",\n"
+      << "    \"p95\": " << lat.p95_ns << ",\n"
+      << "    \"p99\": " << lat.p99_ns << ",\n"
+      << "    \"max\": " << lat.max_ns << "\n"
+      << "  }\n"
+      << "}\n";
+}
+
+/// --multi: serve a *catalogue* of standing queries through the shared
+/// multi-query engine (ISSUE 6), with runtime registration via --add-at /
+/// --remove-at. Returns the process exit code.
+int run_multi(const util::Cli& cli, graph::DataGraph& g,
+              const std::vector<graph::GraphUpdate>& stream,
+              std::vector<graph::ParseError>* collector) {
+  std::vector<std::string> query_files = split_csv(cli.get("queries"));
+  if (query_files.empty() && !cli.get("query").empty())
+    query_files.push_back(cli.get("query"));
+  if (query_files.empty()) {
+    std::fprintf(stderr, "error: --multi requires --queries (or --query)\n");
+    return 2;
+  }
+  std::vector<std::string> algorithms = split_csv(cli.get("algorithms"));
+  if (algorithms.empty()) algorithms.push_back(cli.get("algorithm"));
+
+  service::MultiServiceOptions mopts;
+  if (!parse_policy(cli.get("policy"), mopts.policy)) {
+    std::fprintf(stderr, "error: unknown policy '%s'\n", cli.get("policy").c_str());
+    return 2;
+  }
+  mopts.queue_capacity = static_cast<std::size_t>(cli.get_int("queue"));
+  mopts.budget_us = cli.get_int("budget-us");
+  mopts.wal_path = cli.get("wal");
+
+  std::vector<AdminEvent> admin;
+  if (!parse_admin_events(cli.get("add-at"), cli.get("remove-at"), admin)) {
+    std::fprintf(stderr,
+                 "error: bad --add-at/--remove-at clause (want N:file:alg / "
+                 "N:handle)\n");
+    return 2;
+  }
+
+  engine::Config config;
+  config.threads = static_cast<unsigned>(cli.get_int("threads"));
+  config.inter_parallelism = false;  // the service processes one update at a time
+  engine::MultiQueryEngine engine(g, config);
+  engine.set_shared_evaluation(!cli.get_bool("no-sharing"));
+
+  engine::QueryOptions qopts;
+  qopts.budget_us = cli.get_int("query-budget-us");
+
+  std::vector<MultiQueryInfo> registered;
+  try {
+    for (std::size_t i = 0; i < query_files.size(); ++i) {
+      graph::QueryGraph q = graph::load_query_graph_file(query_files[i], collector);
+      const std::string& alg = algorithms[i % algorithms.size()];
+      const std::size_t handle = engine.add_query(alg, std::move(q), qopts);
+      registered.push_back({handle, query_files[i], alg});
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf(
+      "serving %zu update(s) to %zu quer(ies) in %zu class(es) [x%u, policy "
+      "%s, queue %zu%s%s%s]\n",
+      stream.size(), engine.num_queries(), engine.num_classes(),
+      config.effective_threads(), cli.get("policy").c_str(), mopts.queue_capacity,
+      mopts.budget_us > 0 ? ", deadline on" : "",
+      mopts.wal_path.empty() ? "" : ", WAL on",
+      engine.shared_evaluation() ? "" : ", sharing off");
+
+  service::MultiServiceReport report;
+  {
+    service::MultiStreamService svc(engine, mopts);
+    std::size_t next_admin = 0;
+    for (std::size_t i = 0; i <= stream.size(); ++i) {
+      while (next_admin < admin.size() && admin[next_admin].at <= i) {
+        const AdminEvent& ev = admin[next_admin++];
+        svc.drain();  // exact boundary: the change sees no in-flight updates
+        try {
+          if (ev.add) {
+            graph::QueryGraph q =
+                graph::load_query_graph_file(ev.query_file, collector);
+            const std::size_t handle =
+                svc.add_query(ev.algorithm, std::move(q), qopts);
+            registered.push_back({handle, ev.query_file, ev.algorithm});
+            std::printf("[admin @%zu] added %s (%s) -> handle %zu\n", ev.at,
+                        ev.query_file.c_str(), ev.algorithm.c_str(), handle);
+          } else {
+            const bool ok = svc.remove_query(ev.handle);
+            std::printf("[admin @%zu] removed handle %zu%s\n", ev.at, ev.handle,
+                        ok ? "" : " (stale)");
+          }
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "error: admin event failed: %s\n", e.what());
+          return 2;
+        }
+      }
+      if (i < stream.size()) (void)svc.submit(stream[i]);
+    }
+    report = svc.finish();
+  }
+
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "error: service consumer failed: %s\n",
+                 report.error.c_str());
+    return 1;
+  }
+
+  const bench::LatencySummary lat = bench::summarize_histogram(report.latency);
+  std::uint64_t tot_pos = 0, tot_neg = 0;
+  for (const MultiQueryInfo& info : registered) {
+    const std::size_t h = info.handle;
+    const std::uint64_t pos = h < report.positive.size() ? report.positive[h] : 0;
+    const std::uint64_t neg = h < report.negative.size() ? report.negative[h] : 0;
+    const std::uint64_t deg = h < report.degraded.size() ? report.degraded[h] : 0;
+    tot_pos += pos;
+    tot_neg += neg;
+    std::printf("[query %zu] %s (%s): +%llu / -%llu%s\n", h, info.file.c_str(),
+                info.algorithm.c_str(), static_cast<unsigned long long>(pos),
+                static_cast<unsigned long long>(neg),
+                deg > 0 ? " (degraded)" : "");
+  }
+  const auto& mq = report.mq;
+  std::printf("[multi] +%llu / -%llu total in %.3f ms wall; %llu processed, "
+              "%llu deadline hit(s)\n",
+              static_cast<unsigned long long>(tot_pos),
+              static_cast<unsigned long long>(tot_neg),
+              static_cast<double>(report.wall_ns) / 1e6,
+              static_cast<unsigned long long>(report.stats.processed),
+              static_cast<unsigned long long>(report.deadline_hits));
+  std::printf("sharing: %llu/%llu verdicts by index, %llu grouped "
+              "(%llu degree memo hits), %llu searches (+%llu fan-out, "
+              "%llu anchor-skipped)\n",
+              static_cast<unsigned long long>(mq.verdicts_by_index),
+              static_cast<unsigned long long>(mq.verdicts_by_index +
+                                              mq.verdicts_grouped),
+              static_cast<unsigned long long>(mq.verdicts_grouped),
+              static_cast<unsigned long long>(mq.group_hits),
+              static_cast<unsigned long long>(mq.searches_run),
+              static_cast<unsigned long long>(mq.searches_shared),
+              static_cast<unsigned long long>(mq.searches_skipped));
+  std::printf("latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+              static_cast<double>(lat.p50_ns) / 1e6,
+              static_cast<double>(lat.p95_ns) / 1e6,
+              static_cast<double>(lat.p99_ns) / 1e6,
+              static_cast<double>(lat.max_ns) / 1e6);
+
+  if (const std::string jpath = cli.get("report-json"); !jpath.empty())
+    write_multi_json_report(jpath, report, registered, lat,
+                            config.effective_threads(),
+                            cli.get("policy").c_str());
+  return 0;
 }
 
 void write_json_report(const std::string& path, const service::ServiceReport& r,
@@ -121,6 +392,24 @@ int main(int argc, char** argv) {
               "write a flat metrics snapshot here (.csv or JSON by extension)")
       .option("metrics-every", "0",
               "flush --metrics-out every N processed updates (0 = final only)")
+      .option("queries", "",
+              "--multi: CSV of query graph files to register as the catalogue")
+      .option("algorithms", "",
+              "--multi: CSV of algorithms, cycled over --queries")
+      .option("query-budget-us", "0",
+              "--multi: per-query per-update search budget (0 = none)")
+      .option("add-at", "",
+              "--multi: CSV of N:file:alg clauses — register file with alg "
+              "after stream position N")
+      .option("remove-at", "",
+              "--multi: CSV of N:handle clauses — deregister handle after "
+              "stream position N")
+      .flag("multi",
+            "serve a catalogue of standing queries through the shared "
+            "multi-query engine (--queries/--algorithms)")
+      .flag("no-sharing",
+            "--multi: give every query a private evaluation class (the "
+            "O(queries) baseline)")
       .flag("trace-verbose",
             "trace at level 2: per-search-node instants (huge traces)")
       .flag("recover", "recover from --wal/--snapshot, then resume the stream")
@@ -128,10 +417,12 @@ int main(int argc, char** argv) {
       .flag("strict", "abort on the first malformed input line");
   if (!cli.parse(argc, argv)) return cli.exit_code();
 
+  const bool multi = cli.get_bool("multi");
   const std::string graph_path = cli.get("graph");
   const std::string query_path = cli.get("query");
   const std::string stream_path = cli.get("stream");
-  if (graph_path.empty() || query_path.empty() || stream_path.empty()) {
+  if (graph_path.empty() || stream_path.empty() ||
+      (query_path.empty() && !multi)) {
     std::fprintf(stderr, "error: --graph, --query and --stream are required\n");
     return 2;
   }
@@ -155,7 +446,7 @@ int main(int argc, char** argv) {
   std::vector<graph::GraphUpdate> stream;
   try {
     g = graph::load_data_graph_file(graph_path, collector);
-    q = graph::load_query_graph_file(query_path, collector);
+    if (!query_path.empty()) q = graph::load_query_graph_file(query_path, collector);
     stream = graph::load_update_stream_file(stream_path, collector);
   } catch (const graph::ParseException& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
@@ -184,6 +475,22 @@ int main(int argc, char** argv) {
                  "warning: built with PARACOSM_TRACE=OFF — the trace will "
                  "contain no engine events\n");
 #endif
+  }
+
+  if (multi) {
+    const int rc = run_multi(cli, g, stream, collector);
+    if (!trace_path.empty()) {
+      obs::set_trace_level(0);
+      try {
+        obs::write_chrome_trace(trace_path,
+                                obs::TraceRegistry::instance().collect());
+        std::printf("trace: wrote %s (load in ui.perfetto.dev)\n",
+                    trace_path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "warning: %s\n", e.what());
+      }
+    }
+    return rc;
   }
 
   // The initial graph doubles as the recovery base; keep it when verifying.

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const auto num_queries = static_cast<std::uint32_t>(cli.get_int("queries"));
   const std::int64_t stream_cap = cli.get_int("stream");
   const std::int64_t timeout_ms = cli.get_int("timeout-ms");
-  const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+  const unsigned threads = bench::resolve_threads(cli.get_int("threads"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const std::string algorithm = cli.get("algorithm");
 

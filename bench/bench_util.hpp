@@ -10,6 +10,7 @@
 #include "bench_common/runner.hpp"
 #include "bench_common/workload.hpp"
 #include "util/cli.hpp"
+#include "util/hw_topo.hpp"
 
 namespace paracosm::bench {
 
@@ -20,9 +21,19 @@ inline util::Cli standard_cli(std::string program, std::string description) {
       .option("queries", "4", "Query graphs per configuration")
       .option("stream", "1200", "Max updates taken from the stream (0 = all)")
       .option("timeout-ms", "1500", "Per-query whole-stream time budget (0 = none)")
-      .option("threads", "32", "Worker threads for parallel configurations")
+      .option("threads", "32",
+              "Worker threads for parallel configurations (0 = one per CPU in "
+              "the process affinity mask)")
       .option("seed", "42", "Root random seed");
   return cli;
+}
+
+/// --threads 0 means "one worker per schedulable CPU" — the affinity mask,
+/// not hardware_concurrency, so taskset/cgroup-restricted runs don't
+/// oversubscribe.
+inline unsigned resolve_threads(std::int64_t requested) {
+  return requested > 0 ? static_cast<unsigned>(requested)
+                       : util::affinity_cpu_count();
 }
 
 /// Truncate the stream to the --stream budget (keeps benches CI-sized).

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
 
   const double scale = cli.get_double("scale");
   const std::int64_t stream_cap = cli.get_int("stream");
-  const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+  const unsigned threads = bench::resolve_threads(cli.get_int("threads"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const std::string algorithm = cli.get("algorithm");
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/numa_alloc.hpp"
+
 namespace paracosm::graph {
 
 namespace {
@@ -56,7 +58,16 @@ VertexId DataGraph::add_vertex(Label label) {
 }
 
 void DataGraph::add_vertex_with_id(VertexId id, Label label) {
-  if (id >= vertices_.size()) vertices_.resize(id + 1);
+  if (id >= vertices_.size()) {
+    vertices_.resize(id + 1);
+    // Vertex table: read by every worker during enumeration. Interleave +
+    // hugepage advice once per capacity jump (best-effort, DESIGN.md §10).
+    if (vertices_.capacity() != numa_advised_cap_) {
+      util::numa::place_shared(vertices_.data(),
+                               vertices_.capacity() * sizeof(VertexRec));
+      numa_advised_cap_ = vertices_.capacity();
+    }
+  }
   VertexRec& rec = vertices_[id];
   if (rec.alive && rec.label == label) return;
   if (rec.alive) {

@@ -2,7 +2,8 @@
 #pragma once
 
 #include <cstdint>
-#include <thread>
+
+#include "util/hw_topo.hpp"
 
 namespace paracosm::engine {
 
@@ -28,7 +29,9 @@ enum class BatchMode : std::uint8_t {
 };
 
 struct Config {
-  /// Worker threads for both executors. 0 -> hardware concurrency.
+  /// Worker threads for both executors. 0 -> CPUs in the affinity mask
+  /// (sched_getaffinity), so taskset/cgroup-restricted runs don't
+  /// oversubscribe the way hardware_concurrency() would.
   unsigned threads = 0;
 
   /// Maximum search-tree depth at which the inner-update executor may still
@@ -64,10 +67,20 @@ struct Config {
   /// syscall-free; smaller values release the core sooner.
   std::uint32_t pool_spin_iters = 1024;
 
-  [[nodiscard]] unsigned effective_threads() const noexcept {
+  /// Topology-aware runtime knobs (DESIGN.md §10).
+  /// Pin each pool worker to its assigned CPU. Only takes effect when the
+  /// topology came from a real sysfs tree — emulated/flat topologies carry
+  /// CPU ids that may not exist, so pinning is skipped for them.
+  bool pin_threads = false;
+
+  /// Order steal victims by topology distance (SMT sibling → same node →
+  /// remote, with bounded remote back-off). OFF reproduces the PR-2 flat
+  /// randomized sweep — the ablation baseline.
+  bool topo_aware_steal = true;
+
+  [[nodiscard]] unsigned effective_threads() const {
     if (threads != 0) return threads;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw != 0 ? hw : 1;
+    return util::affinity_cpu_count();
   }
   [[nodiscard]] unsigned effective_batch_size() const noexcept {
     return batch_size != 0 ? batch_size : effective_threads();

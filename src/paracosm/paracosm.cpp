@@ -13,16 +13,37 @@ using graph::GraphUpdate;
 using graph::UpdateOp;
 using graph::VertexId;
 
+namespace {
+
+[[nodiscard]] PoolOptions pool_options(const Config& config) {
+  PoolOptions o;
+  o.spin_iters = config.pool_spin_iters;
+  o.pin = config.pin_threads;
+  return o;
+}
+
+// The pool member precedes the executors, so its victim table is valid in
+// their initializers and outlives both queues.
+[[nodiscard]] QueueKnobs queue_knobs(const Config& config, const WorkerPool& pool) {
+  QueueKnobs k;
+  k.spin_iters = config.queue_spin_iters;
+  k.victims = &pool.victim_table();
+  k.topo_order = config.topo_aware_steal;
+  return k;
+}
+
+}  // namespace
+
 ParaCosm::ParaCosm(csm::CsmAlgorithm& alg, const graph::QueryGraph& q,
                    graph::DataGraph& g, Config config)
     : alg_(alg),
       q_(q),
       g_(g),
       config_(config),
-      pool_(config.effective_threads(), config.pool_spin_iters),
+      pool_(config.effective_threads(), pool_options(config)),
       inner_(pool_, config.split_depth, config.dynamic_balance,
-             QueueKnobs{config.queue_spin_iters}),
-      stealing_(pool_, config.split_depth, QueueKnobs{config.queue_spin_iters}),
+             queue_knobs(config, pool_)),
+      stealing_(pool_, config.split_depth, queue_knobs(config, pool_)),
       classifier_(q, g, alg) {
   alg_.attach(q_, g_);
 }
@@ -287,7 +308,7 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
       const std::uint64_t verify_ads_before = alg_.ads_checksum();
 #endif
       if (nthreads > 1 && safe_prefix > 1) {
-        ShardedCursor cursor(safe_prefix, nthreads);
+        ShardedCursor cursor(safe_prefix, nthreads, pool_.node_map());
         pool_.run([&](unsigned wid) {
           util::ThreadCpuTimer timer;
           std::uint64_t applied = 0;

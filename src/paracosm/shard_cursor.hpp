@@ -9,12 +9,21 @@
 // straggler's remainder) once its own is empty. Contiguous shards also keep
 // each worker walking a contiguous slice of the batch — sequential access on
 // the update array instead of an interleaved scatter.
+//
+// Topology awareness (DESIGN.md §10): given the pool's worker→node map, each
+// worker's probe order visits its own shard, then the shards of same-node
+// workers, then remote ones — so straggler cleanup stays on the local memory
+// controller for as long as any same-node work remains. An empty node map
+// reproduces the plain ring probe.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <span>
+#include <vector>
 
 namespace paracosm::engine {
 
@@ -22,7 +31,11 @@ class ShardedCursor {
  public:
   static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
 
-  ShardedCursor(std::size_t total, unsigned workers)
+  /// `node_of`: NUMA node per worker (WorkerPool::node_map()); empty (or
+  /// wrong-sized) span -> ring probe order, exactly the pre-topology
+  /// behavior.
+  ShardedCursor(std::size_t total, unsigned workers,
+                std::span<const std::uint8_t> node_of = {})
       : n_(workers == 0 ? 1u : workers), shards_(new Shard[n_]) {
     const std::size_t base = total / n_;
     const std::size_t extra = total % n_;
@@ -33,13 +46,39 @@ class ShardedCursor {
       shards_[i].end = begin + len;
       begin += len;
     }
+    if (node_of.size() == n_) {
+      bool multi = false;
+      for (std::uint8_t n : node_of)
+        if (n != node_of[0]) { multi = true; break; }
+      if (multi) {
+        // Per-worker probe permutation: self, same-node (ring order from
+        // self for spread), then remote (likewise).
+        probe_.resize(static_cast<std::size_t>(n_) * n_);
+        for (unsigned w = 0; w < n_; ++w) {
+          std::uint16_t* row = probe_.data() + static_cast<std::size_t>(w) * n_;
+          unsigned out = 0;
+          row[out++] = static_cast<std::uint16_t>(w);
+          for (unsigned k = 1; k < n_; ++k) {
+            const unsigned v = (w + k) % n_;
+            if (node_of[v] == node_of[w]) row[out++] = static_cast<std::uint16_t>(v);
+          }
+          for (unsigned k = 1; k < n_; ++k) {
+            const unsigned v = (w + k) % n_;
+            if (node_of[v] != node_of[w]) row[out++] = static_cast<std::uint16_t>(v);
+          }
+        }
+      }
+    }
   }
 
-  /// Claim the next index for worker `wid`, own shard first; npos when the
-  /// whole range is drained.
+  /// Claim the next index for worker `wid`, own shard first, then same-node
+  /// shards, then remote; npos when the whole range is drained.
   [[nodiscard]] std::size_t claim(unsigned wid) noexcept {
+    const std::uint16_t* row =
+        probe_.empty() ? nullptr
+                       : probe_.data() + static_cast<std::size_t>(wid) * n_;
     for (unsigned k = 0; k < n_; ++k) {
-      Shard& s = shards_[(wid + k) % n_];
+      Shard& s = shards_[row != nullptr ? row[k] : (wid + k) % n_];
       std::size_t j = s.next.load(std::memory_order_relaxed);
       // CAS loop (not fetch_add) so losing thieves never push the cursor
       // past `end` — overshoot would make shard-size accounting lie.
@@ -60,6 +99,7 @@ class ShardedCursor {
 
   unsigned n_;
   std::unique_ptr<Shard[]> shards_;
+  std::vector<std::uint16_t> probe_;  ///< empty -> ring order
 };
 
 }  // namespace paracosm::engine

@@ -29,6 +29,7 @@
 // bench/ablation_scheduler.cpp. Production code must not use it.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -42,6 +43,7 @@
 #include "obs/trace_ring.hpp"
 #include "paracosm/cl_deque.hpp"
 #include "paracosm/stats.hpp"
+#include "util/hw_topo.hpp"
 #include "util/rng.hpp"
 #include "util/sync.hpp"
 
@@ -53,13 +55,56 @@ struct QueueKnobs {
   /// worker parks on the condvar. Small by design: parked workers are cheap
   /// and the split predicate treats spinning and parked workers alike.
   std::uint32_t spin_iters = 256;
+
+  // --- topology-aware stealing (DESIGN.md §10) -----------------------------
+  // New fields are appended so existing QueueKnobs{spin} initializers keep
+  // their meaning.
+
+  /// Remote probing is a *cadence*, not a default: an idle worker includes
+  /// the remote tier only every `remote_probe_period`-th sweep, probing its
+  /// own node's victims on every other one. This is what biases the race
+  /// for a freshly split task toward same-node thieves — sweep order alone
+  /// cannot, because the inter-sweep spin dominates the sweep itself, so
+  /// whichever idler's sweep fires first wins regardless of tier order.
+  /// Fruitless remote passes stretch the cadence exponentially up to
+  /// `remote_backoff_max` sweeps; a successful remote steal snaps it back
+  /// to the base period. 0/1 = probe remote every sweep.
+  std::uint32_t remote_probe_period = 64;
+  std::uint32_t remote_backoff_max = 512;
+
+  /// Distance-sorted victim lists (usually WorkerPool::victim_table()).
+  /// Must outlive the queue and cover >= `workers` entries. nullptr -> the
+  /// flat randomized sweep of PR 2 (per-distance counters then rely on the
+  /// table and stay zero/same-node-only accordingly).
+  const util::VictimTable* victims = nullptr;
+
+  /// false -> keep the flat randomized sweep even when `victims` is set
+  /// (counters still tally per-distance via its matrix) — the ablation's
+  /// baseline arm.
+  bool topo_order = true;
+
+  /// A remote steal migrates up to this many tasks: one to run immediately,
+  /// the rest into the thief's own deque. Near-first sweeping alone starves
+  /// the far node — its workers find nothing same-node, pay a cross-node
+  /// steal for a *single* task, consume it, and are starved again, so every
+  /// steal they make is remote. Migrating a small batch seeds same-node
+  /// stealing on the thief's side of the interconnect, which is what
+  /// actually cuts the remote-steal share (the ablation measures this).
+  /// 1 = single-task remote steals; only applies to the topo-ordered sweep.
+  std::uint32_t remote_batch = 4;
 };
 
 class TaskQueue {
  public:
   explicit TaskQueue(unsigned workers, QueueKnobs knobs = {})
       : knobs_(knobs), n_(workers == 0 ? 1u : workers), w_(new PerWorker[n_]) {
-    for (unsigned i = 0; i < n_; ++i) w_[i].rng.reseed(0xc1de9e5ULL * (i + 1));
+    for (unsigned i = 0; i < n_; ++i) {
+      w_[i].rng.reseed(0xc1de9e5ULL * (i + 1));
+      // Queues are short-lived (one per update burst); most steals are the
+      // initial fan-out races. Arm the remote cadence from sweep zero or
+      // those races run tier-blind and the bias never materializes.
+      w_[i].remote_skip = base_period();
+    }
   }
 
   ~TaskQueue() { drain_and_free(); }
@@ -106,10 +151,7 @@ class TaskQueue {
     // — at least one side always observes the other, so a worker cannot park
     // forever while this task sits unclaimed.
     pending_.fetch_add(1, std::memory_order_seq_cst);
-    if (parked_.load(std::memory_order_seq_cst) != 0) {
-      const std::lock_guard lock(park_mutex_);
-      park_cv_.notify_one();
-    }
+    if (parked_.load(std::memory_order_seq_cst) != 0) wake_one(wid);
   }
 
   /// Pop the next task: own deque first (LIFO), then steal sweeps, then
@@ -125,19 +167,12 @@ class TaskQueue {
     idle_.fetch_add(1, std::memory_order_relaxed);
     util::SpinBackoff backoff;
     for (;;) {
-      // One full randomized victim sweep per attempt.
-      const unsigned start = static_cast<unsigned>(me.rng.bounded(n_));
-      for (unsigned k = 0; k < n_; ++k) {
-        const unsigned v = (start + k) % n_;
-        if (v == wid) continue;
-        ++me.steals_attempted;
-        if (csm::SearchTask* node = w_[v].deque.steal_top()) {
-          ++me.steals_succeeded;
-          PARACOSM_TRACE_INSTANT(obs::EventKind::kSteal, v, wid);
-          pending_.fetch_sub(1, std::memory_order_relaxed);
-          idle_.fetch_sub(1, std::memory_order_relaxed);
-          return take(wid, node);
-        }
+      // One full victim sweep per attempt (topology-ordered when a victim
+      // table is wired in, the PR-2 randomized ring otherwise).
+      if (csm::SearchTask* node = sweep_victims(wid, me)) {
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        idle_.fetch_sub(1, std::memory_order_relaxed);
+        return take(wid, node);
       }
       // A split may have landed in our own deque while we were sweeping.
       if (csm::SearchTask* node = me.deque.pop_bottom()) {
@@ -161,10 +196,7 @@ class TaskQueue {
   /// A task has been fully expanded (its offloaded children were pushed
   /// beforehand). Wakes everyone when the tree is exhausted.
   void retire() {
-    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      const std::lock_guard lock(park_mutex_);
-      park_cv_.notify_all();
-    }
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) wake_all();
   }
 
   // --- split-predicate signals (all relaxed reads) -------------------------
@@ -189,8 +221,12 @@ class TaskQueue {
     PerWorker& me = w_[wid];
     ws.steals_attempted += me.steals_attempted;
     ws.steals_succeeded += me.steals_succeeded;
+    ws.steals_local += me.steals_local;
+    ws.steals_same_node += me.steals_same_node;
+    ws.steals_remote += me.steals_remote;
     ws.parks += me.parks;
     me.steals_attempted = me.steals_succeeded = me.parks = 0;
+    me.steals_local = me.steals_same_node = me.steals_remote = 0;
   }
 
  private:
@@ -200,7 +236,15 @@ class TaskQueue {
     util::Rng rng{0};
     std::uint64_t steals_attempted = 0;
     std::uint64_t steals_succeeded = 0;
+    std::uint64_t steals_local = 0;      ///< by victim distance; sums to
+    std::uint64_t steals_same_node = 0;  ///< steals_succeeded (same-node on a
+    std::uint64_t steals_remote = 0;     ///< flat machine)
+    std::uint32_t remote_backoff = 0;  ///< current back-off length (sweeps)
+    std::uint32_t remote_skip = 0;     ///< sweeps left skipping remote tier
     std::uint64_t parks = 0;
+    std::atomic<bool> parked{false};  ///< blocked on park_cv (or about to)
+    std::mutex park_mutex;
+    std::condition_variable park_cv;
 
     ~PerWorker() {
       for (csm::SearchTask* node : free_nodes) delete node;
@@ -214,6 +258,106 @@ class TaskQueue {
     }
   };
 
+  /// One full victim sweep for `wid`. With a victim table and topo_order,
+  /// probe near victims (SMT sibling, then same node — the table is
+  /// distance-sorted) before remote ones, rotating randomly *within* each
+  /// tier so concurrent thieves spread over victims; the remote tier is
+  /// skipped for an exponentially growing number of sweeps after fruitless
+  /// remote probes (reset by any success). Without a table (or with
+  /// topo_order off — the ablation baseline) this is the PR-2 randomized
+  /// ring; the table, when present, still prices each steal's distance.
+  [[nodiscard]] csm::SearchTask* sweep_victims(unsigned wid, PerWorker& me) {
+    const util::VictimTable* vt =
+        (knobs_.victims != nullptr && knobs_.victims->n == n_) ? knobs_.victims
+                                                               : nullptr;
+    if (vt == nullptr || !knobs_.topo_order || n_ < 2) {
+      const unsigned start = static_cast<unsigned>(me.rng.bounded(n_));
+      for (unsigned k = 0; k < n_; ++k) {
+        const unsigned v = (start + k) % n_;
+        if (v == wid) continue;
+        ++me.steals_attempted;
+        if (csm::SearchTask* node = w_[v].deque.steal_top())
+          return record_steal(me, vt, wid, v, node);
+      }
+      return nullptr;
+    }
+    const std::span<const util::Victim> row = vt->of(wid);
+    const unsigned near_len = vt->remote_begin[wid];
+    const unsigned remote_len = static_cast<unsigned>(row.size()) - near_len;
+    if (near_len > 0) {
+      const unsigned start = static_cast<unsigned>(me.rng.bounded(near_len));
+      for (unsigned k = 0; k < near_len; ++k) {
+        const util::Victim& vic = row[(start + k) % near_len];
+        ++me.steals_attempted;
+        if (csm::SearchTask* node = w_[vic.wid].deque.steal_top())
+          return record_steal(me, vt, wid, vic.wid, node);
+      }
+    }
+    if (remote_len > 0) {
+      // Starvation valve: a queued backlog our near tier evidently isn't
+      // draining means the work is genuinely elsewhere — migrate now, skip
+      // or no skip. Only the scarce-work tails (a pending task or two that
+      // near idlers are racing for) stay cadenced; that is where cadence
+      // converts cross-node steals into same-node ones instead of delaying
+      // anybody.
+      const bool surplus =
+          pending_.load(std::memory_order_relaxed) > std::int64_t{2};
+      if (me.remote_skip > 0 && !surplus) {
+        --me.remote_skip;
+      } else {
+        const unsigned start = static_cast<unsigned>(me.rng.bounded(remote_len));
+        for (unsigned k = 0; k < remote_len; ++k) {
+          const util::Victim& vic = row[near_len + (start + k) % remote_len];
+          ++me.steals_attempted;
+          if (csm::SearchTask* node = w_[vic.wid].deque.steal_top()) {
+            // Batch the migration (see QueueKnobs::remote_batch): extras go
+            // to our own deque — they stay pending and in flight, only their
+            // home changes, so no counter or wakeup bookkeeping moves.
+            for (std::uint32_t extra = 1; extra < knobs_.remote_batch; ++extra) {
+              csm::SearchTask* more = w_[vic.wid].deque.steal_top();
+              if (more == nullptr) break;
+              me.deque.push_bottom(more);
+            }
+            me.remote_backoff = 0;
+            me.remote_skip = base_period();
+            return record_steal(me, vt, wid, vic.wid, node);
+          }
+        }
+        me.remote_backoff =
+            std::min(me.remote_backoff == 0 ? base_period() : me.remote_backoff * 2u,
+                     knobs_.remote_backoff_max);
+        me.remote_skip = me.remote_backoff;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Base remote cadence: sweeps between remote-tier passes (>= 0).
+  [[nodiscard]] std::uint32_t base_period() const noexcept {
+    return knobs_.remote_probe_period > 0 ? knobs_.remote_probe_period - 1 : 0;
+  }
+
+  /// Successful steal: count it and price its distance. Remote cadence
+  /// state is managed by the sweep itself (a near success deliberately does
+  /// NOT re-enable eager remote probing — a worker that can feed itself
+  /// same-node has no reason to hammer the interconnect).
+  csm::SearchTask* record_steal(PerWorker& me, const util::VictimTable* vt,
+                                unsigned wid, unsigned victim,
+                                csm::SearchTask* node) {
+    ++me.steals_succeeded;
+    // No topology info -> same-node by definition (a flat machine).
+    const auto d = vt != nullptr ? vt->distance(wid, victim)
+                                 : util::StealDistance::kSameNode;
+    switch (d) {
+      case util::StealDistance::kLocal: ++me.steals_local; break;
+      case util::StealDistance::kSameNode: ++me.steals_same_node; break;
+      case util::StealDistance::kRemote: ++me.steals_remote; break;
+    }
+    PARACOSM_TRACE_INSTANT(obs::EventKind::kSteal, victim, wid,
+                           static_cast<std::uint64_t>(d));
+    return node;
+  }
+
   /// Move the task out of the node and recycle the node on the taker's own
   /// free list (nodes migrate with steals; lists stay single-owner).
   [[nodiscard]] csm::SearchTask take(unsigned wid, csm::SearchTask* node) {
@@ -225,13 +369,59 @@ class TaskQueue {
 
   void park(PerWorker& me) {
     ++me.parks;
-    std::unique_lock lock(park_mutex_);
+    std::unique_lock lock(me.park_mutex);
     parked_.fetch_add(1, std::memory_order_seq_cst);
-    park_cv_.wait(lock, [this] {
+    me.parked.store(true, std::memory_order_seq_cst);
+    me.park_cv.wait(lock, [this, &me] {
       return pending_.load(std::memory_order_seq_cst) > 0 ||
              in_flight_.load(std::memory_order_acquire) == 0;
     });
+    me.parked.store(false, std::memory_order_relaxed);
     parked_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Wake one parked worker, nearest the pusher first. The shared condvar
+  /// this replaces woke an *arbitrary* parked worker — and at burst tails,
+  /// when the woken thief is the only one hunting, the steal-distance mix
+  /// degenerated to the worker-population mix no matter how the sweep was
+  /// tiered. Scanning the pusher's distance-sorted victim row hands the
+  /// fresh split to an SMT sibling or same-node worker whenever one is
+  /// parked; without a table the randomized ring keeps the flat behavior.
+  /// Dekker handshake: push publishes pending_ (seq_cst) then reads the
+  /// parked flags here; park() sets its flag then reads pending_ in the
+  /// wait predicate — one side always observes the other, and the scan
+  /// covers every other worker, so a needed wake is never skipped.
+  void wake_one(unsigned wid) {
+    const util::VictimTable* vt =
+        (knobs_.victims != nullptr && knobs_.victims->n == n_ &&
+         knobs_.topo_order && n_ > 1)
+            ? knobs_.victims
+            : nullptr;
+    if (vt != nullptr) {
+      for (const util::Victim& vic : vt->of(wid))
+        if (try_wake(w_[vic.wid])) return;
+      return;
+    }
+    const unsigned start = static_cast<unsigned>(w_[wid].rng.bounded(n_));
+    for (unsigned k = 0; k < n_; ++k) {
+      const unsigned v = (start + k) % n_;
+      if (v == wid) continue;
+      if (try_wake(w_[v])) return;
+    }
+  }
+
+  bool try_wake(PerWorker& cand) {
+    if (!cand.parked.load(std::memory_order_seq_cst)) return false;
+    const std::lock_guard lock(cand.park_mutex);
+    cand.park_cv.notify_one();
+    return true;
+  }
+
+  void wake_all() {
+    for (unsigned i = 0; i < n_; ++i) {
+      const std::lock_guard lock(w_[i].park_mutex);
+      w_[i].park_cv.notify_all();
+    }
   }
 
   /// Destructor-time cleanup: a deadline abort can in principle leave nodes
@@ -250,8 +440,6 @@ class TaskQueue {
   alignas(64) std::atomic<std::int64_t> in_flight_{0};  ///< queued + executing
   alignas(64) std::atomic<std::uint32_t> idle_{0};      ///< hunting or parked
   alignas(64) std::atomic<std::uint32_t> parked_{0};    ///< parked subset
-  std::mutex park_mutex_;
-  std::condition_variable park_cv_;
 };
 
 /// The pre-rewrite global mutex queue, kept ONLY as the before/after baseline

@@ -19,9 +19,20 @@ namespace {
 
 }  // namespace
 
-WorkerPool::WorkerPool(unsigned num_threads, std::uint32_t spin_iters)
-    : spin_iters_(spin_iters) {
+WorkerPool::WorkerPool(unsigned num_threads, const PoolOptions& options)
+    : spin_iters_(options.spin_iters),
+      topo_(options.topology != nullptr ? *options.topology
+                                        : util::HwTopology::cached()),
+      pin_(options.pin) {
   const unsigned n = std::max(1u, num_threads);
+  assignment_ = util::assign_workers(topo_, n);
+  victims_ = util::make_victim_table(assignment_);
+  node_map_.resize(n);
+  for (unsigned i = 0; i < n; ++i)
+    node_map_[i] = static_cast<std::uint8_t>(assignment_[i].node);
+  // Pin only when the CPU ids are real; emulated/flat trees are policy-only.
+  pinned_.store(pin_ && topo_.source == util::TopoSource::kSysfs,
+                std::memory_order_relaxed);
   slots_.reset(new Slot[n]);
   threads_.reserve(n);
   for (unsigned id = 0; id < n; ++id)
@@ -82,6 +93,10 @@ std::uint64_t WorkerPool::total_parks() const noexcept {
 
 void WorkerPool::worker_loop(unsigned id) {
   PARACOSM_TRACE_THREAD_NAME("worker " + std::to_string(id));
+  if (pin_ && topo_.source == util::TopoSource::kSysfs) {
+    if (!util::pin_current_thread(assignment_[id].cpu))
+      pinned_.store(false, std::memory_order_relaxed);
+  }
   Slot& slot = slots_[id];
   std::uint64_t seen = 0;
   for (;;) {

@@ -1,0 +1,111 @@
+#include "util/numa_alloc.hpp"
+
+#include <cstdint>
+
+#include "util/hw_topo.hpp"
+
+#if defined(PARACOSM_NUMA_ENABLED) && defined(__linux__)
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#if defined(SYS_mbind)
+#define PARACOSM_HAVE_MBIND 1
+#endif
+#endif
+
+namespace paracosm::util::numa {
+namespace {
+
+#if defined(PARACOSM_HAVE_MBIND)
+// From <numaif.h>, which may not be installed (it ships with libnuma-dev).
+constexpr int kMpolInterleave = 3;
+constexpr unsigned kMpolFStaticNodes = 0;  // no flags
+
+long page_size() noexcept {
+  static const long ps = ::sysconf(_SC_PAGESIZE);
+  return ps > 0 ? ps : 4096;
+}
+
+// Largest page-aligned subrange of [ptr, ptr+bytes). mbind/madvise demand
+// page alignment; shrinking inward never touches memory outside the block.
+bool inner_range(void* ptr, std::size_t bytes, void*& start, std::size_t& len) noexcept {
+  const auto ps = static_cast<std::uintptr_t>(page_size());
+  auto lo = reinterpret_cast<std::uintptr_t>(ptr);
+  auto hi = lo + bytes;
+  lo = (lo + ps - 1) & ~(ps - 1);
+  hi &= ~(ps - 1);
+  if (hi <= lo) return false;
+  start = reinterpret_cast<void*>(lo);
+  len = hi - lo;
+  return true;
+}
+#endif
+
+}  // namespace
+
+bool compiled() noexcept {
+#if defined(PARACOSM_HAVE_MBIND)
+  return true;
+#else
+  return false;
+#endif
+}
+
+unsigned num_nodes() noexcept {
+  if (!compiled()) return 1;
+  return HwTopology::cached().num_nodes;
+}
+
+bool available() noexcept { return compiled() && num_nodes() > 1; }
+
+bool advise_hugepages(void* ptr, std::size_t bytes) noexcept {
+#if defined(PARACOSM_HAVE_MBIND) && defined(MADV_HUGEPAGE)
+  void* start = nullptr;
+  std::size_t len = 0;
+  if (!inner_range(ptr, bytes, start, len)) return false;
+  return ::madvise(start, len, MADV_HUGEPAGE) == 0;
+#else
+  (void)ptr;
+  (void)bytes;
+  return false;
+#endif
+}
+
+bool interleave(void* ptr, std::size_t bytes) noexcept {
+#if defined(PARACOSM_HAVE_MBIND)
+  const unsigned nodes = num_nodes();
+  if (nodes <= 1) return false;
+  void* start = nullptr;
+  std::size_t len = 0;
+  if (!inner_range(ptr, bytes, start, len)) return false;
+  // Node mask covering nodes [0, nodes). maxnode counts *bits*; the kernel
+  // wants one extra (it reads maxnode-1 usable bits).
+  unsigned long mask[16] = {};
+  constexpr unsigned kBitsPerWord = 8 * sizeof(unsigned long);
+  const unsigned capped = nodes < 16 * kBitsPerWord ? nodes : 16 * kBitsPerWord;
+  for (unsigned n = 0; n < capped; ++n)
+    mask[n / kBitsPerWord] |= 1UL << (n % kBitsPerWord);
+  long rc = ::syscall(SYS_mbind, start, len, kMpolInterleave, mask,
+                      static_cast<unsigned long>(capped + 1), kMpolFStaticNodes);
+  return rc == 0;
+#else
+  (void)ptr;
+  (void)bytes;
+  return false;
+#endif
+}
+
+bool place_shared(void* ptr, std::size_t bytes) noexcept {
+  if (ptr == nullptr || bytes < kPlacementThreshold) return false;
+  bool any = false;
+  if (available()) any = interleave(ptr, bytes) || any;
+  any = advise_hugepages(ptr, bytes) || any;
+  return any;
+}
+
+bool place_local(void* ptr, std::size_t bytes) noexcept {
+  if (ptr == nullptr || bytes < kPlacementThreshold) return false;
+  return advise_hugepages(ptr, bytes);
+}
+
+}  // namespace paracosm::util::numa

@@ -1,0 +1,59 @@
+// Best-effort NUMA memory placement and hugepage advice (DESIGN.md §10).
+//
+// We deliberately avoid a libnuma dependency: the only kernel interfaces we
+// need are mbind(2) (invoked via syscall(SYS_mbind, ...) — glibc does not
+// wrap it) and madvise(2). Everything here is *advice*: each call returns
+// whether it took effect, and failure is always safe — the memory stays
+// valid, just placed by the kernel's default first-touch policy.
+//
+// Compile-time gate: the PARACOSM_NUMA CMake option defines
+// PARACOSM_NUMA_ENABLED; with the option OFF (or off-Linux) every function
+// is a portable no-op returning false, so callers never need their own #if.
+//
+// Placement policy for the engine's large blocks:
+//   * place_shared  — structures read by all workers (vertex table,
+//     candidate index columns): interleave pages across nodes so no single
+//     node's memory controller bottlenecks the scan, + hugepage advice.
+//   * place_local   — per-worker structures (SearchScratch stamps, match
+//     sinks): hugepage advice only; locality comes from first-touch by the
+//     pinned owning worker.
+// Both apply only to ranges ≥ kPlacementThreshold — small blocks live
+// happily in whatever the allocator chose and mbind would just fragment
+// the VMA list.
+#pragma once
+
+#include <cstddef>
+
+namespace paracosm::util::numa {
+
+/// Ranges below this are left alone (policy calls become no-ops).
+inline constexpr std::size_t kPlacementThreshold = std::size_t{1} << 20;  // 1 MiB
+
+/// True when built with PARACOSM_NUMA=ON on Linux with mbind available.
+[[nodiscard]] bool compiled() noexcept;
+
+/// True when compiled() and the running system exposes >1 NUMA node.
+[[nodiscard]] bool available() noexcept;
+
+/// NUMA nodes visible to this process (≥1; 1 when not compiled/available).
+[[nodiscard]] unsigned num_nodes() noexcept;
+
+/// Advise transparent hugepages for [ptr, ptr+bytes). Page-aligns the inner
+/// range. Returns true if the advice was applied.
+bool advise_hugepages(void* ptr, std::size_t bytes) noexcept;
+
+/// Interleave the pages of [ptr, ptr+bytes) across all visible nodes
+/// (MPOL_INTERLEAVE). Only affects pages not yet faulted in; call right
+/// after allocation, before first touch. Returns true on success.
+bool interleave(void* ptr, std::size_t bytes) noexcept;
+
+/// Placement for globally shared read-mostly blocks: interleave (when >1
+/// node) + hugepage advice, both gated on kPlacementThreshold.
+/// Returns true if any advice was applied.
+bool place_shared(void* ptr, std::size_t bytes) noexcept;
+
+/// Placement for per-worker blocks: hugepage advice only; first-touch by
+/// the pinned owner provides locality. Gated on kPlacementThreshold.
+bool place_local(void* ptr, std::size_t bytes) noexcept;
+
+}  // namespace paracosm::util::numa

@@ -283,7 +283,9 @@ TEST(DataGraph, ApplyCheckedMatchesApplyOnEveryStatus) {
     // apply() on vertex inserts always reports true (relabel semantics);
     // everything else must agree exactly.
     const bool plain_changed = plain.apply(upd);
-    if (upd.op != UpdateOp::kInsertVertex) EXPECT_EQ(changed, plain_changed);
+    if (upd.op != UpdateOp::kInsertVertex) {
+      EXPECT_EQ(changed, plain_changed);
+    }
     EXPECT_TRUE(checked.same_structure(plain));
   }
 }

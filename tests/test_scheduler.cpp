@@ -81,17 +81,31 @@ TEST_P(SchedulerTortureTest, AllExecutorsDeliverIdenticalMatchSets) {
     std::unique_ptr<InnerExecutor> inner_dyn;
     std::unique_ptr<InnerExecutor> inner_static;
     std::unique_ptr<StealingExecutor> stealing;
+    std::unique_ptr<StealingExecutor> stealing_topo;  ///< topology-ordered sweep
   };
+  // Policy-only emulated 2-node topology (never pins): the topology-aware
+  // victim order must deliver the exact same byte-identical match stream as
+  // the flat sweep — distance ordering is a performance policy, not a
+  // semantic one (ISSUE 7 acceptance criterion).
+  const util::HwTopology topo = util::HwTopology::emulated(2, 4);
   std::vector<Rig> rigs;
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     Rig rig;
-    rig.pool = std::make_unique<WorkerPool>(threads, /*spin_iters=*/8);
+    PoolOptions popts;
+    popts.spin_iters = 8;
+    popts.topology = &topo;
+    rig.pool = std::make_unique<WorkerPool>(threads, popts);
     rig.inner_dyn = std::make_unique<InnerExecutor>(*rig.pool, tc.split_depth,
                                                     /*dynamic=*/true, knobs);
     rig.inner_static = std::make_unique<InnerExecutor>(*rig.pool, tc.split_depth,
                                                        /*dynamic=*/false, knobs);
     rig.stealing =
         std::make_unique<StealingExecutor>(*rig.pool, tc.split_depth, knobs);
+    QueueKnobs topo_knobs = knobs;
+    topo_knobs.victims = &rig.pool->victim_table();
+    topo_knobs.topo_order = true;
+    rig.stealing_topo =
+        std::make_unique<StealingExecutor>(*rig.pool, tc.split_depth, topo_knobs);
     rigs.push_back(std::move(rig));
   }
 
@@ -121,6 +135,18 @@ TEST_P(SchedulerTortureTest, AllExecutorsDeliverIdenticalMatchSets) {
         const InnerRunResult r = rig.stealing->run(*alg, seeds, {}, &got.fn);
         EXPECT_EQ(got.matches, expected) << "stealing t" << threads;
         EXPECT_EQ(r.matches, expected.size()) << "stealing t" << threads;
+      }
+      {
+        Collector got;
+        const InnerRunResult r = rig.stealing_topo->run(*alg, seeds, {}, &got.fn);
+        EXPECT_EQ(got.matches, expected) << "stealing-topo t" << threads;
+        EXPECT_EQ(r.matches, expected.size()) << "stealing-topo t" << threads;
+        // Per-distance counters partition successful steals.
+        const ParallelStats& st = r.stats;
+        EXPECT_EQ(st.total_steals_local() + st.total_steals_same_node() +
+                      st.total_steals_remote(),
+                  st.total_steals_succeeded())
+            << "stealing-topo t" << threads;
       }
     }
   }

@@ -3,9 +3,9 @@
 // search deadlines enforced by the watchdog, WAL + snapshot durability, and
 // crash recovery.
 //
-//   paracosm_serve --graph g.graph --query q.graph --stream u.stream \
-//     --algorithm symbi --threads 8 --policy block --queue 1024 \
-//     --budget-us 500 --wal service.wal --snapshot service.snap \
+//   paracosm_serve --graph g.graph --query q.graph --stream u.stream
+//     --algorithm symbi --threads 8 --policy block --queue 1024
+//     --budget-us 500 --wal service.wal --snapshot service.snap
 //     --snapshot-every 64
 //
 // Crash drill (the CI smoke job): run once with --kill-at N — the process
@@ -34,6 +34,8 @@
 #include "service/service.hpp"
 #include "service/wal.hpp"
 #include "util/cli.hpp"
+#include "util/hw_topo.hpp"
+#include "util/numa_alloc.hpp"
 #include "util/rng.hpp"
 #include "verify/oracle_mirror.hpp"
 
@@ -106,6 +108,21 @@ struct MultiQueryInfo {
   std::string algorithm;
 };
 
+/// Machine-shape stanza shared by both report writers: the host topology the
+/// latency numbers were taken on, so cross-host report diffs carry context.
+void write_topology_json(std::ostream& out) {
+  const util::HwTopology& topo = util::HwTopology::cached();
+  out << "  \"topology\": {\"source\": \"" << util::topo_source_name(topo.source)
+      << "\", \"cpus\": " << topo.num_cpus() << ", \"cores\": " << topo.num_cores
+      << ", \"nodes\": " << topo.num_nodes
+      << ", \"packages\": " << topo.num_packages
+      << ", \"smt\": " << (topo.smt ? "true" : "false")
+      << ", \"affinity_cpus\": " << util::affinity_cpu_count()
+      << ", \"numa_compiled\": " << (util::numa::compiled() ? "true" : "false")
+      << ", \"numa_available\": " << (util::numa::available() ? "true" : "false")
+      << "},\n";
+}
+
 void write_multi_json_report(const std::string& path,
                              const service::MultiServiceReport& r,
                              const std::vector<MultiQueryInfo>& queries,
@@ -121,8 +138,9 @@ void write_multi_json_report(const std::string& path,
   const auto& mq = r.mq;
   out << "{\n"
       << "  \"mode\": \"multi\",\n"
-      << "  \"threads\": " << threads << ",\n"
-      << "  \"policy\": \"" << policy << "\",\n"
+      << "  \"threads\": " << threads << ",\n";
+  write_topology_json(out);
+  out << "  \"policy\": \"" << policy << "\",\n"
       << "  \"wall_ns\": " << r.wall_ns << ",\n"
       << "  \"processed\": " << s.processed << ",\n"
       << "  \"deadline_hits\": " << r.deadline_hits << ",\n"
@@ -204,6 +222,7 @@ int run_multi(const util::Cli& cli, graph::DataGraph& g,
 
   engine::Config config;
   config.threads = static_cast<unsigned>(cli.get_int("threads"));
+  config.pin_threads = cli.get_bool("pin");
   config.inter_parallelism = false;  // the service processes one update at a time
   engine::MultiQueryEngine engine(g, config);
   engine.set_shared_evaluation(!cli.get_bool("no-sharing"));
@@ -329,8 +348,9 @@ void write_json_report(const std::string& path, const service::ServiceReport& r,
   const auto& s = r.stats;
   out << "{\n"
       << "  \"algorithm\": \"" << algorithm << "\",\n"
-      << "  \"threads\": " << threads << ",\n"
-      << "  \"policy\": \"" << policy << "\",\n"
+      << "  \"threads\": " << threads << ",\n";
+  write_topology_json(out);
+  out << "  \"policy\": \"" << policy << "\",\n"
       << "  \"positive\": " << r.positive << ",\n"
       << "  \"negative\": " << r.negative << ",\n"
       << "  \"wall_ns\": " << r.wall_ns << ",\n"
@@ -372,7 +392,9 @@ int main(int argc, char** argv) {
       .option("query", "", "query graph file (required)")
       .option("stream", "", "update stream file (required)")
       .option("algorithm", "graphflow", "graphflow|turboflux|symbi|calig|newsp")
-      .option("threads", "8", "worker threads for the search phase")
+      .option("threads", "8", "worker threads for the search phase (0 = one per "
+              "CPU in the process affinity mask)")
+      .flag("pin", "pin workers to CPUs (topology-aware; no-op without sysfs)")
       .option("policy", "block", "overload policy: block|shed|degrade")
       .option("queue", "1024", "ingest ring capacity")
       .option("budget-us", "0", "per-update search budget (0 = no deadline)")
@@ -551,6 +573,7 @@ int main(int argc, char** argv) {
 
   engine::Config config;
   config.threads = static_cast<unsigned>(cli.get_int("threads"));
+  config.pin_threads = cli.get_bool("pin");
   config.inter_parallelism = false;  // the service processes one update at a time
   engine::ParaCosm pc(*algorithm, q, g, config);
 

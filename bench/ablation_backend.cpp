@@ -1,0 +1,186 @@
+// Ablation of the batch classification backend (DESIGN.md §11): cpu
+// (pool-strided scalar classifier) vs wide (AVX2/SWAR mask kernels with
+// scalar fallback) across batch sizes, reporting the crossover batch size —
+// the smallest k at which the wide backend beats the cpu backend.
+//
+// Two phases:
+//   1. classify-only microbench — both backends classify the same update
+//      windows against the same snapshot; verdicts are cross-checked
+//      byte-for-byte per window.
+//   2. whole-engine cross-check — full process_stream runs per backend must
+//      produce identical match totals (the safe-batch equivalence claim).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "paracosm/batch_backend.hpp"
+
+using namespace paracosm;
+using namespace paracosm::bench;
+
+namespace {
+
+[[nodiscard]] double time_classify_ns_per_update(
+    engine::BatchBackend& backend, std::span<const graph::GraphUpdate> stream,
+    unsigned k, std::vector<engine::UpdateClass>& verdicts) {
+  engine::ParallelStats stats;
+  std::uint64_t lanes = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < stream.size(); i += k) {
+    const std::size_t count = std::min<std::size_t>(k, stream.size() - i);
+    backend.classify_batch(stream.subspan(i, count),
+                           std::span(verdicts).subspan(i, count), stats);
+    lanes += count;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (lanes == 0) return 0.0;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                 .count()) /
+         static_cast<double>(lanes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli = standard_cli("ablation_backend",
+                               "Ablation: cpu vs wide batch backend crossover");
+  cli.option("algorithm", "newsp", "Algorithm to ablate")
+      .option("reps", "3", "Timing repetitions (best-of)");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const double scale = cli.get_double("scale");
+  const auto num_queries = static_cast<std::uint32_t>(cli.get_int("queries"));
+  const std::int64_t stream_cap = cli.get_int("stream");
+  const unsigned threads = bench::resolve_threads(cli.get_int("threads"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto reps = static_cast<unsigned>(std::max<std::int64_t>(1, cli.get_int("reps")));
+  const std::string algorithm = cli.get("algorithm");
+
+  print_experiment_banner(
+      "Ablation: batch backend (cpu vs wide)",
+      "Classify-only ns/update vs batch size k, " + algorithm +
+          " (Orkut stand-in); crossover = smallest k where wide wins");
+
+  Workload wl = build_workload(graph::orkut_spec(scale), 6, num_queries, 0.10, seed);
+  cap_stream(wl, stream_cap);
+  if (algorithm == "calig") wl = strip_edge_labels(wl);
+
+  util::Table table({"batch_k", "backend", "ns_per_update", "resolved_wide_pct",
+                     "verdict_diffs"});
+  util::CsvWriter csv(results_path("ablation_backend"),
+                      {"batch_k", "backend", "ns_per_update",
+                       "resolved_wide_pct", "verdict_diffs"});
+
+  // --- Phase 1: classify-only microbench on the first query ------------
+  const graph::QueryGraph& q = wl.queries.front();
+  auto alg = csm::make_algorithm(algorithm);
+  if (!alg) {
+    std::fprintf(stderr, "unknown algorithm: %s\n", algorithm.c_str());
+    return 2;
+  }
+  graph::DataGraph g = wl.graph;
+  alg->attach(q, g);
+  const engine::UpdateClassifier classifier(q, g, *alg);
+  engine::WorkerPool pool(threads);
+  util::StripedLocks<64> locks;
+  const engine::BackendBind bind{&q, &g, alg.get(), &classifier, &pool, &locks};
+  auto cpu = engine::make_batch_backend(engine::BatchBackendKind::kCpu, bind);
+  auto wide = engine::make_batch_backend(engine::BatchBackendKind::kWide, bind);
+
+  std::vector<engine::UpdateClass> vc(wl.stream.size());
+  std::vector<engine::UpdateClass> vw(wl.stream.size());
+  long crossover = -1;
+  for (const unsigned k : {8u, 32u, 64u, 128u, 512u, 2048u}) {
+    double cpu_ns = 0, wide_ns = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+      const double c = time_classify_ns_per_update(*cpu, wl.stream, k, vc);
+      const double w = time_classify_ns_per_update(*wide, wl.stream, k, vw);
+      cpu_ns = r == 0 ? c : std::min(cpu_ns, c);
+      wide_ns = r == 0 ? w : std::min(wide_ns, w);
+    }
+    // Both arms must agree on every single verdict.
+    std::uint64_t diffs = 0;
+    for (std::size_t i = 0; i < vc.size(); ++i)
+      if (vc[i] != vw[i]) ++diffs;
+
+    wide->reset_stats();
+    engine::ParallelStats scratch;
+    for (std::size_t i = 0; i < wl.stream.size(); i += k) {
+      const std::size_t count = std::min<std::size_t>(k, wl.stream.size() - i);
+      wide->classify_batch(std::span(wl.stream).subspan(i, count),
+                           std::span(vw).subspan(i, count), scratch);
+    }
+    const engine::BatchBackendStats& ws = wide->stats();
+    const double resolved_pct =
+        ws.lanes ? 100.0 * static_cast<double>(ws.wide_resolved()) /
+                       static_cast<double>(ws.lanes)
+                 : 0.0;
+
+    table.row({std::to_string(k), "cpu", util::Table::num(cpu_ns, 1), "-",
+               std::to_string(diffs)});
+    table.row({std::to_string(k), "wide", util::Table::num(wide_ns, 1),
+               util::Table::num(resolved_pct, 1), std::to_string(diffs)});
+    csv.row({std::to_string(k), "cpu", util::CsvWriter::num(cpu_ns, 1), "0",
+             util::CsvWriter::num(diffs)});
+    csv.row({std::to_string(k), "wide", util::CsvWriter::num(wide_ns, 1),
+             util::CsvWriter::num(resolved_pct, 1), util::CsvWriter::num(diffs)});
+    if (diffs != 0) {
+      std::fprintf(stderr, "FATAL: %llu verdict diffs at k=%u\n",
+                   static_cast<unsigned long long>(diffs), k);
+      return 1;
+    }
+    if (crossover < 0 && wide_ns < cpu_ns) crossover = static_cast<long>(k);
+  }
+
+  std::puts("Backend classification ablation:");
+  table.print();
+  if (crossover >= 0)
+    std::printf("\ncrossover: wide beats cpu from batch_k >= %ld\n", crossover);
+  else
+    std::puts("\ncrossover: none in the swept range (cpu wins everywhere)");
+
+  // --- Phase 2: whole-engine differential (identical match totals) -----
+  std::puts("\nWhole-engine cross-check (identical match totals required):");
+  util::Table etable({"backend", "delta_matches", "wall_ms", "wide_lanes",
+                      "wide_resolved", "scalar_fallbacks"});
+  std::uint64_t totals[2] = {0, 0};
+  int arm = 0;
+  for (const auto kind :
+       {engine::BatchBackendKind::kCpu, engine::BatchBackendKind::kWide}) {
+    double wall_ms = 0;
+    std::uint64_t dm = 0, wlanes = 0, wres = 0, wfall = 0;
+    for (const auto& query : wl.queries) {
+      auto a = csm::make_algorithm(algorithm);
+      graph::DataGraph g2 = wl.graph;
+      engine::Config cfg;
+      cfg.threads = threads;
+      cfg.batch_backend = kind;
+      engine::ParaCosm pc(*a, query, g2, cfg);
+      const engine::StreamResult sr = pc.process_stream(wl.stream);
+      dm += sr.delta_matches();
+      wall_ms += static_cast<double>(sr.wall_ns) / 1e6;
+      wlanes += sr.backend_wide.lanes;
+      wres += sr.backend_wide.wide_resolved();
+      wfall += sr.backend_wide.scalar_fallbacks;
+    }
+    totals[arm++] = dm;
+    etable.row({kind == engine::BatchBackendKind::kCpu ? "cpu" : "wide",
+                std::to_string(dm), util::Table::num(wall_ms, 3),
+                std::to_string(wlanes), std::to_string(wres),
+                std::to_string(wfall)});
+  }
+  etable.print();
+  if (totals[0] != totals[1]) {
+    std::fprintf(stderr, "FATAL: match totals diverge (cpu=%llu wide=%llu)\n",
+                 static_cast<unsigned long long>(totals[0]),
+                 static_cast<unsigned long long>(totals[1]));
+    return 1;
+  }
+  std::printf("match totals identical across backends: %llu\n",
+              static_cast<unsigned long long>(totals[0]));
+  std::printf("\nCSV written to %s\n", results_path("ablation_backend").c_str());
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include "csm/filters.hpp"
 #include "util/checksum.hpp"
 #include "util/numa_alloc.hpp"
+#include "util/wide_ops.hpp"
 
 namespace paracosm::csm {
 
@@ -206,8 +207,11 @@ void DagCandidateIndex::build(const QueryGraph& q, const DataGraph& g,
   cnt_anc_.assign(n, {});
   cnt_desc_.assign(n, {});
   for (VertexId u = 0; u < n; ++u) {
-    anc_[u].assign(cap_, 0);
-    desc_[u].assign(cap_, 0);
+    // Columns are physically padded to a kByteBlock multiple with zero tails
+    // (the wide-kernel layout contract, wide_ops.hpp); logical extent is
+    // [0, cap_). The tails stay zero: flag writers only touch live ids.
+    anc_[u].assign(util::wide::padded_bytes(cap_), 0);
+    desc_[u].assign(util::wide::padded_bytes(cap_), 0);
     cnt_anc_[u].assign(static_cast<std::size_t>(cap_) * dag_.parents[u].size(), 0);
     cnt_desc_[u].assign(static_cast<std::size_t>(cap_) * dag_.children[u].size(), 0);
     place_columns(u);
@@ -255,8 +259,8 @@ void DagCandidateIndex::on_vertex_added(VertexId id) {
   if (id >= cap_) {
     cap_ = id + 1;
     for (VertexId u = 0; u < q_->num_vertices(); ++u) {
-      anc_[u].resize(cap_, 0);
-      desc_[u].resize(cap_, 0);
+      anc_[u].resize(util::wide::padded_bytes(cap_), 0);
+      desc_[u].resize(util::wide::padded_bytes(cap_), 0);
       cnt_anc_[u].resize(static_cast<std::size_t>(cap_) * dag_.parents[u].size(), 0);
       cnt_desc_[u].resize(static_cast<std::size_t>(cap_) * dag_.children[u].size(), 0);
       place_columns(u);
@@ -376,15 +380,38 @@ bool DagCandidateIndex::safe_remove(VertexId v1, VertexId v2, Label elabel) cons
 }
 
 std::uint64_t DagCandidateIndex::num_candidate_pairs() const noexcept {
+  // AND + popcount over the padded columns (zero tails contribute nothing);
+  // runtime-dispatched between the AVX2 and SWAR kernels.
+  const bool avx2 = util::wide::use_avx2(util::wide::Dispatch::kAuto);
   std::uint64_t total = 0;
-  for (VertexId u = 0; u < q_->num_vertices(); ++u)
-    for (VertexId v = 0; v < cap_; ++v)
-      if (anc_[u][v] && desc_[u][v]) ++total;
+  for (VertexId u = 0; u < q_->num_vertices(); ++u) {
+    const std::size_t padded = anc_[u].size();
+    total += avx2 ? util::wide::count_pairs_avx2(anc_[u].data(), desc_[u].data(),
+                                                 padded)
+                  : util::wide::count_pairs_swar(anc_[u].data(), desc_[u].data(),
+                                                 padded);
+  }
   return total;
 }
 
 bool DagCandidateIndex::states_equal(const DagCandidateIndex& other) const noexcept {
-  return anc_ == other.anc_ && desc_ == other.desc_;
+  // Compare the logical extent only: two indexes over the same flag set may
+  // have different physical capacities (and therefore different padding).
+  if (q_->num_vertices() != other.q_->num_vertices()) return false;
+  const std::uint32_t cap = std::min(cap_, other.cap_);
+  for (VertexId u = 0; u < q_->num_vertices(); ++u) {
+    if (!std::equal(anc_[u].begin(), anc_[u].begin() + cap, other.anc_[u].begin()))
+      return false;
+    if (!std::equal(desc_[u].begin(), desc_[u].begin() + cap, other.desc_[u].begin()))
+      return false;
+    // Any flag beyond the shorter capacity must be off on the longer side.
+    const auto& big_anc = cap_ > other.cap_ ? anc_[u] : other.anc_[u];
+    const auto& big_desc = cap_ > other.cap_ ? desc_[u] : other.desc_[u];
+    const std::uint32_t big_cap = std::max(cap_, other.cap_);
+    for (std::uint32_t v = cap; v < big_cap; ++v)
+      if (big_anc[v] || big_desc[v]) return false;
+  }
+  return true;
 }
 
 }  // namespace paracosm::csm

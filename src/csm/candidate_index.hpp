@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/data_graph.hpp"
@@ -87,8 +88,21 @@ class DagCandidateIndex {
   [[nodiscard]] bool safe_insert(VertexId v1, VertexId v2, Label elabel) const;
   [[nodiscard]] bool safe_remove(VertexId v1, VertexId v2, Label elabel) const;
 
-  /// Total candidate pairs (pruning-power statistic).
+  /// Total candidate pairs (pruning-power statistic). Computed by the wide
+  /// AND+popcount kernel over the padded columns (util/wide_ops.hpp).
   [[nodiscard]] std::uint64_t num_candidate_pairs() const noexcept;
+
+  /// Logical column extent (data-graph vertex capacity at last build/grow).
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return cap_; }
+  /// Raw flag columns including the physical padding — the wide-kernel
+  /// layout contract (entries [0, capacity()) live, tail zero-filled to a
+  /// kByteBlock multiple) is pinned by tests/test_batch_backend.cpp.
+  [[nodiscard]] std::span<const std::uint8_t> anc_column(VertexId u) const noexcept {
+    return anc_[u];
+  }
+  [[nodiscard]] std::span<const std::uint8_t> desc_column(VertexId u) const noexcept {
+    return desc_[u];
+  }
 
   /// Flag-for-flag equality — lets tests verify incremental maintenance
   /// against a freshly built index.

@@ -27,6 +27,8 @@ enum class EventKind : std::uint32_t {
   kClassify,     ///< span: one classifier pass; args verdict, u, v
   kBatch,        ///< span: batch classify + safe-apply phases; args index, size
   kSafeApply,    ///< instant: one safe update applied in a batch; args u, v
+  kBatchBackend, ///< span: one backend classify pass; args backend (0 cpu /
+                 ///< 1 wide), lanes, wide_resolved (0 for cpu)
 
   // Inner-update runtime (per task).
   kTaskExpand,   ///< span: one search task expanded by a worker; args depth
@@ -79,6 +81,7 @@ inline constexpr std::uint32_t kEventKindCount =
     case EventKind::kClassify: return "classify";
     case EventKind::kBatch: return "batch";
     case EventKind::kSafeApply: return "safe_apply";
+    case EventKind::kBatchBackend: return "batch_backend";
     case EventKind::kTaskExpand: return "task";
     case EventKind::kSteal: return "steal";
     case EventKind::kResplit: return "resplit";
@@ -106,6 +109,7 @@ inline constexpr std::uint32_t kEventKindCount =
     case EventKind::kSafeApply:
       return "engine";
     case EventKind::kClassify:
+    case EventKind::kBatchBackend:
     case EventKind::kMultiClassify:
       return "classifier";
     case EventKind::kMultiSearch:
@@ -138,6 +142,7 @@ inline constexpr std::uint32_t kEventKindCount =
     case EventKind::kClassify: return {"verdict", "u", "v"};
     case EventKind::kBatch: return {"index", "size", "safe_prefix"};
     case EventKind::kSafeApply: return {"u", "v", nullptr};
+    case EventKind::kBatchBackend: return {"backend", "lanes", "wide_resolved"};
     case EventKind::kTaskExpand: return {"depth", nullptr, nullptr};
     case EventKind::kSteal: return {"victim", "thief", "distance"};
     case EventKind::kResplit: return {"depth", nullptr, nullptr};

@@ -19,17 +19,18 @@ UpdateClass UpdateClassifier::classify(const graph::GraphUpdate& upd) const {
   return classify_impl(upd);
 }
 
-UpdateClass UpdateClassifier::classify_impl(const graph::GraphUpdate& upd) const {
+std::optional<graph::GraphUpdate> UpdateClassifier::effective_update(
+    const graph::GraphUpdate& upd) const {
   using graph::UpdateOp;
   // Vertex operations are trivial but touch index storage; the sequential
   // path handles them (they are rare in CSM streams).
-  if (!upd.is_edge_op()) return UpdateClass::kUnsafe;
+  if (!upd.is_edge_op()) return std::nullopt;
   if (!g_.has_vertex(upd.u) || !g_.has_vertex(upd.v) || upd.u == upd.v)
-    return UpdateClass::kUnsafe;
+    return std::nullopt;
   // Duplicate inserts / phantom removals are no-ops; route them through the
   // sequential path, which detects and skips them.
   const bool insert = upd.op == UpdateOp::kInsertEdge;
-  if (insert == g_.has_edge(upd.u, upd.v)) return UpdateClass::kUnsafe;
+  if (insert == g_.has_edge(upd.u, upd.v)) return std::nullopt;
 
   // Deletion requests may omit the edge label ("-e u v"); classify against
   // the actual label or stage 1/3 would judge the wrong edge (the engines
@@ -37,9 +38,20 @@ UpdateClass UpdateClassifier::classify_impl(const graph::GraphUpdate& upd) const
   graph::GraphUpdate eff = upd;
   if (!insert) {
     const auto actual_label = g_.edge_label(upd.u, upd.v);
-    if (!actual_label) return UpdateClass::kUnsafe;
+    if (!actual_label) return std::nullopt;
     eff.label = *actual_label;
   }
+  return eff;
+}
+
+UpdateClass UpdateClassifier::classify_impl(const graph::GraphUpdate& upd) const {
+  const std::optional<graph::GraphUpdate> eff = effective_update(upd);
+  if (!eff) return UpdateClass::kUnsafe;
+  return classify_effective(*eff);
+}
+
+UpdateClass UpdateClassifier::classify_effective(const graph::GraphUpdate& eff) const {
+  const bool insert = eff.op == graph::UpdateOp::kInsertEdge;
 
   // Stage 1: label filtering.
   const auto pairs = q_.matching_edges(g_.label(eff.u), g_.label(eff.v), eff.label,
@@ -48,8 +60,8 @@ UpdateClass UpdateClassifier::classify_impl(const graph::GraphUpdate& upd) const
 
   // Stage 2: degree filtering (with degrees as they will be once the edge
   // exists: insertion adds one to both endpoints).
-  const std::uint32_t du = g_.degree(upd.u) + (insert ? 1 : 0);
-  const std::uint32_t dv = g_.degree(upd.v) + (insert ? 1 : 0);
+  const std::uint32_t du = g_.degree(eff.u) + (insert ? 1 : 0);
+  const std::uint32_t dv = g_.degree(eff.v) + (insert ? 1 : 0);
   bool degree_feasible = false;
   for (const auto& [u1, u2] : pairs) {
     if (du >= q_.degree(u1) && dv >= q_.degree(u2)) {

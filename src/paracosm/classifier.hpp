@@ -18,6 +18,8 @@
 // decisive on its own only for index-free algorithms (GraphFlow, NewSP).
 #pragma once
 
+#include <optional>
+
 #include "csm/algorithm.hpp"
 #include "paracosm/stats.hpp"
 
@@ -48,6 +50,17 @@ class UpdateClassifier {
   /// classify + stats bookkeeping.
   UpdateClass classify_counted(const graph::GraphUpdate& upd,
                                ClassifierStats& stats) const;
+
+  /// Prepass shared with the batch backends (batch_backend.cpp): validity
+  /// screening plus delete-label resolution. nullopt means the update is
+  /// kUnsafe before any stage runs (vertex op, missing endpoint, self-loop,
+  /// duplicate insert / phantom removal); otherwise the returned update has
+  /// its edge label resolved and classify_effective() decides stages 1–3.
+  [[nodiscard]] std::optional<graph::GraphUpdate> effective_update(
+      const graph::GraphUpdate& upd) const;
+
+  /// Stages 1–3 on an already-resolved update (see effective_update()).
+  [[nodiscard]] UpdateClass classify_effective(const graph::GraphUpdate& eff) const;
 
  private:
   [[nodiscard]] UpdateClass classify_impl(const graph::GraphUpdate& upd) const;

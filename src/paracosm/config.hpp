@@ -2,8 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "util/hw_topo.hpp"
+#include "util/wide_ops.hpp"
 
 namespace paracosm::engine {
 
@@ -27,6 +30,34 @@ enum class BatchMode : std::uint8_t {
   /// equivalent to sequential processing (DESIGN.md §4).
   kStrict,
 };
+
+/// Which classifier backend the batch executor routes safe batches through
+/// (DESIGN.md §11). The registry lives in batch_backend.hpp; the kind is
+/// declared here so Config stays include-light.
+enum class BatchBackendKind : std::uint8_t {
+  kCpu,   ///< worker-pool scalar classification (the PR-2 path)
+  kWide,  ///< AVX2/SWAR wide-lane classification (util/wide_ops.hpp)
+  kAuto,  ///< per batch: wide up to Config::wide_auto_cutoff lanes (and
+          ///  always on single-thread pools), pool-strided cpu beyond
+};
+
+[[nodiscard]] constexpr std::string_view batch_backend_name(
+    BatchBackendKind k) noexcept {
+  switch (k) {
+    case BatchBackendKind::kCpu: return "cpu";
+    case BatchBackendKind::kWide: return "wide";
+    case BatchBackendKind::kAuto: return "auto";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::optional<BatchBackendKind> parse_batch_backend(
+    std::string_view name) noexcept {
+  if (name == "cpu") return BatchBackendKind::kCpu;
+  if (name == "wide") return BatchBackendKind::kWide;
+  if (name == "auto") return BatchBackendKind::kAuto;
+  return std::nullopt;
+}
 
 struct Config {
   /// Worker threads for both executors. 0 -> CPUs in the affinity mask
@@ -77,6 +108,24 @@ struct Config {
   /// remote, with bounded remote back-off). OFF reproduces the PR-2 flat
   /// randomized sweep — the ablation baseline.
   bool topo_aware_steal = true;
+
+  /// Batch classifier backend (DESIGN.md §11). Every backend produces
+  /// byte-identical verdicts (and therefore identical ΔM); they differ only
+  /// in how the classification work is executed.
+  BatchBackendKind batch_backend = BatchBackendKind::kCpu;
+
+  /// kAuto crossover: batches with at most this many lanes go wide; larger
+  /// batches go to the pool-strided cpu backend (with >1 worker the pooled
+  /// scalar path overtakes the mostly-serial wide gather once the batch is
+  /// big enough to amortize pool dispatch — bench/ablation_backend.cpp; on
+  /// a single-thread pool kAuto always picks wide). Default is the measured
+  /// crossover on the Orkut stand-in at 4 threads.
+  unsigned wide_auto_cutoff = 512;
+
+  /// Instruction-path override for the wide backend (tests force the SWAR
+  /// and AVX2 paths explicitly; kForceAvx2 without hardware support
+  /// downgrades to SWAR and counts a fallback activation).
+  util::wide::Dispatch wide_dispatch = util::wide::Dispatch::kAuto;
 
   [[nodiscard]] unsigned effective_threads() const {
     if (threads != 0) return threads;

@@ -4,7 +4,6 @@
 #include <unordered_set>
 
 #include "obs/trace_ring.hpp"
-#include "paracosm/shard_cursor.hpp"
 #include "util/timer.hpp"
 
 namespace paracosm::engine {
@@ -46,6 +45,23 @@ ParaCosm::ParaCosm(csm::CsmAlgorithm& alg, const graph::QueryGraph& q,
       stealing_(pool_, config.split_depth, queue_knobs(config, pool_)),
       classifier_(q, g, alg) {
   alg_.attach(q_, g_);
+  // Both batch backends are constructed up front (the wide bind is a few
+  // dozen broadcast operands); Config::batch_backend only routes batches.
+  const BackendBind bind{&q_, &g_, &alg_, &classifier_, &pool_, &locks_};
+  backend_cpu_ = make_batch_backend(BatchBackendKind::kCpu, bind);
+  backend_wide_ =
+      make_batch_backend(BatchBackendKind::kWide, bind, config_.wide_dispatch);
+}
+
+BatchBackend& ParaCosm::backend_for(std::size_t batch_lanes) noexcept {
+  switch (config_.batch_backend) {
+    case BatchBackendKind::kCpu: return *backend_cpu_;
+    case BatchBackendKind::kWide: return *backend_wide_;
+    case BatchBackendKind::kAuto: break;
+  }
+  if (pool_.size() <= 1) return *backend_wide_;
+  return batch_lanes <= config_.wide_auto_cutoff ? *backend_wide_
+                                                 : *backend_cpu_;
 }
 
 csm::UpdateOutcome ParaCosm::process(const GraphUpdate& upd,
@@ -171,20 +187,6 @@ csm::UpdateOutcome ParaCosm::process_edge(const GraphUpdate& upd,
   return out;
 }
 
-void ParaCosm::apply_safe(const GraphUpdate& upd) {
-  if (upd.op == UpdateOp::kInsertEdge) {
-    g_.add_edge(upd.u, upd.v, upd.label);
-    alg_.on_edge_inserted(upd);  // counter-cache deltas only; no flips by proof
-  } else {
-    const auto removed = g_.remove_edge(upd.u, upd.v);
-    if (removed) {
-      GraphUpdate applied = upd;
-      applied.label = *removed;
-      alg_.on_edge_removed(applied);
-    }
-  }
-}
-
 StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
                                       util::Clock::time_point deadline,
                                       util::CancelView cancel) {
@@ -216,6 +218,11 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
     return result;
   }
 
+  // Per-stream backend accounting: reset here, snapshot into the result at
+  // the end (conservation: cpu.batches + wide.batches == result.batches).
+  backend_cpu_->reset_stats();
+  backend_wide_->reset_stats();
+
   const unsigned k = config_.effective_batch_size();
   const unsigned nthreads = pool_.size();
   std::size_t i = 0;
@@ -238,23 +245,15 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
         obs::trace_level() >= 1 ? obs::now_ns() : 0;
 #endif
 
-    // Phase 1 — parallel classification against the batch-start snapshot
-    // (read-only on graph and ADS).
+    // Phase 1 — classification against the batch-start snapshot (read-only
+    // on graph and ADS), routed through the configured batch backend
+    // (batch_backend.hpp): the CPU backend strides the scalar classifier
+    // over the pool, the wide backend runs the mask kernels. Both produce
+    // byte-identical verdicts (the wide path self-diffs per batch under
+    // PARACOSM_VERIFY).
     verdicts.assign(count, UpdateClass::kUnsafe);
-    if (nthreads > 1 && count > 1) {
-      pool_.run([&](unsigned wid) {
-        util::ThreadCpuTimer timer;
-        for (std::size_t j = wid; j < count; j += nthreads)
-          verdicts[j] = classifier_.classify(stream[i + j]);
-        result.stats.workers[wid].busy_ns += timer.elapsed_ns();
-      });
-      result.stats.dispatch_ns += pool_.last_dispatch_ns();
-    } else {
-      util::ThreadCpuTimer timer;
-      for (std::size_t j = 0; j < count; ++j)
-        verdicts[j] = classifier_.classify(stream[i + j]);
-      result.stats.serial_ns += timer.elapsed_ns();
-    }
+    backend_for(count).classify_batch(stream.subspan(i, count), verdicts,
+                                      result.stats);
 
     // Phase 2a — commit plan (cheap, sequential): the safe prefix up to the
     // first unsafe update (Figure 6) or, in strict mode, the first update
@@ -307,34 +306,8 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
       // where workers mutate counter caches concurrently.
       const std::uint64_t verify_ads_before = alg_.ads_checksum();
 #endif
-      if (nthreads > 1 && safe_prefix > 1) {
-        ShardedCursor cursor(safe_prefix, nthreads, pool_.node_map());
-        pool_.run([&](unsigned wid) {
-          util::ThreadCpuTimer timer;
-          std::uint64_t applied = 0;
-          for (std::size_t j = cursor.claim(wid); j != ShardedCursor::npos;
-               j = cursor.claim(wid)) {
-            const GraphUpdate& upd = stream[i + j];
-            locks_.lock_pair(upd.u, upd.v);
-            apply_safe(upd);
-            locks_.unlock_pair(upd.u, upd.v);
-            PARACOSM_TRACE_INSTANT(obs::EventKind::kSafeApply, upd.u, upd.v);
-            ++applied;
-          }
-          WorkerStats& ws = result.stats.workers[wid];
-          ws.busy_ns += timer.elapsed_ns();
-          ws.shard_updates += applied;
-        });
-        result.stats.dispatch_ns += pool_.last_dispatch_ns();
-      } else {
-        util::ThreadCpuTimer timer;
-        for (std::size_t j = 0; j < safe_prefix; ++j) {
-          apply_safe(stream[i + j]);
-          PARACOSM_TRACE_INSTANT(obs::EventKind::kSafeApply, stream[i + j].u,
-                                 stream[i + j].v);
-        }
-        result.stats.serial_ns += timer.elapsed_ns();
-      }
+      backend_for(count).apply_safe_prefix(stream.subspan(i, safe_prefix),
+                                           result.stats);
 #ifdef PARACOSM_VERIFY
       if (alg_.ads_checksum() != verify_ads_before)
         throw std::logic_error(
@@ -362,6 +335,8 @@ StreamResult ParaCosm::process_stream(std::span<const GraphUpdate> stream,
     }
   }
 
+  result.backend_cpu = backend_cpu_->stats();
+  result.backend_wide = backend_wide_->stats();
   result.wall_ns = wall.elapsed_ns();
   return result;
 }

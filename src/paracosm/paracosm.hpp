@@ -15,6 +15,7 @@
 #include <span>
 
 #include "csm/engine.hpp"
+#include "paracosm/batch_backend.hpp"
 #include "paracosm/classifier.hpp"
 #include "paracosm/config.hpp"
 #include "paracosm/inner_executor.hpp"
@@ -40,6 +41,12 @@ struct StreamResult {
   std::uint64_t unsafe_sequential = 0;
   std::uint64_t deferred_after_unsafe = 0;
   std::uint64_t deferred_conflicts = 0;  ///< strict mode only
+
+  /// Per-backend classification counters for this stream (DESIGN.md §11).
+  /// In inter-parallel mode backend_cpu.batches + backend_wide.batches ==
+  /// batches — every batch is classified by exactly one backend.
+  BatchBackendStats backend_cpu;
+  BatchBackendStats backend_wide;
 
   ParallelStats stats;
   std::int64_t wall_ns = 0;
@@ -97,9 +104,9 @@ class ParaCosm {
   csm::UpdateOutcome process_edge(const graph::GraphUpdate& upd,
                                   util::Clock::time_point deadline,
                                   util::CancelView cancel, ParallelStats& stats);
-  /// Apply a safe update: adjacency plus counter-cache deltas, no
-  /// enumeration (safety guarantees ΔM = ∅ and no index flips).
-  void apply_safe(const graph::GraphUpdate& upd);
+  /// The backend one batch routes through (Config::batch_backend; kAuto
+  /// picks per batch size against Config::wide_auto_cutoff).
+  [[nodiscard]] BatchBackend& backend_for(std::size_t batch_lanes) noexcept;
 
   csm::CsmAlgorithm& alg_;
   const graph::QueryGraph& q_;
@@ -110,6 +117,8 @@ class ParaCosm {
   StealingExecutor stealing_;
   UpdateClassifier classifier_;
   util::StripedLocks<64> locks_;
+  std::unique_ptr<BatchBackend> backend_cpu_;
+  std::unique_ptr<BatchBackend> backend_wide_;
   ParallelStats loose_stats_;
   std::function<void(std::span<const csm::Assignment>)> on_match_;
 };

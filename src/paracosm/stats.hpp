@@ -220,6 +220,62 @@ struct MultiQueryStats {
   }
 };
 
+/// Per-backend counters of the pluggable safe-batch classifier backends
+/// (DESIGN.md §11). Conservation contract (asserted by test_obs_integration):
+/// `lanes` equals the sum of the four verdict counters, and for the wide
+/// backend it also equals prepass_unsafe + label_rejects + degree_rejects +
+/// swar_prerejects + scalar_fallbacks; across a stream, cpu.batches +
+/// wide.batches == StreamResult::batches (inter-parallel mode).
+struct BatchBackendStats {
+  std::uint64_t batches = 0;  ///< batches this backend classified
+  std::uint64_t lanes = 0;    ///< updates (lanes) classified
+
+  // Verdicts produced (same taxonomy as ClassifierStats).
+  std::uint64_t safe_label = 0;
+  std::uint64_t safe_degree = 0;
+  std::uint64_t safe_ads = 0;
+  std::uint64_t unsafe_lanes = 0;
+
+  // Wide-backend resolution breakdown (zero for the CPU backend).
+  std::uint64_t prepass_unsafe = 0;    ///< rejected by the scalar prepass
+  std::uint64_t label_rejects = 0;     ///< kSafeLabel proved by the mask kernels
+  std::uint64_t degree_rejects = 0;    ///< kSafeDegree proved by the mask kernels
+  std::uint64_t swar_prerejects = 0;   ///< kSafeAds proved by the NLF pre-reject
+  std::uint64_t scalar_fallbacks = 0;  ///< lanes handed to the scalar classifier
+
+  // Instruction-path accounting.
+  std::uint64_t avx2_batches = 0;          ///< batches run on the AVX2 path
+  std::uint64_t swar_batches = 0;          ///< batches run on the portable path
+  std::uint64_t fallback_activations = 0;  ///< batches run SWAR under a
+                                           ///< kForceAvx2 request (no AVX2)
+  std::uint64_t verify_diffs = 0;          ///< PARACOSM_VERIFY oracle diffs run
+
+  [[nodiscard]] std::uint64_t safe() const noexcept {
+    return safe_label + safe_degree + safe_ads;
+  }
+  [[nodiscard]] std::uint64_t wide_resolved() const noexcept {
+    return prepass_unsafe + label_rejects + degree_rejects + swar_prerejects;
+  }
+
+  void merge(const BatchBackendStats& other) noexcept {
+    batches += other.batches;
+    lanes += other.lanes;
+    safe_label += other.safe_label;
+    safe_degree += other.safe_degree;
+    safe_ads += other.safe_ads;
+    unsafe_lanes += other.unsafe_lanes;
+    prepass_unsafe += other.prepass_unsafe;
+    label_rejects += other.label_rejects;
+    degree_rejects += other.degree_rejects;
+    swar_prerejects += other.swar_prerejects;
+    scalar_fallbacks += other.scalar_fallbacks;
+    avx2_batches += other.avx2_batches;
+    swar_batches += other.swar_batches;
+    fallback_activations += other.fallback_activations;
+    verify_diffs += other.verify_diffs;
+  }
+};
+
 /// Per-stage tallies of the update type classifier (Figure 12 / Table 4).
 struct ClassifierStats {
   std::uint64_t total = 0;

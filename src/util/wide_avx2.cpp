@@ -1,0 +1,144 @@
+// AVX2 twin of the SWAR kernels in wide_ops.hpp, plus the runtime dispatch.
+//
+// This is the only translation unit built with -mavx2 (CMake attaches the
+// flag per-file when PARACOSM_SIMD is ON and the target is x86-64), so the
+// rest of the binary stays runnable on any CPU: callers must route through
+// use_avx2() before calling the *_avx2 entry points. When the flag is off —
+// PARACOSM_SIMD=OFF, or a non-x86 target — the entry points compile as plain
+// forwards to the SWAR path and avx2_compiled() reports false, so the same
+// binary layout (and the Dispatch override semantics) exists everywhere.
+#include "util/wide_ops.hpp"
+
+#if defined(PARACOSM_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace paracosm::util::wide {
+
+#if defined(PARACOSM_SIMD_AVX2)
+
+namespace {
+
+// du >= d1 as a full-width lane mask. Signed 64-bit compare is sound: every
+// gathered operand (label, degree, signature guard arithmetic result) that
+// reaches a compare is < 2^63.
+[[nodiscard]] inline __m256i ge_u64(__m256i a, __m256i b) noexcept {
+  const __m256i lt = _mm256_cmpgt_epi64(b, a);  // b > a  <=>  a < b
+  return _mm256_xor_si256(lt, _mm256_set1_epi64x(-1));
+}
+
+// SWAR containment, 4 lanes at once: (((have | G) - need) & G) == G.
+[[nodiscard]] inline __m256i covers_u64(__m256i have, __m256i need,
+                                        __m256i guard) noexcept {
+  const __m256i t =
+      _mm256_and_si256(_mm256_sub_epi64(_mm256_or_si256(have, guard), need), guard);
+  return _mm256_cmpeq_epi64(t, guard);
+}
+
+}  // namespace
+
+void edge_masks_avx2(const LaneView& v, const EdgeTerm& t,
+                     std::uint64_t* any_label, std::uint64_t* any_deg,
+                     std::uint64_t* any_alive) noexcept {
+  const __m256i l1 = _mm256_set1_epi64x(static_cast<long long>(t.l1));
+  const __m256i l2 = _mm256_set1_epi64x(static_cast<long long>(t.l2));
+  const __m256i el = _mm256_set1_epi64x(static_cast<long long>(t.el));
+  const __m256i d1 = _mm256_set1_epi64x(static_cast<long long>(t.d1));
+  const __m256i d2 = _mm256_set1_epi64x(static_cast<long long>(t.d2));
+  const __m256i sig1 = _mm256_set1_epi64x(static_cast<long long>(t.sig1));
+  const __m256i sig2 = _mm256_set1_epi64x(static_cast<long long>(t.sig2));
+  const __m256i guard = _mm256_set1_epi64x(static_cast<long long>(kSigGuard));
+
+  const auto quad = [&](std::size_t i) {
+    const __m256i lu = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&v.lu[i]));
+    const __m256i lv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&v.lv[i]));
+    __m256i lm = _mm256_and_si256(_mm256_cmpeq_epi64(lu, l1),
+                                  _mm256_cmpeq_epi64(lv, l2));
+    if (!t.blind) {
+      const __m256i ev = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&v.el[i]));
+      lm = _mm256_and_si256(lm, _mm256_cmpeq_epi64(ev, el));
+    }
+    const __m256i du = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&v.du[i]));
+    const __m256i dv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&v.dv[i]));
+    const __m256i dm =
+        _mm256_and_si256(lm, _mm256_and_si256(ge_u64(du, d1), ge_u64(dv, d2)));
+    const __m256i su =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&v.sig_u[i]));
+    const __m256i sv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&v.sig_v[i]));
+    const __m256i am = _mm256_and_si256(
+        dm, _mm256_and_si256(covers_u64(su, sig1, guard), covers_u64(sv, sig2, guard)));
+
+    __m256i* const alp = reinterpret_cast<__m256i*>(&any_label[i]);
+    __m256i* const adp = reinterpret_cast<__m256i*>(&any_deg[i]);
+    __m256i* const aap = reinterpret_cast<__m256i*>(&any_alive[i]);
+    _mm256_storeu_si256(alp, _mm256_or_si256(_mm256_loadu_si256(alp), lm));
+    _mm256_storeu_si256(adp, _mm256_or_si256(_mm256_loadu_si256(adp), dm));
+    _mm256_storeu_si256(aap, _mm256_or_si256(_mm256_loadu_si256(aap), am));
+  };
+  // kLaneBlock = 8 lanes per iteration: two 4-lane registers per column.
+  for (std::size_t i = 0; i < v.padded; i += kLaneBlock) {
+    quad(i);
+    quad(i + 4);
+  }
+}
+
+std::uint64_t count_pairs_avx2(const std::uint8_t* a, const std::uint8_t* b,
+                               std::size_t padded) noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  for (std::size_t i = 0; i < padded; i += kByteBlock) {
+    const __m256i wa = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i wb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // Bytes are 0/1, so summing the AND bytes counts the pairs; SAD against
+    // zero horizontally sums each 8-byte group into a 64-bit lane.
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(_mm256_and_si256(wa, wb), zero));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+bool avx2_compiled() noexcept { return true; }
+
+#else  // !PARACOSM_SIMD_AVX2
+
+void edge_masks_avx2(const LaneView& v, const EdgeTerm& t,
+                     std::uint64_t* any_label, std::uint64_t* any_deg,
+                     std::uint64_t* any_alive) noexcept {
+  edge_masks_swar(v, t, any_label, any_deg, any_alive);
+}
+
+std::uint64_t count_pairs_avx2(const std::uint8_t* a, const std::uint8_t* b,
+                               std::size_t padded) noexcept {
+  return count_pairs_swar(a, b, padded);
+}
+
+bool avx2_compiled() noexcept { return false; }
+
+#endif  // PARACOSM_SIMD_AVX2
+
+bool avx2_runtime() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool use_avx2(Dispatch d, bool* downgraded) noexcept {
+  const bool available = avx2_compiled() && avx2_runtime();
+  switch (d) {
+    case Dispatch::kForceSwar:
+      return false;
+    case Dispatch::kForceAvx2:
+      if (!available && downgraded) *downgraded = true;
+      return available;
+    case Dispatch::kAuto:
+      break;
+  }
+  return available;
+}
+
+}  // namespace paracosm::util::wide

@@ -1,0 +1,155 @@
+// Wide-lane kernels for the batch backend (DESIGN.md §11).
+//
+// The safe-batch classifier evaluates the same tiny predicate — label match,
+// degree feasibility, packed-NLF containment — against every update of a
+// batch. These kernels run that predicate over *columns* of lanes: each
+// update contributes one 64-bit lane per operand column (endpoint labels,
+// degrees, packed signatures), and one oriented query edge is broadcast
+// against all lanes at once. Everything is uniform uint64 width, so the
+// AVX2 path is a straight 4-lanes-per-register translation of the SWAR path
+// (two registers per step = 8 lanes per iteration) and the two paths are
+// bit-for-bit interchangeable.
+//
+// Layout contract shared with the callers: every column is padded to a
+// multiple of kLaneBlock lanes (kByteBlock bytes for the 0/1 candidate
+// columns) and the tail is ZERO-FILLED. Kernels read the full padded extent;
+// mask kernels may produce garbage verdict masks in tail lanes (callers only
+// read lanes < count), but the popcount kernel *sums* the tail, so a
+// non-zero tail byte is a correctness bug — tests/test_batch_backend.cpp
+// pins this.
+//
+// This header is dependency-free on purpose (util sits below graph): the
+// packed-signature constants are restated here and static_asserted equal to
+// graph/nlf_signature.hpp at an include site that sees both
+// (paracosm/batch_backend.cpp).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace paracosm::util::wide {
+
+/// uint64 lanes one kernel iteration covers (2 × 4-lane AVX2 registers).
+inline constexpr std::size_t kLaneBlock = 8;
+/// Bytes one candidate-column iteration covers (one AVX2 register).
+inline constexpr std::size_t kByteBlock = 32;
+
+[[nodiscard]] inline constexpr std::size_t padded_lanes(std::size_t n) noexcept {
+  return (n + kLaneBlock - 1) / kLaneBlock * kLaneBlock;
+}
+[[nodiscard]] inline constexpr std::size_t padded_bytes(std::size_t n) noexcept {
+  return (n + kByteBlock - 1) / kByteBlock * kByteBlock;
+}
+
+/// Per-lane guard bits of the packed NLF signature (== graph::kNlfSigGuard;
+/// asserted where both headers are visible).
+inline constexpr std::uint64_t kSigGuard = 0x8888888888888888ULL;
+
+/// SWAR containment: every 4-bit lane of `have` >= the matching lane of
+/// `need` (stored lane values <= 7, so the guard bit absorbs the borrow).
+[[nodiscard]] inline constexpr bool sig_covers(std::uint64_t have,
+                                               std::uint64_t need) noexcept {
+  return (((have | kSigGuard) - need) & kSigGuard) == kSigGuard;
+}
+
+/// One oriented query edge, broadcast against all lanes. `blind` drops the
+/// edge-label constraint (CaLiG mode — the algorithm ignores edge labels).
+struct EdgeTerm {
+  std::uint64_t l1 = 0, l2 = 0;      ///< endpoint vertex labels
+  std::uint64_t el = 0;              ///< edge label
+  std::uint64_t d1 = 0, d2 = 0;      ///< endpoint degree requirements
+  std::uint64_t sig1 = 0, sig2 = 0;  ///< packed endpoint NLF signatures
+  bool blind = false;
+};
+
+/// Gathered operand columns of one batch: `padded` lanes (a kLaneBlock
+/// multiple), zero tails. Signatures are pre-adjusted for the pending edge
+/// (nlf_sig_add on inserts) by the gatherer.
+struct LaneView {
+  const std::uint64_t* lu = nullptr;
+  const std::uint64_t* lv = nullptr;
+  const std::uint64_t* el = nullptr;
+  const std::uint64_t* du = nullptr;
+  const std::uint64_t* dv = nullptr;
+  const std::uint64_t* sig_u = nullptr;
+  const std::uint64_t* sig_v = nullptr;
+  std::size_t padded = 0;
+};
+
+/// Accumulate the three per-lane verdict masks (0 or ~0) for one edge term:
+///
+///   any_label |= lane label-matches the term              (stage 1)
+///   any_deg   |= ... and both endpoint degrees suffice    (stage 2)
+///   any_alive |= ... and both endpoint signatures cover   (NLF pre-reject)
+///
+/// A lane with all three masks clear after every term is provably safe
+/// (kSafeLabel / kSafeDegree / endpoint-local kSafeAds respectively).
+void edge_masks_swar(const LaneView& v, const EdgeTerm& t,
+                     std::uint64_t* any_label, std::uint64_t* any_deg,
+                     std::uint64_t* any_alive) noexcept;
+/// AVX2 twin (wide_avx2.cpp); forwards to SWAR when not compiled with AVX2.
+void edge_masks_avx2(const LaneView& v, const EdgeTerm& t,
+                     std::uint64_t* any_label, std::uint64_t* any_deg,
+                     std::uint64_t* any_alive) noexcept;
+
+/// AND + popcount over two padded 0/1 byte columns: the number of positions
+/// where both bytes are 1 (candidate pairs). Tails must be zero-filled.
+[[nodiscard]] std::uint64_t count_pairs_swar(const std::uint8_t* a,
+                                             const std::uint8_t* b,
+                                             std::size_t padded) noexcept;
+[[nodiscard]] std::uint64_t count_pairs_avx2(const std::uint8_t* a,
+                                             const std::uint8_t* b,
+                                             std::size_t padded) noexcept;
+
+/// Instruction-path override for tests and the --backend drivers.
+enum class Dispatch : std::uint8_t {
+  kAuto,       ///< AVX2 when compiled in and the CPU reports it, else SWAR
+  kForceSwar,  ///< portable path even on AVX2 hardware
+  kForceAvx2,  ///< AVX2 or bust; unavailable -> SWAR + downgraded flag
+};
+
+/// True when this binary contains the AVX2 translation unit (PARACOSM_SIMD
+/// on an x86-64 toolchain).
+[[nodiscard]] bool avx2_compiled() noexcept;
+/// True when the running CPU reports AVX2 (cpuid; false off-x86).
+[[nodiscard]] bool avx2_runtime() noexcept;
+/// Resolve a dispatch request against reality. Sets *downgraded when a
+/// kForceAvx2 request had to fall back to SWAR.
+[[nodiscard]] bool use_avx2(Dispatch d, bool* downgraded = nullptr) noexcept;
+
+inline void edge_masks_swar(const LaneView& v, const EdgeTerm& t,
+                            std::uint64_t* any_label, std::uint64_t* any_deg,
+                            std::uint64_t* any_alive) noexcept {
+  for (std::size_t i = 0; i < v.padded; ++i) {
+    // Full-width lane masks: negating a bool gives 0 or ~0.
+    const std::uint64_t lm =
+        -static_cast<std::uint64_t>(v.lu[i] == t.l1 && v.lv[i] == t.l2 &&
+                                    (t.blind || v.el[i] == t.el));
+    const std::uint64_t dm =
+        lm & -static_cast<std::uint64_t>(v.du[i] >= t.d1 && v.dv[i] >= t.d2);
+    const std::uint64_t am =
+        dm & -static_cast<std::uint64_t>(sig_covers(v.sig_u[i], t.sig1) &&
+                                         sig_covers(v.sig_v[i], t.sig2));
+    any_label[i] |= lm;
+    any_deg[i] |= dm;
+    any_alive[i] |= am;
+  }
+}
+
+inline std::uint64_t count_pairs_swar(const std::uint8_t* a, const std::uint8_t* b,
+                                      std::size_t padded) noexcept {
+  // Bytes are 0/1, so the AND of 8 packed bytes has popcount == the number
+  // of positions where both are set.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < padded; i += sizeof(std::uint64_t)) {
+    std::uint64_t wa, wb;
+    std::memcpy(&wa, a + i, sizeof wa);
+    std::memcpy(&wb, b + i, sizeof wb);
+    total += static_cast<std::uint64_t>(std::popcount(wa & wb));
+  }
+  return total;
+}
+
+}  // namespace paracosm::util::wide

@@ -176,10 +176,20 @@ std::vector<LaneConfig> default_lane_matrix() {
   return lanes;
 }
 
+std::vector<LaneConfig> backend_lane_matrix() {
+  std::vector<LaneConfig> lanes = default_lane_matrix();
+  for (const unsigned t : {1u, 2u, 4u, 8u})
+    lanes.push_back({Lane::kBatch, t, engine::BatchBackendKind::kWide});
+  return lanes;
+}
+
 std::string Divergence::to_string() const {
   std::ostringstream os;
   os << "seed=" << seed << " alg=" << algorithm << " lane=" << lane_name(lane)
-     << " threads=" << threads << " query=" << query_index;
+     << " threads=" << threads;
+  if (lane == Lane::kBatch && backend != engine::BatchBackendKind::kCpu)
+    os << " backend=" << engine::batch_backend_name(backend);
+  os << " query=" << query_index;
   if (update_index) os << " update=" << *update_index;
   os << ": " << message;
   return os.str();
@@ -264,6 +274,9 @@ engine::Config lane_engine_config(const LaneConfig& lane) {
   // processing — the only mode a divergence is a bug in (kPaper may
   // legitimately act on stale snapshot verdicts).
   cfg.batch_mode = engine::BatchMode::kStrict;
+  // kCpu/kWide pin every batch to one backend — the fuzz matrix never uses
+  // kAuto, so a divergence always names the backend that produced it.
+  cfg.batch_backend = lane.backend;
   // The verification matrix oversubscribes a single machine with up to 8
   // worker threads; park immediately instead of spinning for throughput.
   cfg.queue_spin_iters = 1;
@@ -316,6 +329,7 @@ std::optional<Divergence> check_cell(const FuzzCase& c, std::string_view algorit
   div.algorithm = std::string(algorithm);
   div.lane = lane.lane;
   div.threads = lane.threads;
+  div.backend = lane.backend;
   div.query_index = query_index;
 
   DeltaReconciler rec;

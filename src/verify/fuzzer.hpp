@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "csm/algorithm.hpp"
+#include "paracosm/config.hpp"
 #include "verify/oracle_mirror.hpp"
 
 namespace paracosm::verify {
@@ -84,11 +85,21 @@ enum class Lane : std::uint8_t {
 struct LaneConfig {
   Lane lane = Lane::kSequential;
   unsigned threads = 1;
+  /// Batch-classification backend (kBatch lanes only; ignored elsewhere).
+  /// The differential `--backend` sweep runs each batch cell once per
+  /// backend and demands identical ΔM from both (DESIGN.md §11).
+  engine::BatchBackendKind backend = engine::BatchBackendKind::kCpu;
 };
 
 /// The default verification matrix of the issue: sequential plus the two
 /// parallel executors at 1/2/4/8 threads.
 [[nodiscard]] std::vector<LaneConfig> default_lane_matrix();
+
+/// The default matrix with every batch cell doubled: once on the cpu
+/// backend, once on the wide (AVX2/SWAR) backend. Both cells reconcile
+/// against the same oracle trace, so a verdict divergence between backends
+/// surfaces as a ΔM divergence in exactly one of them.
+[[nodiscard]] std::vector<LaneConfig> backend_lane_matrix();
 
 /// One reconciliation failure, with everything needed to reproduce it.
 struct Divergence {
@@ -96,6 +107,7 @@ struct Divergence {
   std::string algorithm;
   Lane lane = Lane::kSequential;
   unsigned threads = 1;
+  engine::BatchBackendKind backend = engine::BatchBackendKind::kCpu;
   std::uint32_t query_index = 0;
   /// Update at which the divergence was detected (per-update lanes only;
   /// the batch lane reconciles whole-stream totals).

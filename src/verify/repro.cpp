@@ -28,6 +28,8 @@ void save_repro(const Repro& r, std::ostream& out) {
     out << "meta algorithm " << r.cell->algorithm << '\n';
     out << "meta lane " << lane_name(r.cell->lane) << '\n';
     out << "meta threads " << r.cell->threads << '\n';
+    if (r.cell->backend != engine::BatchBackendKind::kCpu)
+      out << "meta backend " << engine::batch_backend_name(r.cell->backend) << '\n';
     out << "meta query " << r.cell->query_index << '\n';
     if (r.cell->update_index) out << "meta update " << *r.cell->update_index << '\n';
     if (!r.cell->message.empty()) {
@@ -88,6 +90,12 @@ Repro load_repro(std::istream& in) {
       cell.lane = *lane;
     } else if (key == "threads") {
       ls >> cell.threads;
+    } else if (key == "backend") {
+      std::string name;
+      ls >> name;
+      const auto kind = engine::parse_batch_backend(name);
+      if (!kind) throw std::runtime_error("repro: unknown backend '" + name + "'");
+      cell.backend = *kind;
     } else if (key == "query") {
       ls >> cell.query_index;
     } else if (key == "update") {
@@ -154,7 +162,7 @@ std::vector<Divergence> check_repro(const Repro& r, const AlgorithmFactory& fact
   if (r.cell) {
     opts.algorithms = {};
     opts.algorithms.push_back(r.cell->algorithm);
-    opts.lanes = {{r.cell->lane, r.cell->threads}};
+    opts.lanes = {{r.cell->lane, r.cell->threads, r.cell->backend}};
   }
   return check_case(r.fuzz_case, opts);
 }

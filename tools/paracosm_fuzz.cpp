@@ -57,10 +57,19 @@ std::vector<std::string> parse_name_list(const std::string& csv) {
   return out;
 }
 
-std::vector<verify::LaneConfig> lanes_for(const std::vector<unsigned>& threads) {
+std::vector<verify::LaneConfig> lanes_for(const std::vector<unsigned>& threads,
+                                          bool backend_diff) {
   std::vector<verify::LaneConfig> lanes{{verify::Lane::kSequential, 1}};
   for (const unsigned t : threads) lanes.push_back({verify::Lane::kInner, t});
   for (const unsigned t : threads) lanes.push_back({verify::Lane::kBatch, t});
+  if (backend_diff) {
+    // Differential backend lane: re-run every batch cell on the wide
+    // (AVX2/SWAR) backend. Both arms reconcile against the same oracle
+    // trace, so a cpu-vs-wide verdict divergence fails exactly one arm.
+    for (const unsigned t : threads)
+      lanes.push_back(
+          {verify::Lane::kBatch, t, paracosm::engine::BatchBackendKind::kWide});
+  }
   return lanes;
 }
 
@@ -80,6 +89,9 @@ int main(int argc, char** argv) {
       .option("replay", "", "Re-run a repro file instead of fuzzing")
       .flag("shrink", "Minimize failing cases and write repro files")
       .flag("fault", "Inject an unsound ads_safe rule (harness self-test)")
+      .flag("backend",
+            "Additionally run every batch lane on the wide (AVX2/SWAR) "
+            "classification backend — the cpu-vs-wide differential sweep")
       .flag("invariants", "Additionally run metamorphic invariant checks")
       .flag("counts-only", "Reconcile match counts only (skip mapping multisets)")
       .flag("service",
@@ -105,7 +117,8 @@ int main(int argc, char** argv) {
   verify::CheckOptions opts;
   opts.factory = factory;
   opts.check_mappings = !cli.get_bool("counts-only");
-  opts.lanes = lanes_for(parse_thread_list(cli.get("threads")));
+  opts.lanes = lanes_for(parse_thread_list(cli.get("threads")),
+                         cli.get_bool("backend"));
   const std::vector<std::string> algo_names = parse_name_list(cli.get("algorithms"));
   if (!algo_names.empty()) {
     opts.algorithms.clear();

@@ -224,6 +224,12 @@ int run_multi(const util::Cli& cli, graph::DataGraph& g,
   config.threads = static_cast<unsigned>(cli.get_int("threads"));
   config.pin_threads = cli.get_bool("pin");
   config.inter_parallelism = false;  // the service processes one update at a time
+  if (const auto kind = engine::parse_batch_backend(cli.get("backend"))) {
+    config.batch_backend = *kind;
+  } else {
+    std::fprintf(stderr, "error: --backend must be cpu, wide or auto\n");
+    return 2;
+  }
   engine::MultiQueryEngine engine(g, config);
   engine.set_shared_evaluation(!cli.get_bool("no-sharing"));
 
@@ -396,6 +402,9 @@ int main(int argc, char** argv) {
               "CPU in the process affinity mask)")
       .flag("pin", "pin workers to CPUs (topology-aware; no-op without sysfs)")
       .option("policy", "block", "overload policy: block|shed|degrade")
+      .option("backend", "cpu",
+              "batch classification backend (cpu|wide|auto); only exercised "
+              "by batched replay paths — live serving is per-update")
       .option("queue", "1024", "ingest ring capacity")
       .option("budget-us", "0", "per-update search budget (0 = no deadline)")
       .option("wal", "", "write-ahead log path (empty = durability off)")
@@ -575,6 +584,12 @@ int main(int argc, char** argv) {
   config.threads = static_cast<unsigned>(cli.get_int("threads"));
   config.pin_threads = cli.get_bool("pin");
   config.inter_parallelism = false;  // the service processes one update at a time
+  if (const auto kind = engine::parse_batch_backend(cli.get("backend"))) {
+    config.batch_backend = *kind;
+  } else {
+    std::fprintf(stderr, "error: --backend must be cpu, wide or auto\n");
+    return 2;
+  }
   engine::ParaCosm pc(*algorithm, q, g, config);
 
   std::printf("serving %zu update(s) [%s x%u, policy %s, queue %zu%s%s]\n",

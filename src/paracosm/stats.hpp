@@ -168,6 +168,7 @@ struct ServiceStats {
   std::uint64_t noop_skipped = 0;       ///< rejected mutations (skip + count)
   std::uint64_t snapshots = 0;          ///< snapshots written
   std::uint64_t wal_records = 0;        ///< WAL records appended
+  std::uint64_t wal_retries = 0;        ///< transient WAL write/sync retries
   std::uint64_t watchdog_cancels = 0;   ///< deadlines enforced by the watchdog
   std::uint64_t metrics_flushes = 0;    ///< periodic metrics snapshots written
 
@@ -180,6 +181,7 @@ struct ServiceStats {
     noop_skipped += other.noop_skipped;
     snapshots += other.snapshots;
     wal_records += other.wal_records;
+    wal_retries += other.wal_retries;
     watchdog_cancels += other.watchdog_cancels;
     metrics_flushes += other.metrics_flushes;
   }

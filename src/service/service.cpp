@@ -90,7 +90,8 @@ StreamService::StreamService(engine::ParaCosm& engine, ServiceOptions opts,
       budget_ns_(opts_.budget_us * 1000) {
   if (!opts_.wal_path.empty()) {
     wal_.emplace(opts_.wal_path, /*truncate=*/!opts_.wal_resume,
-                 opts_.wal_resume ? opts_.wal_next_seq : 0);
+                 opts_.wal_resume ? opts_.wal_next_seq : 0,
+                 opts_.wal_fingerprint);
     seq_ = wal_->next_seq();
   }
   if (budget_ns_ > 0) watchdog_.emplace();
@@ -190,6 +191,7 @@ void StreamService::process_one(const graph::GraphUpdate& upd, bool degraded,
       wal_->flush();
     }
     ++stats_.wal_records;
+    stats_.wal_retries = wal_->retries();
     if (hooks_.after_wal_append) hooks_.after_wal_append(seq);
   }
   seq_ = seq + 1;
@@ -235,6 +237,10 @@ void StreamService::process_one(const graph::GraphUpdate& upd, bool degraded,
 
   maybe_snapshot();
   maybe_flush_metrics();
+
+  if (on_done_)
+    on_done_(UpdateDone{seq, out.applied, out.cancelled || out.timed_out,
+                        out.positive, out.negative});
 }
 
 void StreamService::maybe_snapshot() {
@@ -270,6 +276,8 @@ void StreamService::flush_metrics() {
                    static_cast<std::int64_t>(stats_.noop_skipped));
   snap.add_counter("service.wal_records",
                    static_cast<std::int64_t>(stats_.wal_records));
+  snap.add_counter("service.wal_retries",
+                   static_cast<std::int64_t>(stats_.wal_retries));
   snap.add_counter("service.snapshots",
                    static_cast<std::int64_t>(stats_.snapshots));
   snap.add_counter("service.watchdog_cancels",
@@ -291,6 +299,18 @@ ServiceReport StreamService::finish() {
     finished_ = true;
     stats_.ingest = queue_.stats();
     if (watchdog_) stats_.watchdog_cancels = watchdog_->cancels();
+    if (wal_) stats_.wal_retries = wal_->retries();
+    // Graceful-shutdown snapshot: the drain is complete and the consumer has
+    // joined, so this captures the true final state without racing anything.
+    if (opts_.snapshot_on_finish && !opts_.snapshot_path.empty() &&
+        error_.empty()) {
+      SnapshotMeta meta;
+      meta.seq = seq_;
+      meta.ads_checksum = engine_.algorithm().ads_checksum();
+      meta.algorithm = std::string(engine_.algorithm().name());
+      write_snapshot(opts_.snapshot_path, engine_.graph(), meta);
+      ++stats_.snapshots;
+    }
     // Final snapshot (even when the stream was shorter than metrics_every),
     // so a metrics consumer always sees the end-of-run totals. The consumer
     // thread has joined, so writing from here cannot race a periodic flush.

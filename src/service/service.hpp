@@ -118,8 +118,16 @@ struct ServiceOptions {
   bool wal_resume = false;   ///< append (post-recovery) instead of truncating
   std::uint64_t wal_next_seq = 0;  ///< first seq when resuming
 
+  /// Identity fingerprint stamped into a fresh WAL's header (wal.hpp); 0
+  /// leaves identity unchecked. Shard workers pass graph_fingerprint(base)
+  /// salted with the shard id so a shard can never replay a sibling's log.
+  std::uint32_t wal_fingerprint = 0;
+
   std::string snapshot_path;       ///< empty = snapshots off
   std::uint64_t snapshot_every = 0;  ///< updates between snapshots; 0 = never
+  /// Write one final snapshot during finish() (after the drain) even when
+  /// snapshot_every never triggered — the graceful-shutdown path.
+  bool snapshot_on_finish = false;
 
   /// Capture the effective processing order (shed updates are replayed late,
   /// out of submission order) — the stream the verification oracle replays.
@@ -148,6 +156,17 @@ struct ServiceReport {
   std::string error;  ///< non-empty if the consumer died (e.g. WAL I/O)
 };
 
+/// Completion summary of one processed update, delivered on the consumer
+/// thread right after the engine returns (before the next pop). The shard
+/// worker turns this into the per-update acknowledgement frame.
+struct UpdateDone {
+  std::uint64_t seq = 0;   ///< WAL sequence (or the stand-in counter)
+  bool applied = false;    ///< the graph mutation took effect
+  bool cancelled = false;  ///< search cut short (watchdog / forced timeout)
+  std::uint64_t positive = 0;  ///< ΔM+ of this update
+  std::uint64_t negative = 0;  ///< ΔM- of this update
+};
+
 class StreamService {
  public:
   /// The engine must already be attached (offline stage done). The consumer
@@ -172,6 +191,15 @@ class StreamService {
   void set_match_callback(
       std::function<void(std::span<const csm::Assignment>)> cb) {
     on_match_ = std::move(cb);
+  }
+
+  /// Install the per-update completion observer (consumer thread). Fired
+  /// after every processed update — submitted, deferred-replayed, or drained
+  /// at shutdown — so a caller sequencing acknowledgements (the shard worker)
+  /// sees exactly one completion per admitted update. Call before the first
+  /// submit().
+  void set_update_callback(std::function<void(const UpdateDone&)> cb) {
+    on_done_ = std::move(cb);
   }
 
   [[nodiscard]] const IngestQueue& queue() const noexcept { return queue_; }
@@ -213,6 +241,7 @@ class StreamService {
   std::string error_;
 
   std::function<void(std::span<const csm::Assignment>)> on_match_;
+  std::function<void(const UpdateDone&)> on_done_;
   util::WallTimer wall_;
   std::thread consumer_;
   bool finished_ = false;

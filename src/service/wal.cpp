@@ -1,10 +1,17 @@
 #include "service/wal.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "graph/graph_io.hpp"
 #include "util/checksum.hpp"
@@ -42,6 +49,31 @@ void encode_record(std::uint64_t seq, const graph::GraphUpdate& upd,
   put_u64(buf.data() + 24, wal_checksum(seq, upd));
 }
 
+[[nodiscard]] std::uint64_t header_checksum(std::uint32_t version,
+                                            std::uint32_t fingerprint) noexcept {
+  std::uint64_t h = util::kFnv1aOffset;
+  h = util::fnv1a_word(h, static_cast<std::uint32_t>(kWalMagic));
+  h = util::fnv1a_word(h, static_cast<std::uint32_t>(kWalMagic >> 32));
+  h = util::fnv1a_word(h, version);
+  h = util::fnv1a_word(h, fingerprint);
+  return h;
+}
+
+void encode_header(std::uint32_t fingerprint, RecordBuf& buf) noexcept {
+  put_u64(buf.data(), kWalMagic);
+  put_u32(buf.data() + 8, kWalVersion);
+  put_u32(buf.data() + 12, fingerprint);
+  put_u64(buf.data() + 16, 0);  // reserved
+  put_u64(buf.data() + 24, header_checksum(kWalVersion, fingerprint));
+}
+
+/// Errors worth retrying: interrupted syscalls, a momentarily full pipe
+/// buffer, and disk-full conditions that an operator (or log rotation) can
+/// clear while the service keeps running.
+[[nodiscard]] bool transient_errno(int err) noexcept {
+  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK || err == ENOSPC;
+}
+
 }  // namespace
 
 std::uint64_t wal_checksum(std::uint64_t seq,
@@ -56,29 +88,117 @@ std::uint64_t wal_checksum(std::uint64_t seq,
   return h;
 }
 
+std::uint32_t graph_fingerprint(const graph::DataGraph& g) noexcept {
+  std::uint64_t h = util::kFnv1aOffset;
+  h = util::fnv1a_word(h, g.vertex_capacity());
+  h = util::fnv1a_word(h, static_cast<std::uint32_t>(g.num_edges()));
+  for (graph::VertexId v = 0; v < g.vertex_capacity(); ++v) {
+    if (!g.has_vertex(v)) continue;
+    h = util::fnv1a_word(h, v);
+    h = util::fnv1a_word(h, g.label(v));
+  }
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+// ---------------------------------------------------------------- WalWriter
+
 WalWriter::WalWriter(const std::string& path, bool truncate,
-                     std::uint64_t next_seq)
+                     std::uint64_t next_seq, std::uint32_t fingerprint)
     : path_(path), next_seq_(next_seq) {
-  const auto mode = std::ios::binary |
-                    (truncate ? std::ios::trunc : std::ios::app);
-  out_.open(path, mode);
-  if (!out_) throw std::runtime_error("wal: cannot open '" + path + "'");
+  const int flags =
+      O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0) | O_CLOEXEC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error("wal: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  if (truncate) {
+    RecordBuf buf;
+    encode_header(fingerprint, buf);
+    write_all(buf.data(), buf.size());
+  }
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool WalWriter::fault_fires() noexcept {
+  if (fault_remaining_ <= 0) return false;
+  --fault_remaining_;
+  errno = fault_errno_;
+  return true;
+}
+
+void WalWriter::write_all(const unsigned char* data, std::size_t len) {
+  // Bounded retry with capped exponential backoff: EINTR retries immediately,
+  // EAGAIN/ENOSPC back off 1ms, 2ms, ... capped at 50ms; after kMaxAttempts
+  // consecutive failures the error is permanent and the update fails loudly.
+  constexpr int kMaxAttempts = 8;
+  constexpr std::int64_t kMaxBackoffMs = 50;
+  std::size_t off = 0;
+  int attempt = 0;
+  while (off < len) {
+    ssize_t n;
+    if (fault_fires()) {
+      n = -1;
+    } else {
+      n = ::write(fd_, data + off, len - off);
+    }
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      attempt = 0;
+      continue;
+    }
+    const int err = errno;
+    if (!transient_errno(err) || ++attempt >= kMaxAttempts)
+      throw std::runtime_error("wal: write failed on '" + path_ +
+                               "': " + std::strerror(err));
+    ++retries_;
+    if (err != EINTR) {
+      const std::int64_t ms =
+          std::min<std::int64_t>(std::int64_t{1} << (attempt - 1), kMaxBackoffMs);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
 }
 
 std::uint64_t WalWriter::append(const graph::GraphUpdate& upd) {
   const std::uint64_t seq = next_seq_++;
   RecordBuf buf;
   encode_record(seq, upd, buf);
-  out_.write(reinterpret_cast<const char*>(buf.data()),
-             static_cast<std::streamsize>(buf.size()));
-  if (!out_) throw std::runtime_error("wal: write failed on '" + path_ + "'");
+  write_all(buf.data(), buf.size());
   return seq;
 }
 
 void WalWriter::flush() {
-  out_.flush();
-  if (!out_) throw std::runtime_error("wal: flush failed on '" + path_ + "'");
+  constexpr int kMaxAttempts = 8;
+  constexpr std::int64_t kMaxBackoffMs = 50;
+  for (int attempt = 0;; ++attempt) {
+    int rc;
+    if (fault_fires()) {
+      rc = -1;
+    } else {
+#if defined(__APPLE__)
+      rc = ::fsync(fd_);
+#else
+      rc = ::fdatasync(fd_);
+#endif
+    }
+    if (rc == 0) return;
+    const int err = errno;
+    if (!transient_errno(err) || attempt + 1 >= kMaxAttempts)
+      throw std::runtime_error("wal: fsync failed on '" + path_ +
+                               "': " + std::strerror(err));
+    ++retries_;
+    if (err != EINTR) {
+      const std::int64_t ms =
+          std::min<std::int64_t>(std::int64_t{1} << attempt, kMaxBackoffMs);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
 }
+
+// ------------------------------------------------------------------ readers
 
 WalReadResult read_wal(const std::string& path) {
   WalReadResult result;
@@ -88,6 +208,7 @@ WalReadResult read_wal(const std::string& path) {
   RecordBuf buf;
   std::uint64_t expect_seq = 0;
   bool have_seq = false;
+  bool first = true;
   for (;;) {
     in.read(reinterpret_cast<char*>(buf.data()),
             static_cast<std::streamsize>(buf.size()));
@@ -96,6 +217,25 @@ WalReadResult read_wal(const std::string& path) {
     if (got != static_cast<std::streamsize>(kWalRecordBytes)) {
       result.torn_tail = true;  // short read: crash mid-append
       break;
+    }
+    if (first) {
+      first = false;
+      if (get_u64(buf.data()) == kWalMagic) {
+        // v2 identity header. A corrupt header poisons the whole file — the
+        // fingerprint can no longer be trusted, so nothing after it can.
+        const std::uint32_t version = get_u32(buf.data() + 8);
+        const std::uint32_t fp = get_u32(buf.data() + 12);
+        if (get_u64(buf.data() + 24) != header_checksum(version, fp)) {
+          result.torn_tail = true;
+          break;
+        }
+        result.has_header = true;
+        result.fingerprint = fp;
+        result.valid_bytes += kWalHeaderBytes;
+        continue;
+      }
+      // No magic: a headerless record stream — fall through and parse this
+      // block as record 0.
     }
     WalRecord rec;
     rec.seq = get_u64(buf.data());
@@ -194,9 +334,24 @@ std::optional<Snapshot> read_snapshot(const std::string& path) {
 
 RecoveredState recover_state(const graph::DataGraph& base,
                              const std::string& wal_path,
-                             const std::string& snapshot_path) {
+                             const std::string& snapshot_path,
+                             std::uint32_t expected_fingerprint) {
   RecoveredState state;
   std::uint64_t replay_from = 0;
+
+  WalReadResult wal = read_wal(wal_path);
+  if (wal.has_header && wal.fingerprint != 0) {
+    const std::uint32_t expect =
+        expected_fingerprint != 0 ? expected_fingerprint : graph_fingerprint(base);
+    if (wal.fingerprint != expect) {
+      std::ostringstream msg;
+      msg << "wal: graph fingerprint mismatch on '" << wal_path
+          << "' — the log records fingerprint 0x" << std::hex << wal.fingerprint
+          << " but the recovery base has 0x" << expect
+          << ": this WAL belongs to a different graph";
+      throw std::runtime_error(msg.str());
+    }
+  }
 
   if (!snapshot_path.empty()) {
     if (auto snap = read_snapshot(snapshot_path)) {
@@ -208,7 +363,22 @@ RecoveredState recover_state(const graph::DataGraph& base,
   }
   if (!state.used_snapshot) state.graph = base;
 
-  WalReadResult wal = read_wal(wal_path);
+  // A snapshot "current through seq S" implies the WAL holds every record
+  // below S (records are durable before they are applied, and the WAL is only
+  // ever truncated at a torn tail). A snapshot ahead of the WAL tail means
+  // records were lost — the state between tail and snapshot could be anything.
+  const std::uint64_t wal_end =
+      wal.records.empty() ? 0 : wal.records.back().seq + 1;
+  if (state.used_snapshot && replay_from > wal_end) {
+    std::ostringstream msg;
+    msg << "recovery: snapshot '" << snapshot_path << "' is current through seq "
+        << replay_from << " but the WAL '" << wal_path << "' ends at seq "
+        << wal_end << " — " << (replay_from - wal_end)
+        << " record(s) are missing; refusing to recover from disagreeing "
+           "durability state";
+    throw std::runtime_error(msg.str());
+  }
+
   if (wal.torn_tail) {
     truncate_wal(wal_path, wal.valid_bytes);
     state.torn_tail_truncated = true;

@@ -2,20 +2,31 @@
 // write-ahead log of admitted updates, periodic full snapshots, and crash
 // recovery that replays the WAL suffix on top of the newest snapshot.
 //
-// WAL format — fixed 32-byte little-endian records:
+// WAL format — one optional 32-byte file header followed by fixed 32-byte
+// little-endian records:
 //
-//   u64 seq | u32 op | u32 u | u32 v | u32 label | u64 checksum
+//   header:  u64 magic "PCOSMWAL" | u32 version | u32 graph_fp | u64 0 | u64 checksum
+//   record:  u64 seq | u32 op | u32 u | u32 v | u32 label | u64 checksum
 //
-// The checksum is FNV-1a (util/checksum.hpp) over the five preceding fields,
-// so a torn tail — the partial or corrupted last record a crash mid-append
+// The checksums are FNV-1a (util/checksum.hpp) over the preceding fields, so
+// a torn tail — the partial or corrupted last record a crash mid-append
 // leaves behind — is detected by a short read, a checksum mismatch, or a
 // non-monotonic sequence number. Recovery truncates the file back to the last
-// good record; everything before it is trusted.
+// good record; everything before it is trusted. The header's `graph_fp` is an
+// *identity* check (fingerprint of the graph the log was started from, plus
+// any caller salt): replaying a WAL onto the wrong base graph is rejected
+// with a clear error instead of silently corrupting state. Headerless files
+// (pre-header logs, tests that build raw record streams) read fine; identity
+// is simply unchecked for them.
 //
 // Records are appended *before* the update is applied (redo semantics): a
 // crash between append and apply replays that update on recovery, and replay
 // is idempotent because DataGraph::apply treats an already-applied update as
-// a no-op.
+// a no-op. The writer sits on a raw POSIX fd so the durability point is a
+// real fdatasync, and transient append/sync failures (EINTR, EAGAIN, an
+// ENOSPC that clears) are retried with capped backoff instead of failing the
+// admitted update outright — every retry is counted (ServiceStats::
+// wal_retries) so flaky storage shows up in the metrics, not in lost updates.
 //
 // Snapshot format — a text file readable by graph_io with one header line:
 //
@@ -29,7 +40,7 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +51,9 @@
 namespace paracosm::service {
 
 inline constexpr std::size_t kWalRecordBytes = 32;
+inline constexpr std::size_t kWalHeaderBytes = 32;
+inline constexpr std::uint64_t kWalMagic = 0x4c41574d534f4350ULL;  // "PCOSMWAL"
+inline constexpr std::uint32_t kWalVersion = 2;
 
 struct WalRecord {
   std::uint64_t seq = 0;
@@ -50,39 +64,67 @@ struct WalRecord {
 [[nodiscard]] std::uint64_t wal_checksum(std::uint64_t seq,
                                          const graph::GraphUpdate& upd) noexcept;
 
+/// Identity fingerprint of a graph: FNV-1a over the alive (id, label) pairs
+/// plus vertex/edge counts. Cheap (O(V)), order-stable, and computed at WAL
+/// creation so recovery can refuse a log that belongs to a different graph.
+/// This is an identity check, not an integrity check — two graphs that differ
+/// anywhere in their vertex sets get different fingerprints with 2^-32 odds.
+[[nodiscard]] std::uint32_t graph_fingerprint(const graph::DataGraph& g) noexcept;
+
 /// Append-side handle. Not thread-safe: the service's single consumer is the
 /// only writer (append-before-apply happens on the consumer thread).
 class WalWriter {
  public:
-  /// `truncate == true` starts a fresh log; otherwise appends to an existing
-  /// one whose torn tail (if any) has already been cut by recover_state(),
-  /// continuing at `next_seq`. Throws std::runtime_error if the file cannot
-  /// be opened.
-  WalWriter(const std::string& path, bool truncate, std::uint64_t next_seq = 0);
+  /// `truncate == true` starts a fresh log (header carrying `fingerprint`,
+  /// 0 = identity unchecked); otherwise appends to an existing one whose torn
+  /// tail (if any) has already been cut by recover_state(), continuing at
+  /// `next_seq`. Throws std::runtime_error if the file cannot be opened.
+  WalWriter(const std::string& path, bool truncate, std::uint64_t next_seq = 0,
+            std::uint32_t fingerprint = 0);
+  ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  /// Append one record (buffered); returns the sequence number it received.
+  /// Append one record; returns the sequence number it received. Transient
+  /// write failures are retried with capped backoff (see file comment);
+  /// a persistent failure throws std::runtime_error.
   std::uint64_t append(const graph::GraphUpdate& upd);
 
-  /// Push buffered records to the OS. Called once per admitted update —
-  /// the durability point the crash-recovery tests kill against.
+  /// Make appended records durable (fdatasync) — the durability point the
+  /// crash-recovery tests kill against. Retries transient failures.
   void flush();
 
   [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Transient write/sync failures absorbed by the retry loop so far.
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+
+  /// Test hook: fail the next `n` write/fdatasync syscalls with errno `err`
+  /// before letting them through, exercising the retry path deterministically.
+  void inject_transient_failures(int n, int err) noexcept {
+    fault_remaining_ = n;
+    fault_errno_ = err;
+  }
 
  private:
+  void write_all(const unsigned char* data, std::size_t len);
+  [[nodiscard]] bool fault_fires() noexcept;
+
   std::string path_;
-  std::ofstream out_;
+  int fd_ = -1;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t retries_ = 0;
+  int fault_remaining_ = 0;
+  int fault_errno_ = 0;
 };
 
 struct WalReadResult {
   std::vector<WalRecord> records;  ///< every record up to the first bad one
   bool torn_tail = false;          ///< trailing bytes failed validation
-  std::uint64_t valid_bytes = 0;   ///< file prefix covered by `records`
+  std::uint64_t valid_bytes = 0;   ///< file prefix covered by header+records
+  bool has_header = false;         ///< file carries a v2 identity header
+  std::uint32_t fingerprint = 0;   ///< header graph fingerprint (0 = none)
 };
 
 /// Scan a WAL file, validating length, checksum and seq monotonicity of each
@@ -129,8 +171,20 @@ struct RecoveredState {
 /// the algorithm to the recovered graph (the offline stage), then verify the
 /// snapshot's stored `ads_checksum` against a fresh attach on the snapshot
 /// graph when they want the cross-check.
+///
+/// Two disagreement classes are *rejected* (std::runtime_error) instead of
+/// silently producing a wrong graph:
+///   * identity — the WAL header's graph fingerprint does not match
+///     `expected_fingerprint` (default: fingerprint(base)): this WAL belongs
+///     to a different graph/stream.
+///   * snapshot ahead of the WAL tail — the snapshot claims to be current
+///     through a seq the WAL never reached: records were lost, the suffix
+///     between them is unrecoverable.
+/// Replaying a WAL suffix that duplicates snapshot state is NOT an error —
+/// redo replay is idempotent by design.
 [[nodiscard]] RecoveredState recover_state(const graph::DataGraph& base,
                                            const std::string& wal_path,
-                                           const std::string& snapshot_path = {});
+                                           const std::string& snapshot_path = {},
+                                           std::uint32_t expected_fingerprint = 0);
 
 }  // namespace paracosm::service

@@ -1,0 +1,160 @@
+#include "shard/coordinator.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "shard/partition.hpp"
+#include "util/checksum.hpp"
+
+namespace paracosm::shard {
+
+std::uint64_t fold_delta(
+    std::uint64_t h, std::uint64_t seq, std::uint64_t positive,
+    std::uint64_t negative,
+    const std::vector<csm::Assignment>& assignments) noexcept {
+  h = util::fnv1a_word(h, static_cast<std::uint32_t>(seq));
+  h = util::fnv1a_word(h, static_cast<std::uint32_t>(seq >> 32));
+  h = util::fnv1a_word(h, static_cast<std::uint32_t>(positive));
+  h = util::fnv1a_word(h, static_cast<std::uint32_t>(negative));
+  for (const csm::Assignment& a : assignments) {
+    h = util::fnv1a_word(h, a.qv);
+    h = util::fnv1a_word(h, a.dv);
+  }
+  return h;
+}
+
+Coordinator::Coordinator(CoordinatorOptions opts) : opts_(std::move(opts)) {
+  sup_ = std::make_unique<Supervisor>(opts_.sup);
+  if (opts_.fault.any()) fault_.emplace(opts_.fault);
+  report_.delta_checksum = util::kFnv1aOffset;
+  report_.shards.resize(opts_.sup.n_shards);
+  for (std::uint32_t s = 0; s < opts_.sup.n_shards; ++s)
+    report_.shards[s].shard = s;
+}
+
+bool Coordinator::start() {
+  if (!sup_->start_all()) {
+    error_ = "failed to start shard workers";
+    return false;
+  }
+  return true;
+}
+
+TransportError Coordinator::apply_on(std::uint32_t shard,
+                                     const graph::GraphUpdate& upd,
+                                     std::uint64_t seq, bool owner,
+                                     wire::ApplyAck& ack) {
+  ShardProc& p = sup_->proc(shard);
+  if (!p.alive || !p.chan) return TransportError::kPeerGone;
+
+  Frame req;
+  req.type = FrameType::kApply;
+  req.flags = owner ? kFlagOwner : 0;
+  req.shard = static_cast<std::uint16_t>(shard);
+  req.seq = seq;
+  req.payload = wire::encode_apply(upd);
+
+  Requester requester(*p.chan, opts_.policy, fault_ ? &*fault_ : nullptr);
+  Frame reply;
+  const TransportError e = requester.request(req, FrameType::kApplyAck, reply);
+  if (e != TransportError::kOk) return e;
+  if (reply.type == FrameType::kNak) {
+    // A sequence disagreement the synchronous protocol cannot produce on a
+    // healthy shard; treat the worker's state as suspect and let the caller
+    // restart it — recovery resynchronizes from the WAL.
+    const auto expect = wire::decode_u64(reply.payload);
+    std::fprintf(stderr,
+                 "shard %u: NAK at seq %llu (worker expects %llu), "
+                 "forcing restart\n",
+                 shard, static_cast<unsigned long long>(seq),
+                 static_cast<unsigned long long>(expect.value_or(0)));
+    return TransportError::kTornFrame;
+  }
+  std::optional<wire::ApplyAck> decoded = wire::decode_apply_ack(reply.payload);
+  if (!decoded) return TransportError::kTornFrame;  // checksummed yet invalid
+  ack = std::move(*decoded);
+  p.next_seq = seq + 1;
+  return TransportError::kOk;
+}
+
+bool Coordinator::process(const graph::GraphUpdate& upd) {
+  if (!error_.empty() || finished_) return false;
+  const std::uint64_t seq = seq_++;
+  sup_->reap();
+
+  // ---------------------------------------------------------- owner phase
+  wire::ApplyAck ack;
+  std::uint32_t owner = 0;
+  for (;;) {
+    const std::vector<bool> dead = sup_->dead_set();
+    owner = owner_shard_live(upd, dead);
+    if (owner >= sup_->n_shards()) {
+      error_ = "all shards permanently dead";
+      return false;
+    }
+    const TransportError e = apply_on(owner, upd, seq, /*owner=*/true, ack);
+    if (e == TransportError::kOk) break;
+    // The shard crashed, wedged, or desynchronized. Reap and restart with
+    // recovery, then resend the in-flight update: it is delayed, never
+    // dropped. If the restart budget is gone, ownership fails over to the
+    // next live shard — which has NOT yet applied this update (owner-first
+    // ordering), so it enumerates from exactly the pre-update state.
+    sup_->reap();
+    const bool came_back = sup_->restart(owner);
+    if (came_back) {
+      ++report_.deferred_replays;
+    } else {
+      ++report_.failovers;
+    }
+  }
+  report_.shards[owner].owned += 1;
+  ++report_.processed;
+  if (ack.applied) ++report_.applied;
+  report_.positive += ack.positive;
+  report_.negative += ack.negative;
+  if (ack.match_size > 0)
+    report_.matches_delivered += ack.assignments.size() / ack.match_size;
+  report_.delta_checksum = fold_delta(report_.delta_checksum, seq,
+                                      ack.positive, ack.negative,
+                                      ack.assignments);
+  if (on_ack_) on_ack_(seq, ack);
+
+  // -------------------------------------------------------- replica phase
+  for (std::uint32_t s = 0; s < sup_->n_shards(); ++s) {
+    if (s == owner || sup_->proc(s).permanently_dead) continue;
+    for (;;) {
+      wire::ApplyAck replica_ack;
+      const TransportError e = apply_on(s, upd, seq, /*owner=*/false,
+                                        replica_ack);
+      if (e == TransportError::kOk) break;
+      sup_->reap();
+      if (!sup_->restart(s)) break;  // permanently dead: drop from the ring
+      ++report_.deferred_replays;
+    }
+  }
+  return true;
+}
+
+CoordinatorReport Coordinator::finish() {
+  if (!finished_) {
+    finished_ = true;
+    sup_->shutdown_all();
+    for (std::uint32_t s = 0; s < sup_->n_shards(); ++s)
+      report_.transport.merge(sup_->proc(s).retired);
+    for (std::uint32_t s = 0; s < sup_->n_shards(); ++s) {
+      const ShardProc& p = sup_->proc(s);
+      ShardLane& lane = report_.shards[s];
+      lane.restarts = p.restarts;
+      lane.permanently_dead = p.permanently_dead;
+      lane.hello_replayed = p.last_hello.replayed;
+      lane.have_summary = p.have_summary;
+      lane.summary = p.summary;
+    }
+    report_.restarts = sup_->total_restarts();
+    if (fault_) report_.faults = fault_->stats();
+    report_.error = error_;
+  }
+  return report_;
+}
+
+}  // namespace paracosm::shard

@@ -1,0 +1,146 @@
+// Sharded-run coordinator (DESIGN.md §12): drives the full update stream
+// through N supervised shard worker processes and merges per-shard ΔM into
+// one deterministic global result.
+//
+// Protocol per update (synchronous — one update in flight at a time; this
+// subsystem trades throughput for a provable delivery contract):
+//
+//   1. owner phase — the deterministic owner (partition.hpp, with ring
+//      failover past permanently dead shards) receives the update with the
+//      owner flag set and runs the full ΔM enumeration. The coordinator
+//      awaits its acknowledgement — carrying the complete mapping stream in
+//      the engine's deterministic delivery order — BEFORE any replica sees
+//      the update. Owner-first ordering is what makes failover sound: if the
+//      owner dies before acking, no replica has advanced past the update, so
+//      the next live shard re-enumerates it from identical state.
+//   2. replica phase — every other live shard receives the same update
+//      without the owner flag and applies it maintain-only (enumeration
+//      pre-cancelled under the PR-4 cancel contract), keeping its replica
+//      exact for future ownership.
+//
+// Failure handling ("delayed, never dropped"): a request that exhausts its
+// transport retries, or hits kPeerGone/kTornFrame, triggers a supervised
+// restart-with-recovery of the target shard and a resend of the in-flight
+// update — counted as a deferred replay. The restarted worker either
+// recovered the update from its WAL (the resend returns the cached
+// acknowledgement with byte-identical ΔM) or never saw it (the resend
+// processes it fresh). When the restart budget is exhausted the shard is
+// permanently dead and ownership fails over; only when every shard is dead
+// does the coordinator report an error.
+//
+// The merged result is deterministic: owner acknowledgements are folded in
+// global sequence order into totals, an FNV checksum over the flattened
+// (seq, qv, dv) stream, and an optional per-update callback — byte-identical
+// to a single-process engine run over the same stream, which is exactly what
+// verify/shard_check.cpp asserts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "shard/fault.hpp"
+#include "shard/supervisor.hpp"
+#include "shard/transport.hpp"
+#include "shard/wire.hpp"
+
+namespace paracosm::shard {
+
+/// Fold one update's ΔM into a running FNV checksum: the global sequence,
+/// the delta counts, then every (qv, dv) assignment in delivery order. The
+/// coordinator folds owner acknowledgements with this; the single-process
+/// oracle folds its own engine output with the same function, so equal
+/// checksums mean byte-identical merged streams.
+[[nodiscard]] std::uint64_t fold_delta(
+    std::uint64_t h, std::uint64_t seq, std::uint64_t positive,
+    std::uint64_t negative,
+    const std::vector<csm::Assignment>& assignments) noexcept;
+
+struct CoordinatorOptions {
+  SupervisorOptions sup;
+  RetryPolicy policy;
+  FaultPlan fault;  ///< transport fault plan; inactive when all rates are 0
+};
+
+/// Per-shard lane in the final report.
+struct ShardLane {
+  std::uint32_t shard = 0;
+  std::uint64_t owned = 0;  ///< updates this shard enumerated as owner
+  int restarts = 0;
+  bool permanently_dead = false;
+  std::uint64_t hello_replayed = 0;  ///< WAL records replayed on last spawn
+  bool have_summary = false;
+  wire::ShutdownSummary summary;
+};
+
+struct CoordinatorReport {
+  std::string error;  ///< empty on success
+
+  std::uint64_t processed = 0;
+  std::uint64_t applied = 0;
+  std::uint64_t positive = 0;
+  std::uint64_t negative = 0;
+  std::uint64_t matches_delivered = 0;  ///< full mappings in owner ΔM streams
+  std::uint64_t delta_checksum = 0;     ///< FNV over the (seq, qv, dv) stream
+
+  std::uint64_t restarts = 0;
+  std::uint64_t failovers = 0;         ///< ownership moved off a dead shard
+  std::uint64_t deferred_replays = 0;  ///< in-flight resends after recovery
+
+  TransportStats transport;  ///< aggregated over every shard channel
+  FaultStats faults;         ///< injected by the coordinator's fault plane
+  std::vector<ShardLane> shards;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions opts);
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Spawn all shards and collect hellos. False on failure (see error()).
+  [[nodiscard]] bool start();
+
+  /// Drive one update through owner + replica phases. False on fatal error
+  /// (all shards permanently dead, or a shard NAK the protocol cannot mend);
+  /// the stream should then stop.
+  [[nodiscard]] bool process(const graph::GraphUpdate& upd);
+
+  /// Observer of each merged owner acknowledgement, fired in global sequence
+  /// order. `ack.assignments` is the update's full ΔM mapping stream.
+  void set_ack_callback(
+      std::function<void(std::uint64_t seq, const wire::ApplyAck& ack)> cb) {
+    on_ack_ = std::move(cb);
+  }
+
+  /// Graceful shutdown of every shard, then the merged report.
+  [[nodiscard]] CoordinatorReport finish();
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return seq_; }
+  [[nodiscard]] Supervisor& supervisor() noexcept { return *sup_; }
+
+ private:
+  /// One kApply request/response against a shard. kOk fills `ack`.
+  [[nodiscard]] TransportError apply_on(std::uint32_t shard,
+                                        const graph::GraphUpdate& upd,
+                                        std::uint64_t seq, bool owner,
+                                        wire::ApplyAck& ack);
+
+  CoordinatorOptions opts_;
+  std::unique_ptr<Supervisor> sup_;
+  std::optional<FaultPlane> fault_;
+  std::function<void(std::uint64_t, const wire::ApplyAck&)> on_ack_;
+
+  std::uint64_t seq_ = 0;
+  std::string error_;
+  CoordinatorReport report_;
+  bool finished_ = false;
+};
+
+}  // namespace paracosm::shard

@@ -1,0 +1,117 @@
+#include "shard/fault.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace paracosm::shard {
+
+namespace {
+
+/// Uniform [0, 1) from a hash — 53 mantissa bits, the usual construction.
+[[nodiscard]] double unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("fault spec: missing '=' in '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        plan.seed = std::stoull(value);
+      } else if (key == "drop") {
+        plan.drop_rate = std::stod(value);
+      } else if (key == "dup") {
+        plan.dup_rate = std::stod(value);
+      } else if (key == "corrupt") {
+        plan.corrupt_rate = std::stod(value);
+      } else if (key == "delay") {
+        const auto colon = value.find(':');
+        plan.delay_rate = std::stod(value.substr(0, colon));
+        if (colon != std::string::npos)
+          plan.delay_us =
+              static_cast<std::uint32_t>(std::stoul(value.substr(colon + 1)));
+      } else {
+        throw std::invalid_argument("fault spec: unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("fault spec: bad value in '" + item + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  if (drop_rate > 0) out << ",drop=" << drop_rate;
+  if (dup_rate > 0) out << ",dup=" << dup_rate;
+  if (corrupt_rate > 0) out << ",corrupt=" << corrupt_rate;
+  if (delay_rate > 0) out << ",delay=" << delay_rate << ":" << delay_us;
+  return out.str();
+}
+
+std::uint64_t FaultPlane::mix(std::uint32_t kind, std::uint16_t shard,
+                              std::uint64_t seq,
+                              std::uint32_t attempt) const noexcept {
+  std::uint64_t state = plan_.seed ^ (std::uint64_t{kind} << 56) ^
+                        (std::uint64_t{shard} << 40) ^
+                        (std::uint64_t{attempt} << 32) ^ seq;
+  return util::splitmix64(state);
+}
+
+bool FaultPlane::drop(std::uint16_t shard, std::uint64_t seq,
+                      std::uint32_t attempt) noexcept {
+  if (plan_.drop_rate <= 0) return false;
+  const bool hit = unit(mix(1, shard, seq, attempt)) < plan_.drop_rate;
+  if (hit) ++stats_.dropped;
+  return hit;
+}
+
+bool FaultPlane::dup(std::uint16_t shard, std::uint64_t seq,
+                     std::uint32_t attempt) noexcept {
+  if (plan_.dup_rate <= 0) return false;
+  const bool hit = unit(mix(2, shard, seq, attempt)) < plan_.dup_rate;
+  if (hit) ++stats_.duplicated;
+  return hit;
+}
+
+int FaultPlane::corrupt_byte(std::uint16_t shard, std::uint64_t seq,
+                             std::uint32_t attempt,
+                             std::size_t frame_bytes) noexcept {
+  if (plan_.corrupt_rate <= 0 || frame_bytes == 0) return -1;
+  const std::uint64_t h = mix(3, shard, seq, attempt);
+  if (unit(h) >= plan_.corrupt_rate) return -1;
+  ++stats_.corrupted;
+  // Flip the checksum field or a payload byte, never the framing fields
+  // (magic / type / shard / seq / payload_len in bytes [0, 24)): corrupting
+  // framing desynchronizes the stream — a different failure class
+  // (kTornFrame) that process kills exercise separately. Keeping framing
+  // intact means every corruption lands as a clean checksum-mismatch drop
+  // the retry path must absorb.
+  const std::size_t lo = frame_bytes > 24 ? 24 : 0;
+  return static_cast<int>(lo + (h >> 17) % (frame_bytes - lo));
+}
+
+std::uint32_t FaultPlane::delay_us(std::uint16_t shard, std::uint64_t seq,
+                                   std::uint32_t attempt) noexcept {
+  if (plan_.delay_rate <= 0 || plan_.delay_us == 0) return 0;
+  if (unit(mix(4, shard, seq, attempt)) >= plan_.delay_rate) return 0;
+  ++stats_.delayed;
+  return plan_.delay_us;
+}
+
+}  // namespace paracosm::shard

@@ -1,0 +1,88 @@
+// Deterministic fault plane for sharded operation (DESIGN.md §12).
+//
+// Chaos that cannot be replayed is chaos that cannot be debugged, so every
+// injected fault here is a pure function of (seed, shard, seq, attempt,
+// kind): the same plan produces the same kills, drops, duplicates, delays
+// and corruptions on every run — which is what lets paracosm_fuzz put the
+// whole fault matrix behind a replayable seed, and CI shrink a failing cell
+// to its exact injection point.
+//
+// Two kinds of faults live here:
+//   * frame faults — drop / duplicate / delay / corrupt an outgoing frame,
+//     applied by the coordinator's Requester at send time;
+//   * process kills — a worker exits with _Exit(137) immediately after the
+//     WAL append of a chosen sequence (the after_wal_append hook from PR 4),
+//     i.e. the record is durable but unapplied: the exact window WAL-replay
+//     recovery exists for. Kills are passed to the target worker as
+//     `--kill-at`, and the supervisor omits the flag on respawn so each kill
+//     fires exactly once.
+//
+// Plans travel as compact specs ("seed=7,drop=0.02,dup=0.01,corrupt=0.01,
+// delay=0.05:200") so one string configures a CLI flag, an env var, and a
+// fuzz lane identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace paracosm::shard {
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double drop_rate = 0.0;     ///< outgoing frame silently not sent
+  double dup_rate = 0.0;      ///< outgoing frame sent twice
+  double corrupt_rate = 0.0;  ///< one byte flipped after checksum
+  double delay_rate = 0.0;    ///< outgoing frame stalled by delay_us
+  std::uint32_t delay_us = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop_rate > 0 || dup_rate > 0 || corrupt_rate > 0 || delay_rate > 0;
+  }
+
+  /// Parse "seed=N,drop=R,dup=R,corrupt=R,delay=R:US" (any subset, any
+  /// order). Throws std::invalid_argument on malformed input.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+  [[nodiscard]] std::string to_spec() const;
+};
+
+/// Per-fault-kind counters, reported next to the transport stats.
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t delayed = 0;
+};
+
+/// Deterministic decision engine over a plan. Each query hashes its full
+/// coordinate set, so the same frame re-sent on a later attempt can take a
+/// different (but still reproducible) fault — a retry is not doomed to hit
+/// the same drop forever.
+class FaultPlane {
+ public:
+  explicit FaultPlane(FaultPlan plan) noexcept : plan_(plan) {}
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] bool drop(std::uint16_t shard, std::uint64_t seq,
+                          std::uint32_t attempt) noexcept;
+  [[nodiscard]] bool dup(std::uint16_t shard, std::uint64_t seq,
+                         std::uint32_t attempt) noexcept;
+  /// Byte index to flip in the encoded frame, or -1 for none.
+  [[nodiscard]] int corrupt_byte(std::uint16_t shard, std::uint64_t seq,
+                                 std::uint32_t attempt,
+                                 std::size_t frame_bytes) noexcept;
+  /// Microseconds to stall before sending; 0 for none.
+  [[nodiscard]] std::uint32_t delay_us(std::uint16_t shard, std::uint64_t seq,
+                                       std::uint32_t attempt) noexcept;
+
+ private:
+  [[nodiscard]] std::uint64_t mix(std::uint32_t kind, std::uint16_t shard,
+                                  std::uint64_t seq,
+                                  std::uint32_t attempt) const noexcept;
+
+  FaultPlan plan_;
+  FaultStats stats_;
+};
+
+}  // namespace paracosm::shard

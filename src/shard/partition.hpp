@@ -1,0 +1,72 @@
+// Deterministic ownership partitioning for sharded operation (DESIGN.md §12).
+//
+// The data graph is hash-partitioned by vertex: vertex v's *home* shard is
+// FNV-1a(v) mod N. Because continuous subgraph matching is a global property
+// — a match may span any subset of vertices — every shard maintains a full
+// replica of graph + ADS state (boundary replication taken to its fixed
+// point), but exactly ONE shard per update, the owner, runs the full ΔM
+// enumeration; the replicas run maintain-only passes (search pre-cancelled
+// via the PR-4 cooperative-cancel contract: graph and ADS updates complete,
+// enumeration is skipped). The owner of an edge update is the home shard of
+// its canonical endpoint min(u, v); vertex updates are owned by home(id).
+//
+// Ownership must be a pure function of (update, live-shard set) so that the
+// coordinator, a restarted coordinator, and the differential oracle all agree
+// on which shard's ΔM is authoritative. When a shard is permanently dead
+// (restart budget exhausted), ownership falls over to the next live shard in
+// ring order — still deterministic given the death set, and sound because
+// replicas hold full state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/checksum.hpp"
+
+namespace paracosm::shard {
+
+/// Home shard of a vertex: FNV-1a of the id, mod the shard count.
+[[nodiscard]] inline std::uint32_t home_shard(graph::VertexId v,
+                                              std::uint32_t n_shards) noexcept {
+  const std::uint64_t h = util::fnv1a_word(util::kFnv1aOffset, v);
+  return static_cast<std::uint32_t>(h % n_shards);
+}
+
+/// Canonical routing vertex of an update: min endpoint for edges, the id for
+/// vertex ops (where `u` holds the id and `v` is unused).
+[[nodiscard]] inline graph::VertexId route_vertex(
+    const graph::GraphUpdate& upd) noexcept {
+  switch (upd.op) {
+    case graph::UpdateOp::kInsertEdge:
+    case graph::UpdateOp::kRemoveEdge:
+      return upd.u < upd.v ? upd.u : upd.v;
+    case graph::UpdateOp::kInsertVertex:
+    case graph::UpdateOp::kRemoveVertex:
+      return upd.u;
+  }
+  return upd.u;
+}
+
+/// Owner shard of an update among N shards, before failover.
+[[nodiscard]] inline std::uint32_t owner_shard(const graph::GraphUpdate& upd,
+                                               std::uint32_t n_shards) noexcept {
+  return home_shard(route_vertex(upd), n_shards);
+}
+
+/// Owner after failover: the home shard if alive, else the next live shard in
+/// ring order. `dead[i]` marks permanently dead shards. Returns n_shards when
+/// every shard is dead (no owner exists).
+[[nodiscard]] inline std::uint32_t owner_shard_live(
+    const graph::GraphUpdate& upd, const std::vector<bool>& dead) noexcept {
+  const auto n = static_cast<std::uint32_t>(dead.size());
+  if (n == 0) return 0;
+  const std::uint32_t home = owner_shard(upd, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t s = (home + i) % n;
+    if (!dead[s]) return s;
+  }
+  return n;
+}
+
+}  // namespace paracosm::shard

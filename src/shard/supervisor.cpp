@@ -1,0 +1,304 @@
+#include "shard/supervisor.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "obs/trace_ring.hpp"
+
+namespace paracosm::shard {
+
+namespace {
+
+// SIGCHLD self-pipe. One supervisor per process is the supported topology
+// (the coordinator owns it), so process-global state is acceptable here the
+// same way it is for the worker's signal flags.
+int g_chld_pipe[2] = {-1, -1};
+
+void on_sigchld(int) {
+  const int saved = errno;
+  const unsigned char b = 1;
+  if (g_chld_pipe[1] >= 0) (void)!::write(g_chld_pipe[1], &b, 1);
+  errno = saved;
+}
+
+void install_sigchld() {
+  if (g_chld_pipe[0] >= 0) return;
+  if (::pipe(g_chld_pipe) != 0) return;
+  for (const int fd : g_chld_pipe) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_sigchld;
+  sa.sa_flags = SA_RESTART | SA_NOCLDSTOP;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGCHLD, &sa, nullptr);
+}
+
+void drain_chld_pipe() {
+  if (g_chld_pipe[0] < 0) return;
+  unsigned char buf[64];
+  while (::read(g_chld_pipe[0], buf, sizeof buf) > 0) {
+  }
+}
+
+}  // namespace
+
+std::string resolve_shard_binary() {
+  if (const char* env = std::getenv("PARACOSM_SHARD_BIN"); env && *env)
+    return env;
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+  if (n > 0) {
+    exe[n] = '\0';
+    std::string path(exe);
+    const std::size_t slash = path.rfind('/');
+    if (slash != std::string::npos) {
+      path.resize(slash + 1);
+      path += "paracosm_shard";
+      if (::access(path.c_str(), X_OK) == 0) return path;
+    }
+  }
+  return "paracosm_shard";  // last resort: PATH lookup at exec
+}
+
+Supervisor::Supervisor(SupervisorOptions opts) : opts_(std::move(opts)) {
+  if (opts_.shard_binary.empty()) opts_.shard_binary = resolve_shard_binary();
+  procs_.resize(opts_.n_shards);
+  install_sigchld();
+  ::signal(SIGPIPE, SIG_IGN);  // a dead worker must not kill the coordinator
+}
+
+Supervisor::~Supervisor() {
+  for (std::uint32_t s = 0; s < procs_.size(); ++s)
+    if (procs_[s].alive) kill_hard(s);
+}
+
+bool Supervisor::spawn(std::uint32_t shard, bool recover) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    std::perror("socketpair");
+    return false;
+  }
+  // Parent end must not leak into this child or its future siblings; the
+  // child end is inherited deliberately and named on the command line.
+  ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+
+  char fd_str[16], id_str[16], n_str[16], threads_str[16];
+  char snap_every[32], budget[32], metrics_every[32], kill_at[32];
+  std::snprintf(fd_str, sizeof fd_str, "%d", sv[1]);
+  std::snprintf(id_str, sizeof id_str, "%u", shard);
+  std::snprintf(n_str, sizeof n_str, "%u", opts_.n_shards);
+  std::snprintf(threads_str, sizeof threads_str, "%u", opts_.worker_threads);
+  std::snprintf(snap_every, sizeof snap_every, "%llu",
+                static_cast<unsigned long long>(opts_.snapshot_every));
+  std::snprintf(budget, sizeof budget, "%lld",
+                static_cast<long long>(opts_.budget_us));
+  std::snprintf(metrics_every, sizeof metrics_every, "%llu",
+                static_cast<unsigned long long>(opts_.metrics_every));
+  std::snprintf(kill_at, sizeof kill_at, "%lld",
+                static_cast<long long>(opts_.kill_at));
+
+  const std::string dir = opts_.dir.empty() ? std::string(".") : opts_.dir;
+  const std::string wal = dir + "/shard-" + std::to_string(shard) + ".wal";
+  const std::string snap = dir + "/shard-" + std::to_string(shard) + ".snap";
+  const std::string metrics =
+      dir + "/shard-" + std::to_string(shard) + "-metrics.json";
+
+  std::vector<const char*> argv;
+  argv.push_back(opts_.shard_binary.c_str());
+  argv.push_back("--id"), argv.push_back(id_str);
+  argv.push_back("--shards"), argv.push_back(n_str);
+  argv.push_back("--fd"), argv.push_back(fd_str);
+  argv.push_back("--graph"), argv.push_back(opts_.graph_path.c_str());
+  argv.push_back("--query"), argv.push_back(opts_.query_path.c_str());
+  argv.push_back("--algorithm"), argv.push_back(opts_.algorithm.c_str());
+  argv.push_back("--threads"), argv.push_back(threads_str);
+  argv.push_back("--wal"), argv.push_back(wal.c_str());
+  argv.push_back("--snapshot"), argv.push_back(snap.c_str());
+  if (opts_.snapshot_every > 0)
+    argv.push_back("--snapshot-every"), argv.push_back(snap_every);
+  if (opts_.budget_us > 0)
+    argv.push_back("--budget-us"), argv.push_back(budget);
+  if (opts_.worker_metrics) {
+    argv.push_back("--metrics-out"), argv.push_back(metrics.c_str());
+    if (opts_.metrics_every > 0)
+      argv.push_back("--metrics-every"), argv.push_back(metrics_every);
+  }
+  if (recover) argv.push_back("--recover");
+  // The injected kill rides only the first spawn of the targeted shard: the
+  // respawn must not re-crash at the same point or recovery could never be
+  // observed succeeding.
+  if (!recover && opts_.kill_at >= 0 &&
+      static_cast<int>(shard) == opts_.kill_shard)
+    argv.push_back("--kill-at"), argv.push_back(kill_at);
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: restore default signal handling so the worker installs its own.
+    ::signal(SIGCHLD, SIG_DFL);
+    ::signal(SIGPIPE, SIG_DFL);
+    ::execvp(opts_.shard_binary.c_str(),
+             const_cast<char* const*>(argv.data()));
+    std::fprintf(stderr, "exec %s: %s\n", opts_.shard_binary.c_str(),
+                 std::strerror(errno));
+    std::_Exit(127);
+  }
+  ::close(sv[1]);
+
+  ShardProc& p = procs_[shard];
+  p.pid = pid;
+  p.chan = std::make_unique<Channel>(sv[0]);
+  p.alive = true;
+  p.have_summary = false;
+
+  // Await the hello — the worker loads the graph (and replays its WAL when
+  // recovering) before greeting, so the deadline is generous.
+  Frame hi;
+  const TransportError e = p.chan->recv(hi, opts_.hello_timeout_ms);
+  if (e != TransportError::kOk || hi.type != FrameType::kHello) {
+    std::fprintf(stderr, "shard %u: no hello (%s)\n", shard,
+                 transport_error_name(e));
+    kill_hard(shard);
+    return false;
+  }
+  p.next_seq = hi.seq;
+  if (auto h = wire::decode_hello(hi.payload)) p.last_hello = *h;
+  return true;
+}
+
+bool Supervisor::start_all() {
+  for (std::uint32_t s = 0; s < opts_.n_shards; ++s)
+    if (!spawn(s, /*recover=*/false)) return false;
+  return true;
+}
+
+void Supervisor::reap() {
+  drain_chld_pipe();
+  for (;;) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid <= 0) break;
+    for (ShardProc& p : procs_) {
+      if (p.pid == pid) {
+        p.alive = false;
+        p.pid = -1;
+        break;
+      }
+    }
+  }
+}
+
+bool Supervisor::restart(std::uint32_t shard) {
+  ShardProc& p = procs_[shard];
+  if (p.permanently_dead) return false;
+  // The shard may be wedged rather than dead (slow-peer fault, livelock):
+  // make the death unconditional before respawning so two workers never
+  // share one WAL.
+  kill_hard(shard);
+  if (p.restarts >= opts_.restart_budget) {
+    std::fprintf(stderr,
+                 "shard %u: restart budget (%d) exhausted, declaring "
+                 "permanently dead\n",
+                 shard, opts_.restart_budget);
+    p.permanently_dead = true;
+    return false;
+  }
+  ++p.restarts;
+  ++restarts_;
+  PARACOSM_TRACE_INSTANT(obs::EventKind::kShardRestart, shard,
+                         static_cast<std::uint64_t>(p.restarts));
+  if (!spawn(shard, /*recover=*/true)) {
+    p.permanently_dead = true;
+    return false;
+  }
+  return true;
+}
+
+void Supervisor::kill_hard(std::uint32_t shard) {
+  ShardProc& p = procs_[shard];
+  if (p.pid > 0) {
+    ::kill(p.pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(p.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+  }
+  p.pid = -1;
+  p.alive = false;
+  if (p.chan) p.retired.merge(p.chan->stats());
+  p.chan.reset();
+}
+
+void Supervisor::shutdown_all(std::int64_t deadline_ms) {
+  reap();
+  for (std::uint32_t s = 0; s < procs_.size(); ++s) {
+    ShardProc& p = procs_[s];
+    if (!p.alive || !p.chan) continue;
+    Frame bye;
+    bye.type = FrameType::kShutdown;
+    bye.shard = static_cast<std::uint16_t>(s);
+    bye.seq = p.next_seq;
+    if (p.chan->send(bye, 2000) != TransportError::kOk) {
+      kill_hard(s);
+      continue;
+    }
+    // The worker drains its queue and writes a final snapshot before acking,
+    // so this wait shares the overall deadline.
+    Frame ack;
+    for (;;) {
+      const TransportError e = p.chan->recv(ack, deadline_ms);
+      if (e == TransportError::kChecksumMismatch) continue;
+      if (e != TransportError::kOk) break;
+      if (ack.type == FrameType::kShutdownAck) {
+        if (auto sum = wire::decode_shutdown_summary(ack.payload)) {
+          p.summary = *sum;
+          p.have_summary = true;
+        }
+        break;
+      }
+    }
+    if (p.pid > 0) {
+      int status = 0;
+      // The ack (or channel failure) precedes exit by at most the worker's
+      // epilogue; a bounded SIGKILL fallback covers a wedged epilogue.
+      for (int i = 0; i < 100; ++i) {
+        const pid_t r = ::waitpid(p.pid, &status, WNOHANG);
+        if (r == p.pid || (r < 0 && errno == ECHILD)) {
+          p.pid = -1;
+          break;
+        }
+        struct timespec ts{0, 50'000'000};
+        ::nanosleep(&ts, nullptr);
+      }
+      if (p.pid > 0) kill_hard(s);
+    }
+    p.alive = false;
+    if (p.chan) p.retired.merge(p.chan->stats());
+    p.chan.reset();
+  }
+}
+
+std::vector<bool> Supervisor::dead_set() const {
+  std::vector<bool> dead(procs_.size(), false);
+  for (std::size_t s = 0; s < procs_.size(); ++s)
+    dead[s] = procs_[s].permanently_dead;
+  return dead;
+}
+
+}  // namespace paracosm::shard

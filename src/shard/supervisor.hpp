@@ -1,0 +1,121 @@
+// Shard supervisor: process lifecycle for the coordinator (DESIGN.md §12).
+//
+// Owns the fork/exec of `paracosm_shard` children, one socketpair per child
+// (parent end CLOEXEC, child end passed by fd number through exec), SIGCHLD
+// reaping via a self-pipe, and restart-with-recovery:
+//
+//   spawn    — socketpair + fork + exec, then await the worker's kHello
+//              (which carries its recovered next-sequence) under a generous
+//              deadline. The kill-at fault flag is forwarded only on the
+//              FIRST spawn of the targeted shard, so each injected kill
+//              fires exactly once.
+//   restart  — a crashed shard is reaped and respawned with --recover: the
+//              worker replays snapshot + WAL suffix and reports the sequence
+//              it is current through. Restarts are budgeted; when the budget
+//              is exhausted the shard is marked permanently dead and the
+//              coordinator degrades by failing its ownership over to the
+//              next live shard (partition.hpp) — possible because every
+//              shard holds a full replica.
+//   shutdown — kShutdown to each live child, await kShutdownAck, waitpid.
+//              Anything still alive after the deadline is SIGKILLed so a
+//              wedged worker cannot hang the parent.
+//
+// The supervisor is deliberately synchronous and single-threaded: liveness
+// problems surface as transport errors on the coordinator's own request
+// path, the self-pipe is drained opportunistically, and determinism of the
+// global result never depends on signal arrival timing.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shard/fault.hpp"
+#include "shard/transport.hpp"
+#include "shard/wire.hpp"
+
+namespace paracosm::shard {
+
+/// Resolve the worker binary: $PARACOSM_SHARD_BIN, else `paracosm_shard`
+/// next to the running executable, else bare (PATH lookup at exec).
+[[nodiscard]] std::string resolve_shard_binary();
+
+struct SupervisorOptions {
+  std::uint32_t n_shards = 2;
+  std::string shard_binary;  ///< empty -> resolve_shard_binary()
+
+  // Forwarded worker configuration.
+  std::string graph_path;
+  std::string query_path;
+  std::string algorithm = "graphflow";
+  unsigned worker_threads = 1;
+  std::string dir;  ///< per-shard WAL/snapshot/metrics files live here
+  std::uint64_t snapshot_every = 0;
+  std::int64_t budget_us = 0;
+  std::uint64_t metrics_every = 0;
+  bool worker_metrics = false;
+
+  /// Restarts allowed per shard before it is declared permanently dead.
+  int restart_budget = 3;
+  std::int64_t hello_timeout_ms = 30'000;
+
+  /// Targeted kill fault: shard `kill_shard` gets --kill-at on first spawn.
+  int kill_shard = -1;
+  std::int64_t kill_at = -1;
+};
+
+struct ShardProc {
+  pid_t pid = -1;
+  std::unique_ptr<Channel> chan;
+  TransportStats retired;  ///< stats of channels closed by restarts/shutdown
+  std::uint64_t next_seq = 0;  ///< from the latest kHello
+  wire::Hello last_hello;
+  int restarts = 0;
+  bool alive = false;
+  bool permanently_dead = false;
+  wire::ShutdownSummary summary;  ///< valid after a clean shutdown ack
+  bool have_summary = false;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions opts);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawn every shard fresh. Returns false (with stderr diagnostics) if any
+  /// worker fails to come up.
+  [[nodiscard]] bool start_all();
+
+  /// Reap any exited children (non-blocking; drains the SIGCHLD self-pipe)
+  /// and mark them not-alive.
+  void reap();
+
+  /// Restart a crashed shard with recovery. Returns false when the restart
+  /// budget is exhausted (the shard is then permanently dead) or the respawn
+  /// itself failed.
+  [[nodiscard]] bool restart(std::uint32_t shard);
+
+  /// Graceful stop: kShutdown / await acks / waitpid, SIGKILL stragglers.
+  void shutdown_all(std::int64_t deadline_ms = 10'000);
+
+  [[nodiscard]] ShardProc& proc(std::uint32_t shard) { return procs_[shard]; }
+  [[nodiscard]] std::uint32_t n_shards() const noexcept { return opts_.n_shards; }
+  [[nodiscard]] std::uint64_t total_restarts() const noexcept { return restarts_; }
+  [[nodiscard]] std::vector<bool> dead_set() const;
+
+ private:
+  [[nodiscard]] bool spawn(std::uint32_t shard, bool recover);
+  void kill_hard(std::uint32_t shard);
+
+  SupervisorOptions opts_;
+  std::vector<ShardProc> procs_;
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace paracosm::shard

@@ -1,0 +1,285 @@
+#include "shard/transport.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "obs/trace_ring.hpp"
+#include "util/checksum.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace paracosm::shard {
+
+namespace {
+
+void put_u16(unsigned char* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+void put_u32(unsigned char* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+void put_u64(unsigned char* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+[[nodiscard]] std::uint16_t get_u16(const unsigned char* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+[[nodiscard]] std::uint32_t get_u32(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+[[nodiscard]] std::uint64_t get_u64(const unsigned char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// FNV-1a over the first 24 header bytes and the payload.
+[[nodiscard]] std::uint64_t frame_checksum(
+    const unsigned char* header, const std::vector<unsigned char>& payload) noexcept {
+  std::uint64_t h = util::kFnv1aOffset;
+  for (std::size_t i = 0; i < 24; ++i) {
+    h ^= header[i];
+    h *= util::kFnv1aPrime;
+  }
+  for (const unsigned char b : payload) {
+    h ^= b;
+    h *= util::kFnv1aPrime;
+  }
+  return h;
+}
+
+[[nodiscard]] std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             util::Clock::now().time_since_epoch())
+      .count();
+}
+
+[[nodiscard]] std::int64_t deadline_from(std::int64_t timeout_ms) noexcept {
+  if (timeout_ms < 0) return -1;  // block forever
+  return now_ns() + timeout_ms * 1'000'000;
+}
+
+/// poll() until the fd is ready for `events` or the deadline passes.
+[[nodiscard]] TransportError wait_ready(int fd, short events,
+                                        std::int64_t deadline_ns) {
+  for (;;) {
+    int wait_ms = -1;
+    if (deadline_ns >= 0) {
+      const std::int64_t left = deadline_ns - now_ns();
+      if (left <= 0) return TransportError::kTimeout;
+      wait_ms = static_cast<int>((left + 999'999) / 1'000'000);
+    }
+    struct pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc > 0) {
+      if (pfd.revents & (POLLHUP | POLLERR | POLLNVAL)) {
+        // Readable data may still be queued ahead of the hangup; let the
+        // read itself discover EOF so a final ack is not lost.
+        if ((pfd.revents & events) == 0) return TransportError::kPeerGone;
+      }
+      return TransportError::kOk;
+    }
+    if (rc == 0) return TransportError::kTimeout;
+    if (errno != EINTR) return TransportError::kPeerGone;
+  }
+}
+
+}  // namespace
+
+const char* transport_error_name(TransportError e) noexcept {
+  switch (e) {
+    case TransportError::kOk: return "ok";
+    case TransportError::kTimeout: return "timeout";
+    case TransportError::kTornFrame: return "torn_frame";
+    case TransportError::kPeerGone: return "peer_gone";
+    case TransportError::kChecksumMismatch: return "checksum_mismatch";
+  }
+  return "?";
+}
+
+Channel::~Channel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TransportError Channel::send(const Frame& f, std::int64_t timeout_ms,
+                             int corrupt_byte) {
+  std::vector<unsigned char> msg(kFrameHeaderBytes + f.payload.size());
+  put_u32(msg.data(), kFrameMagic);
+  msg[4] = static_cast<unsigned char>(f.type);
+  msg[5] = f.flags;
+  put_u16(msg.data() + 6, f.shard);
+  put_u64(msg.data() + 8, f.seq);
+  put_u32(msg.data() + 16, static_cast<std::uint32_t>(f.payload.size()));
+  put_u32(msg.data() + 20, 0);  // reserved
+  put_u64(msg.data() + 24, frame_checksum(msg.data(), f.payload));
+  std::memcpy(msg.data() + kFrameHeaderBytes, f.payload.data(),
+              f.payload.size());
+  if (corrupt_byte >= 0 && static_cast<std::size_t>(corrupt_byte) < msg.size())
+    msg[static_cast<std::size_t>(corrupt_byte)] ^= 0x5a;
+
+  const std::int64_t deadline = deadline_from(timeout_ms);
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const TransportError w = wait_ready(fd_, POLLOUT, deadline);
+    if (w != TransportError::kOk) {
+      if (w == TransportError::kTimeout) ++stats_.timeouts;
+      return w;
+    }
+    const ssize_t n = ::write(fd_, msg.data() + off, msg.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
+    ++stats_.peer_gone;  // EPIPE / ECONNRESET: the worker died under us
+    return TransportError::kPeerGone;
+  }
+  ++stats_.frames_sent;
+  return TransportError::kOk;
+}
+
+TransportError Channel::read_exact(unsigned char* buf, std::size_t len,
+                                   std::int64_t deadline_ns, bool mid_frame) {
+  std::size_t off = 0;
+  while (off < len) {
+    const TransportError w = wait_ready(fd_, POLLIN, deadline_ns);
+    if (w != TransportError::kOk) {
+      if (w == TransportError::kTimeout) {
+        // A timeout mid-frame means the stream is stuck between frame
+        // boundaries — resynchronization is impossible, the channel is torn.
+        if (mid_frame && off > 0) {
+          ++stats_.torn_frames;
+          return TransportError::kTornFrame;
+        }
+        ++stats_.timeouts;
+      }
+      return w;
+    }
+    const ssize_t n = ::read(fd_, buf + off, len - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
+    if (n == 0 && off > 0) {
+      ++stats_.torn_frames;  // EOF halfway through a frame: crash mid-send
+      return TransportError::kTornFrame;
+    }
+    ++stats_.peer_gone;
+    return TransportError::kPeerGone;
+  }
+  return TransportError::kOk;
+}
+
+TransportError Channel::recv(Frame& out, std::int64_t timeout_ms) {
+  const std::int64_t deadline = deadline_from(timeout_ms);
+  unsigned char header[kFrameHeaderBytes];
+  TransportError e = read_exact(header, kFrameHeaderBytes, deadline,
+                                /*mid_frame=*/true);
+  if (e != TransportError::kOk) return e;
+
+  const std::uint32_t payload_len = get_u32(header + 16);
+  if (get_u32(header) != kFrameMagic || payload_len > kMaxPayloadBytes) {
+    // Framing desync: without the magic at a frame boundary there is no way
+    // to find the next boundary. The channel must be abandoned.
+    ++stats_.torn_frames;
+    return TransportError::kTornFrame;
+  }
+  out.type = static_cast<FrameType>(header[4]);
+  out.flags = header[5];
+  out.shard = get_u16(header + 6);
+  out.seq = get_u64(header + 8);
+  out.payload.resize(payload_len);
+  if (payload_len > 0) {
+    e = read_exact(out.payload.data(), payload_len, deadline, /*mid_frame=*/true);
+    if (e != TransportError::kOk) return e;
+  }
+  if (get_u64(header + 24) != frame_checksum(header, out.payload)) {
+    // The frame was fully consumed, so the stream stays aligned — drop it
+    // and let the sender's retry cover the loss.
+    ++stats_.checksum_drops;
+    return TransportError::kChecksumMismatch;
+  }
+  ++stats_.frames_received;
+  return TransportError::kOk;
+}
+
+TransportError Requester::request(const Frame& req, FrameType want, Frame& out) {
+  TransportError last = TransportError::kTimeout;
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    PARACOSM_TRACE_SPAN(req_span, obs::EventKind::kShardRequest, req.shard,
+                        req.seq, static_cast<std::uint64_t>(req.type));
+    if (attempt > 0) {
+      ++chan_.stats().retries;
+      PARACOSM_TRACE_INSTANT(obs::EventKind::kShardRetry, req.shard, req.seq,
+                             static_cast<std::uint64_t>(last));
+      // Exponential backoff with deterministic jitter: reruns of the same
+      // (seed, shard, seq) schedule identical waits.
+      const std::int64_t base =
+          std::min(policy_.backoff_base_ms << (attempt - 1),
+                   policy_.backoff_cap_ms);
+      std::uint64_t jstate = policy_.jitter_seed ^ (req.seq << 16) ^
+                             (std::uint64_t{req.shard} << 8) ^
+                             static_cast<std::uint64_t>(attempt);
+      const std::int64_t jitter =
+          policy_.backoff_base_ms > 0
+              ? static_cast<std::int64_t>(util::splitmix64(jstate) %
+                                          static_cast<std::uint64_t>(
+                                              policy_.backoff_base_ms))
+              : 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(base + jitter));
+    }
+
+    const std::uint32_t att = static_cast<std::uint32_t>(attempt);
+    if (fault_) {
+      const std::uint32_t stall = fault_->delay_us(req.shard, req.seq, att);
+      if (stall > 0) std::this_thread::sleep_for(std::chrono::microseconds(stall));
+    }
+    const bool dropped = fault_ && fault_->drop(req.shard, req.seq, att);
+    if (!dropped) {
+      const int corrupt =
+          fault_ ? fault_->corrupt_byte(req.shard, req.seq, att,
+                                        kFrameHeaderBytes + req.payload.size())
+                 : -1;
+      last = chan_.send(req, policy_.attempt_timeout_ms, corrupt);
+      if (last == TransportError::kPeerGone || last == TransportError::kTornFrame)
+        return last;
+      if (last == TransportError::kOk && fault_ &&
+          fault_->dup(req.shard, req.seq, att))
+        (void)chan_.send(req, policy_.attempt_timeout_ms);
+    }
+
+    // Await the matching reply within the attempt deadline. Replies for
+    // older sequences (a duplicated request answered twice) are discarded.
+    const std::int64_t attempt_deadline =
+        now_ns() + policy_.attempt_timeout_ms * 1'000'000;
+    for (;;) {
+      const std::int64_t left_ms = (attempt_deadline - now_ns()) / 1'000'000;
+      if (left_ms <= 0) {
+        last = TransportError::kTimeout;
+        break;
+      }
+      last = chan_.recv(out, left_ms);
+      if (last == TransportError::kPeerGone || last == TransportError::kTornFrame)
+        return last;
+      if (last != TransportError::kOk) break;  // timeout / checksum drop
+      if ((out.type == want || out.type == FrameType::kNak) &&
+          out.seq == req.seq)
+        return TransportError::kOk;
+      ++chan_.stats().stale_acks;  // stale or duplicate reply: keep waiting
+    }
+  }
+  return last;
+}
+
+}  // namespace paracosm::shard

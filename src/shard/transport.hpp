@@ -1,0 +1,173 @@
+// Framed, checksummed, deadline-aware transport between the coordinator and
+// its shard worker processes (DESIGN.md §12).
+//
+// The wire is a connected AF_UNIX SOCK_STREAM socketpair created before fork;
+// the child's end survives exec and is passed by fd number. Every message is
+// one frame: a fixed 32-byte little-endian header followed by the payload.
+//
+//   header: u32 magic "PCSF" | u8 type | u8 flags | u16 shard
+//         | u64 seq | u32 payload_len | u32 reserved | u64 checksum
+//
+// The checksum is FNV-1a over the header's first 24 bytes plus the payload,
+// so both a bit-flipped header field and a corrupted payload byte are caught
+// by the reader. Error taxonomy (TransportError):
+//
+//   kTimeout          — the per-call deadline expired with no complete frame.
+//   kTornFrame        — the stream died mid-frame, or framing desynchronized
+//                       (bad magic / oversized length): the channel can no
+//                       longer find frame boundaries and must be abandoned.
+//   kPeerGone         — EOF or EPIPE/ECONNRESET: the process on the other end
+//                       exited (the crash signal the supervisor acts on).
+//   kChecksumMismatch — a well-framed message failed validation. The frame is
+//                       dropped and the stream stays usable (framing is
+//                       intact); the requester's retry covers the loss.
+//
+// Requester layers request/response on top: send, await the matching (type,
+// seq) reply under a per-attempt deadline, and retry with exponential backoff
+// plus deterministic jitter up to a bounded attempt budget. Retries are safe
+// because every request carries the global update sequence and workers
+// deduplicate by it (a resent request returns the cached acknowledgement).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shard/fault.hpp"
+
+namespace paracosm::shard {
+
+inline constexpr std::uint32_t kFrameMagic = 0x46534350;  // "PCSF"
+inline constexpr std::size_t kFrameHeaderBytes = 32;
+/// Upper bound on one payload — a framing-sanity limit, not a protocol one
+/// (an ack carrying more than this many bytes of assignments indicates a
+/// desynchronized stream, not a real message).
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      ///< worker -> coordinator: ready; seq = next WAL seq
+  kHelloAck,       ///< coordinator -> worker: proceed
+  kApply,          ///< coordinator -> worker: one update; payload Wire encode
+  kApplyAck,       ///< worker -> coordinator: UpdateDone + owner ΔM mappings
+  kPing,           ///< liveness probe; seq echoed in the pong
+  kPong,           ///< payload: worker's next seq
+  kShutdown,       ///< drain + final snapshot/metrics, then ack and exit 0
+  kShutdownAck,    ///< payload: final counters (processed, retries, ...)
+  kNak,            ///< worker saw a sequence gap; payload: expected seq
+};
+
+enum class TransportError : std::uint8_t {
+  kOk = 0,
+  kTimeout,
+  kTornFrame,
+  kPeerGone,
+  kChecksumMismatch,
+};
+
+[[nodiscard]] const char* transport_error_name(TransportError e) noexcept;
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::uint8_t flags = 0;    ///< kApply: bit 0 = this shard owns the update
+  std::uint16_t shard = 0;   ///< destination / source shard id
+  std::uint64_t seq = 0;     ///< global update sequence (or 0)
+  std::vector<unsigned char> payload;
+};
+
+inline constexpr std::uint8_t kFlagOwner = 1;
+
+/// Transport-side counters, aggregated into the coordinator report and the
+/// serve JSON (per-shard lanes + totals).
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t retries = 0;           ///< request attempts beyond the first
+  std::uint64_t timeouts = 0;
+  std::uint64_t checksum_drops = 0;    ///< frames dropped by validation
+  std::uint64_t torn_frames = 0;
+  std::uint64_t peer_gone = 0;
+  std::uint64_t stale_acks = 0;        ///< out-of-window replies discarded
+
+  void merge(const TransportStats& o) noexcept {
+    frames_sent += o.frames_sent;
+    frames_received += o.frames_received;
+    retries += o.retries;
+    timeouts += o.timeouts;
+    checksum_drops += o.checksum_drops;
+    torn_frames += o.torn_frames;
+    peer_gone += o.peer_gone;
+    stale_acks += o.stale_acks;
+  }
+};
+
+/// Bounded-retry policy for Requester. Backoff for attempt k (0-based, after
+/// the k-th failure) is min(base << k, cap) plus deterministic jitter in
+/// [0, base), seeded per (shard, seq, attempt) so reruns are reproducible.
+struct RetryPolicy {
+  int max_attempts = 5;
+  std::int64_t attempt_timeout_ms = 1000;  ///< per-attempt response deadline
+  std::int64_t backoff_base_ms = 5;
+  std::int64_t backoff_cap_ms = 200;
+  std::uint64_t jitter_seed = 0x5eed;
+};
+
+/// One end of the socketpair. Owns the fd. Send/recv move whole frames with
+/// a per-call timeout (-1 = block indefinitely, 0 = poll).
+class Channel {
+ public:
+  explicit Channel(int fd) noexcept : fd_(fd) {}
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Send one frame. `corrupt_byte` >= 0 flips that byte of the encoded
+  /// message after the checksum is computed — the fault plane's hook for
+  /// exercising the receiver's validation path.
+  TransportError send(const Frame& f, std::int64_t timeout_ms = -1,
+                      int corrupt_byte = -1);
+
+  /// Receive one frame. kChecksumMismatch leaves the stream aligned (the
+  /// whole frame was consumed); kTornFrame / kPeerGone mean the channel is
+  /// dead.
+  TransportError recv(Frame& out, std::int64_t timeout_ms = -1);
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] TransportStats& stats() noexcept { return stats_; }
+
+  /// Release ownership without closing (child side after fork bookkeeping).
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  TransportError read_exact(unsigned char* buf, std::size_t len,
+                            std::int64_t deadline_ns, bool mid_frame);
+
+  int fd_ = -1;
+  TransportStats stats_;
+};
+
+/// Request/response with bounded retry over a Channel (coordinator side).
+/// Outgoing faults (drop/dup/delay/corrupt) are injected here, where the
+/// attempt number is known, keeping Channel deterministic.
+class Requester {
+ public:
+  Requester(Channel& chan, RetryPolicy policy, FaultPlane* fault = nullptr)
+      : chan_(chan), policy_(policy), fault_(fault) {}
+
+  /// Send `req` and wait for a `want`-typed reply with the same seq (or a
+  /// kNak, surfaced to the caller via `out`). Retries timeouts and dropped /
+  /// corrupted exchanges; kPeerGone and kTornFrame return immediately — only
+  /// the supervisor can fix a dead peer.
+  TransportError request(const Frame& req, FrameType want, Frame& out);
+
+ private:
+  Channel& chan_;
+  RetryPolicy policy_;
+  FaultPlane* fault_;
+};
+
+}  // namespace paracosm::shard

@@ -1,0 +1,201 @@
+// Payload encodings for the shard protocol frames (transport.hpp). Kept as
+// plain little-endian structs-on-bytes — both ends are the same binary on
+// the same machine, but explicit encoding keeps the checksums meaningful and
+// the frames inspectable in a capture.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "csm/match.hpp"
+#include "graph/types.hpp"
+
+namespace paracosm::shard::wire {
+
+inline void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+}
+inline void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<unsigned char>& buf) noexcept : buf_(buf) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    if (off_ + 1 > buf_.size()) return fail();
+    return buf_[off_++];
+  }
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    if (off_ + 4 > buf_.size()) return fail();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[off_++]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() noexcept {
+    if (off_ + 8 > buf_.size()) return fail();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[off_++]) << (8 * i);
+    return v;
+  }
+
+ private:
+  std::uint8_t fail() noexcept {
+    ok_ = false;
+    return 0;
+  }
+  const std::vector<unsigned char>& buf_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+// ------------------------------------------------------------------- kApply
+
+inline std::vector<unsigned char> encode_apply(const graph::GraphUpdate& upd) {
+  std::vector<unsigned char> out;
+  out.push_back(static_cast<unsigned char>(upd.op));
+  put_u32(out, upd.u);
+  put_u32(out, upd.v);
+  put_u32(out, upd.label);
+  return out;
+}
+
+inline std::optional<graph::GraphUpdate> decode_apply(
+    const std::vector<unsigned char>& payload) {
+  Reader r(payload);
+  graph::GraphUpdate upd;
+  upd.op = static_cast<graph::UpdateOp>(r.u8());
+  upd.u = r.u32();
+  upd.v = r.u32();
+  upd.label = r.u32();
+  if (!r.ok() ||
+      static_cast<std::uint8_t>(upd.op) >
+          static_cast<std::uint8_t>(graph::UpdateOp::kRemoveVertex))
+    return std::nullopt;
+  return upd;
+}
+
+// ---------------------------------------------------------------- kApplyAck
+
+/// The worker's acknowledgement: the UpdateDone summary plus — when the
+/// worker owned the update — the full ΔM mapping stream in the engine's
+/// deterministic delivery order, flattened as (qv, dv) pairs.
+struct ApplyAck {
+  bool applied = false;
+  bool cancelled = false;
+  std::uint64_t positive = 0;
+  std::uint64_t negative = 0;
+  std::uint32_t match_size = 0;  ///< assignments per mapping (|V(q)|)
+  std::vector<csm::Assignment> assignments;
+};
+
+inline std::vector<unsigned char> encode_apply_ack(const ApplyAck& ack) {
+  std::vector<unsigned char> out;
+  out.push_back(ack.applied ? 1 : 0);
+  out.push_back(ack.cancelled ? 1 : 0);
+  put_u64(out, ack.positive);
+  put_u64(out, ack.negative);
+  put_u32(out, ack.match_size);
+  put_u32(out, static_cast<std::uint32_t>(ack.assignments.size()));
+  for (const csm::Assignment& a : ack.assignments) {
+    put_u32(out, a.qv);
+    put_u32(out, a.dv);
+  }
+  return out;
+}
+
+inline std::optional<ApplyAck> decode_apply_ack(
+    const std::vector<unsigned char>& payload) {
+  Reader r(payload);
+  ApplyAck ack;
+  ack.applied = r.u8() != 0;
+  ack.cancelled = r.u8() != 0;
+  ack.positive = r.u64();
+  ack.negative = r.u64();
+  ack.match_size = r.u32();
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > (payload.size() / 8) + 1) return std::nullopt;
+  ack.assignments.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    csm::Assignment a;
+    a.qv = r.u32();
+    a.dv = r.u32();
+    ack.assignments.push_back(a);
+  }
+  if (!r.ok()) return std::nullopt;
+  return ack;
+}
+
+// ------------------------------------------------------------------- kHello
+
+struct Hello {
+  std::uint64_t replayed = 0;  ///< WAL records replayed during recovery
+  bool used_snapshot = false;
+};
+
+inline std::vector<unsigned char> encode_hello(const Hello& h) {
+  std::vector<unsigned char> out;
+  put_u64(out, h.replayed);
+  out.push_back(h.used_snapshot ? 1 : 0);
+  return out;
+}
+
+inline std::optional<Hello> decode_hello(
+    const std::vector<unsigned char>& payload) {
+  Reader r(payload);
+  Hello h;
+  h.replayed = r.u64();
+  h.used_snapshot = r.u8() != 0;
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+// ------------------------------------------------------------- kShutdownAck
+
+struct ShutdownSummary {
+  std::uint64_t processed = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_retries = 0;
+  std::uint64_t snapshots = 0;
+};
+
+inline std::vector<unsigned char> encode_shutdown_summary(
+    const ShutdownSummary& s) {
+  std::vector<unsigned char> out;
+  put_u64(out, s.processed);
+  put_u64(out, s.wal_records);
+  put_u64(out, s.wal_retries);
+  put_u64(out, s.snapshots);
+  return out;
+}
+
+inline std::optional<ShutdownSummary> decode_shutdown_summary(
+    const std::vector<unsigned char>& payload) {
+  Reader r(payload);
+  ShutdownSummary s;
+  s.processed = r.u64();
+  s.wal_records = r.u64();
+  s.wal_retries = r.u64();
+  s.snapshots = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return s;
+}
+
+inline std::vector<unsigned char> encode_u64(std::uint64_t v) {
+  std::vector<unsigned char> out;
+  put_u64(out, v);
+  return out;
+}
+
+inline std::optional<std::uint64_t> decode_u64(
+    const std::vector<unsigned char>& payload) {
+  Reader r(payload);
+  const std::uint64_t v = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return v;
+}
+
+}  // namespace paracosm::shard::wire

@@ -1,0 +1,74 @@
+// Shard worker: the child-process half of sharded operation (DESIGN.md §12).
+//
+// A worker owns one full replica of (graph, ADS) and runs the PR-4
+// StreamService pipeline over it — its own WAL (identity-salted per shard),
+// its own snapshots, its own cooperative deadlines. The serve loop speaks the
+// shard protocol over the inherited socketpair fd:
+//
+//   * kApply at the expected sequence — process through the service. The
+//     owner flag decides enumeration: owners run the full ΔM search, replicas
+//     run maintain-only (the search is pre-cancelled via the force_timeout
+//     hook; graph/ADS maintenance still completes exactly — the PR-4 cancel
+//     contract). The acknowledgement carries the UpdateDone summary and, for
+//     owners, the full mapping stream in the engine's deterministic order.
+//   * kApply below the expected sequence — a coordinator retry for an update
+//     that already completed (the ack was lost, or the worker crashed after
+//     the WAL append). The cached acknowledgement is resent verbatim:
+//     exactly-once ΔM on top of at-least-once delivery.
+//   * kApply above the expected sequence — a gap; answered with kNak carrying
+//     the expected sequence so the coordinator can diagnose.
+//   * kPing -> kPong (next sequence in the payload), kShutdown -> drain,
+//     final snapshot + metrics flush, kShutdownAck, exit 0.
+//
+// Recovery (--recover) replays the WAL suffix *through the engine* rather
+// than through a raw graph apply: replay regenerates each update's ΔM
+// (deterministic delivery makes it byte-identical to the pre-crash run) and
+// refills the acknowledgement cache, so a coordinator resend of an update
+// that was durable before the crash gets the exact ΔM the lost ack carried.
+//
+// SIGTERM/SIGINT request graceful shutdown: the loop exits, the service
+// drains and flushes WAL + final snapshot + metrics, and the process exits 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace paracosm::shard {
+
+struct WorkerOptions {
+  std::uint32_t shard_id = 0;
+  std::uint32_t n_shards = 1;
+  int fd = -1;  ///< inherited socketpair end
+
+  std::string graph_path;
+  std::string query_path;
+  std::string algorithm = "graphflow";
+  unsigned threads = 1;
+
+  std::string wal_path;
+  std::string snapshot_path;
+  std::uint64_t snapshot_every = 0;
+  std::int64_t budget_us = 0;
+
+  std::string metrics_path;
+  std::uint64_t metrics_every = 0;
+
+  bool recover = false;
+
+  /// Fault: _Exit(137) right after the WAL append of this sequence — durable
+  /// but unapplied, the exact window recovery exists for. -1 = off.
+  std::int64_t kill_at = -1;
+};
+
+/// Identity fingerprint of shard `shard_id`'s WAL: the base-graph fingerprint
+/// salted with the shard id, so shard k can never replay shard j's log even
+/// though both start from the same replica.
+[[nodiscard]] std::uint32_t shard_wal_fingerprint(std::uint32_t base_fp,
+                                                  std::uint32_t shard_id) noexcept;
+
+/// Run the worker to completion. Returns the process exit code: 0 on clean
+/// shutdown (kShutdown, coordinator EOF, or SIGTERM/SIGINT drain), non-zero
+/// on setup or service failure.
+[[nodiscard]] int run_worker(const WorkerOptions& opts);
+
+}  // namespace paracosm::shard

@@ -1,0 +1,192 @@
+#include "verify/shard_check.hpp"
+
+#include <filesystem>
+#include <span>
+#include <utility>
+
+#include "csm/algorithm.hpp"
+#include "graph/graph_io.hpp"
+#include "paracosm/paracosm.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/fault.hpp"
+#include "util/checksum.hpp"
+#include "util/rng.hpp"
+
+namespace paracosm::verify {
+
+namespace {
+
+/// The single-process ground truth: totals plus the fold_delta checksum over
+/// the full per-update ΔM mapping stream.
+struct OracleResult {
+  std::uint64_t positive = 0;
+  std::uint64_t negative = 0;
+  std::uint64_t checksum = util::kFnv1aOffset;
+};
+
+OracleResult run_oracle(const FuzzCase& c, const ShardCheckOptions& opts) {
+  auto alg = csm::make_algorithm(opts.algorithm);
+  graph::DataGraph g = c.graph;
+  engine::Config config;
+  config.threads = opts.threads;
+  config.inter_parallelism = false;
+  engine::ParaCosm pc(*alg, c.queries.front(), g, config);
+  std::vector<csm::Assignment> buf;
+  pc.set_match_callback([&buf](std::span<const csm::Assignment> m) {
+    buf.insert(buf.end(), m.begin(), m.end());
+  });
+  OracleResult out;
+  for (std::uint64_t seq = 0; seq < c.stream.size(); ++seq) {
+    buf.clear();
+    const csm::UpdateOutcome o = pc.process(c.stream[seq]);
+    out.positive += o.positive;
+    out.negative += o.negative;
+    out.checksum = shard::fold_delta(out.checksum, seq, o.positive, o.negative, buf);
+  }
+  return out;
+}
+
+/// One coordinator run in a fresh scratch subdirectory (stale WAL/snapshot
+/// files from a previous lane would trip the identity checks by design).
+shard::CoordinatorReport run_coordinator(
+    const FuzzCase& c, const ShardCheckOptions& opts,
+    const std::string& lane_dir, const std::string& graph_path,
+    const std::string& query_path, int kill_shard, std::int64_t kill_at,
+    const shard::FaultPlan& fault, std::string& error) {
+  std::filesystem::create_directories(lane_dir);
+  shard::CoordinatorOptions copts;
+  copts.sup.n_shards = opts.n_shards;
+  copts.sup.graph_path = graph_path;
+  copts.sup.query_path = query_path;
+  copts.sup.algorithm = std::string(opts.algorithm);
+  copts.sup.worker_threads = opts.threads;
+  copts.sup.dir = lane_dir;
+  copts.sup.kill_shard = kill_shard;
+  copts.sup.kill_at = kill_at;
+  copts.policy.attempt_timeout_ms = 2000;
+  copts.fault = fault;
+
+  shard::Coordinator coord(copts);
+  if (!coord.start()) {
+    error = coord.error();
+    return coord.finish();
+  }
+  for (const graph::GraphUpdate& upd : c.stream)
+    if (!coord.process(upd)) break;
+  shard::CoordinatorReport report = coord.finish();
+  error = report.error;
+  return report;
+}
+
+Divergence make_div(const FuzzCase& c, const ShardCheckOptions& opts,
+                    std::string message) {
+  Divergence d;
+  d.seed = c.seed;
+  d.algorithm = std::string(opts.algorithm);
+  d.threads = opts.threads;
+  d.message = std::move(message);
+  return d;
+}
+
+void compare(const FuzzCase& c, const ShardCheckOptions& opts,
+             const std::string& lane, const OracleResult& oracle,
+             const shard::CoordinatorReport& report, const std::string& error,
+             std::vector<Divergence>& out) {
+  if (!error.empty()) {
+    out.push_back(make_div(c, opts, "shard " + lane + " lane: " + error));
+    return;
+  }
+  if (report.processed != c.stream.size()) {
+    out.push_back(make_div(
+        c, opts,
+        "shard " + lane + " lane: processed " +
+            std::to_string(report.processed) + " of " +
+            std::to_string(c.stream.size()) + " updates (updates dropped)"));
+    return;
+  }
+  if (report.positive != oracle.positive || report.negative != oracle.negative ||
+      report.delta_checksum != oracle.checksum) {
+    out.push_back(make_div(
+        c, opts,
+        "shard " + lane + " lane: merged ΔM diverges from the "
+        "single-process oracle (got +" + std::to_string(report.positive) +
+        "/-" + std::to_string(report.negative) + " cksum " +
+        std::to_string(report.delta_checksum) + ", oracle +" +
+        std::to_string(oracle.positive) + "/-" +
+        std::to_string(oracle.negative) + " cksum " +
+        std::to_string(oracle.checksum) + ")"));
+  }
+}
+
+}  // namespace
+
+std::vector<Divergence> check_shard_case(const FuzzCase& c,
+                                         const ShardCheckOptions& opts) {
+  std::vector<Divergence> divs;
+  if (c.queries.empty() || opts.n_shards == 0) return divs;
+
+  const std::string base =
+      opts.dir + "/shardcheck-" + std::to_string(c.seed);
+  std::filesystem::create_directories(base);
+  const std::string graph_path = base + "/case.graph";
+  const std::string query_path = base + "/case.query";
+  graph::save_data_graph_file(c.graph, graph_path);
+  graph::save_query_graph_file(c.queries.front(), query_path);
+
+  const OracleResult oracle = run_oracle(c, opts);
+
+  // ---- clean lane
+  {
+    std::string error;
+    const shard::CoordinatorReport report =
+        run_coordinator(c, opts, base + "/clean", graph_path, query_path,
+                        /*kill_shard=*/-1, /*kill_at=*/-1, {}, error);
+    compare(c, opts, "clean", oracle, report, error, divs);
+    if (!divs.empty()) return divs;
+  }
+
+  // ---- kill lane: seeded (shard, seq) cells
+  if (!c.stream.empty()) {
+    for (std::uint32_t k = 0; k < opts.kill_points; ++k) {
+      std::uint64_t state = c.seed ^ (0x9e3779b97f4a7c15ULL * (k + 1));
+      const std::uint64_t h = util::splitmix64(state);
+      const int kill_shard = static_cast<int>(h % opts.n_shards);
+      const auto kill_at =
+          static_cast<std::int64_t>((h >> 32) % c.stream.size());
+      std::string error;
+      const shard::CoordinatorReport report = run_coordinator(
+          c, opts, base + "/kill-" + std::to_string(k), graph_path, query_path,
+          kill_shard, kill_at, {}, error);
+      compare(c, opts,
+              "kill(s" + std::to_string(kill_shard) + "@" +
+                  std::to_string(kill_at) + ")",
+              oracle, report, error, divs);
+      if (divs.empty() && report.restarts == 0)
+        divs.push_back(make_div(
+            c, opts,
+            "shard kill lane: armed kill at shard " +
+                std::to_string(kill_shard) + " seq " + std::to_string(kill_at) +
+                " never triggered a restart (fault plumbing broken)"));
+      if (!divs.empty()) return divs;
+    }
+  }
+
+  // ---- transport fault lane
+  if (opts.transport_faults) {
+    shard::FaultPlan plan;
+    plan.seed = c.seed ^ 0xfau;
+    plan.drop_rate = 0.04;
+    plan.dup_rate = 0.03;
+    plan.corrupt_rate = 0.04;
+    plan.delay_rate = 0.05;
+    plan.delay_us = 300;
+    std::string error;
+    const shard::CoordinatorReport report =
+        run_coordinator(c, opts, base + "/transport", graph_path, query_path,
+                        /*kill_shard=*/-1, /*kill_at=*/-1, plan, error);
+    compare(c, opts, "transport", oracle, report, error, divs);
+  }
+  return divs;
+}
+
+}  // namespace paracosm::verify

@@ -1,0 +1,45 @@
+// Differential verification of sharded operation (DESIGN.md §12): the
+// coordinator's merged ΔM over N supervised worker processes must be
+// byte-identical — totals AND the flattened (seq, qv, dv) mapping stream,
+// compared via the shared fold_delta checksum — to one single-process engine
+// run over the same stream, under every fault lane:
+//
+//   clean      — no faults; the baseline sanity of the shard protocol.
+//   kill       — seeded (shard, seq) kill cells: the chosen worker _Exit(137)s
+//                with the record durable but unapplied; the supervisor must
+//                restart it, WAL-replay, and resend the in-flight update —
+//                delayed, never dropped, ΔM still byte-identical.
+//   transport  — drop / duplicate / corrupt / delay frames at seeded rates;
+//                the retry/backoff plane must absorb every one.
+//
+// These lanes spawn real child processes (paracosm_shard, resolved via
+// $PARACOSM_SHARD_BIN or next to the current executable) and write scratch
+// graph/stream/WAL files under `dir` — they are integration checks by
+// design: the protocol, not a mock of it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/fuzzer.hpp"
+
+namespace paracosm::verify {
+
+struct ShardCheckOptions {
+  std::string_view algorithm = "graphflow";
+  unsigned threads = 2;
+  std::uint32_t n_shards = 2;
+  std::uint32_t kill_points = 3;  ///< seeded (shard, seq) kill cells per case
+  bool transport_faults = true;   ///< add the drop/dup/corrupt/delay lane
+  /// Scratch directory for case files and per-shard WAL/snapshots. Required:
+  /// workers are separate processes and can only meet the case on disk.
+  std::string dir = ".";
+};
+
+/// Run the shard fault matrix over `c` (query 0). Divergences come back in
+/// the fuzzer's vocabulary so paracosm_fuzz prints/persists them uniformly.
+[[nodiscard]] std::vector<Divergence> check_shard_case(
+    const FuzzCase& c, const ShardCheckOptions& opts);
+
+}  // namespace paracosm::verify

@@ -1,0 +1,259 @@
+// Integration tests for sharded operation (DESIGN.md §12). These spawn real
+// `paracosm_shard` worker processes through the supervisor/coordinator stack
+// and hold the merged ΔM byte-identical to a single-process engine run under
+// clean, crash-recovery, failover and transport-fault conditions.
+//
+// The kill matrix is the acceptance gate: across 2/3/4 shards, 9 seeded
+// (shard, seq) kill cells each — 27 injection points — plus a clean and a
+// drop/dup/corrupt/delay lane per topology, every run must recover with zero
+// updates dropped and an identical fold_delta checksum.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <span>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "csm/algorithm.hpp"
+#include "graph/graph_io.hpp"
+#include "paracosm/paracosm.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/partition.hpp"
+#include "shard/supervisor.hpp"
+#include "util/checksum.hpp"
+#include "verify/shard_check.hpp"
+
+namespace paracosm {
+namespace {
+
+/// Resolve the worker binary relative to this test executable
+/// (build/tests/test_sharding -> build/tools/paracosm_shard) and export it
+/// before any Supervisor exists, so the tests do not depend on the cwd ctest
+/// happens to pick.
+const struct ShardBinEnv {
+  ShardBinEnv() {
+    char exe[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+    if (n <= 0) return;
+    exe[n] = '\0';
+    std::string dir(exe);
+    const auto slash = dir.rfind('/');
+    if (slash == std::string::npos) return;
+    dir.resize(slash);
+    const std::string candidate = dir + "/../tools/paracosm_shard";
+    if (::access(candidate.c_str(), X_OK) == 0)
+      ::setenv("PARACOSM_SHARD_BIN", candidate.c_str(), /*overwrite=*/0);
+  }
+} g_shard_bin_env;
+
+std::string fresh_dir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "paracosm-" + leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Single-process ground truth: totals plus the fold_delta checksum over the
+/// full per-update ΔM mapping stream (same fold as the coordinator's merge).
+struct Oracle {
+  std::uint64_t positive = 0;
+  std::uint64_t negative = 0;
+  std::uint64_t checksum = util::kFnv1aOffset;
+};
+
+Oracle run_oracle(const verify::FuzzCase& c, unsigned threads) {
+  auto alg = csm::make_algorithm("graphflow");
+  graph::DataGraph g = c.graph;
+  engine::Config config;
+  config.threads = threads;
+  config.inter_parallelism = false;
+  engine::ParaCosm pc(*alg, c.queries.front(), g, config);
+  std::vector<csm::Assignment> buf;
+  pc.set_match_callback([&buf](std::span<const csm::Assignment> m) {
+    buf.insert(buf.end(), m.begin(), m.end());
+  });
+  Oracle out;
+  for (std::uint64_t seq = 0; seq < c.stream.size(); ++seq) {
+    buf.clear();
+    const csm::UpdateOutcome o = pc.process(c.stream[seq]);
+    out.positive += o.positive;
+    out.negative += o.negative;
+    out.checksum = shard::fold_delta(out.checksum, seq, o.positive, o.negative, buf);
+  }
+  return out;
+}
+
+void run_matrix(std::uint32_t n_shards, std::uint64_t seed) {
+  const verify::FuzzCase c = verify::generate_case(seed);
+  verify::ShardCheckOptions opts;
+  opts.n_shards = n_shards;
+  opts.kill_points = 9;
+  opts.threads = 2;
+  opts.transport_faults = true;
+  opts.dir = fresh_dir("shardmatrix-" + std::to_string(n_shards));
+  for (const verify::Divergence& d : verify::check_shard_case(c, opts))
+    ADD_FAILURE() << d.to_string();
+}
+
+TEST(ShardMatrix, TwoShardsSurviveNineKillsAndTransportFaults) {
+  run_matrix(2, 101);
+}
+TEST(ShardMatrix, ThreeShardsSurviveNineKillsAndTransportFaults) {
+  run_matrix(3, 202);
+}
+TEST(ShardMatrix, FourShardsSurviveNineKillsAndTransportFaults) {
+  run_matrix(4, 303);
+}
+
+TEST(ShardFailover, ExhaustedBudgetFailsOwnershipOverWithIdenticalDelta) {
+  const verify::FuzzCase c = verify::generate_case(77);
+  ASSERT_FALSE(c.stream.empty());
+  const std::string dir = fresh_dir("shardfailover");
+  const std::string graph_path = dir + "/case.graph";
+  const std::string query_path = dir + "/case.query";
+  graph::save_data_graph_file(c.graph, graph_path);
+  graph::save_query_graph_file(c.queries.front(), query_path);
+
+  // Arm the kill at a sequence shard 1 OWNS, so its death lands in the owner
+  // phase: with a zero restart budget the supervisor must declare it
+  // permanently dead and the coordinator must fail the update over to shard 0
+  // — which has not applied it yet (owner-first ordering) and re-enumerates
+  // it from identical state.
+  std::int64_t kill_at = -1;
+  for (std::uint64_t seq = c.stream.size() / 2; seq < c.stream.size(); ++seq) {
+    if (shard::owner_shard(c.stream[seq], 2) == 1) {
+      kill_at = static_cast<std::int64_t>(seq);
+      break;
+    }
+  }
+  ASSERT_GE(kill_at, 0) << "seed 77 routes no late update to shard 1";
+
+  shard::CoordinatorOptions copts;
+  copts.sup.n_shards = 2;
+  copts.sup.graph_path = graph_path;
+  copts.sup.query_path = query_path;
+  copts.sup.worker_threads = 2;
+  copts.sup.dir = dir;
+  copts.sup.restart_budget = 0;
+  copts.sup.kill_shard = 1;
+  copts.sup.kill_at = kill_at;
+  copts.policy.attempt_timeout_ms = 2000;
+
+  shard::Coordinator coord(copts);
+  ASSERT_TRUE(coord.start()) << coord.error();
+  for (const graph::GraphUpdate& upd : c.stream)
+    ASSERT_TRUE(coord.process(upd)) << coord.error();
+  const shard::CoordinatorReport report = coord.finish();
+
+  EXPECT_TRUE(report.error.empty()) << report.error;
+  EXPECT_EQ(report.processed, c.stream.size()) << "updates dropped";
+  EXPECT_TRUE(report.shards[1].permanently_dead);
+  EXPECT_GE(report.failovers, 1u);
+  EXPECT_EQ(report.restarts, 0u);  // budget 0: death is final, never respawned
+
+  const Oracle oracle = run_oracle(c, copts.sup.worker_threads);
+  EXPECT_EQ(report.positive, oracle.positive);
+  EXPECT_EQ(report.negative, oracle.negative);
+  EXPECT_EQ(report.delta_checksum, oracle.checksum)
+      << "degraded run diverged from the single-process oracle";
+}
+
+TEST(ShardRecovery, KilledOwnerIsRestartedAndReplaysItsWal) {
+  const verify::FuzzCase c = verify::generate_case(55);
+  ASSERT_FALSE(c.stream.empty());
+  const std::string dir = fresh_dir("shardrecovery");
+  const std::string graph_path = dir + "/case.graph";
+  const std::string query_path = dir + "/case.query";
+  graph::save_data_graph_file(c.graph, graph_path);
+  graph::save_query_graph_file(c.queries.front(), query_path);
+
+  shard::CoordinatorOptions copts;
+  copts.sup.n_shards = 2;
+  copts.sup.graph_path = graph_path;
+  copts.sup.query_path = query_path;
+  copts.sup.worker_threads = 2;
+  copts.sup.dir = dir;
+  copts.sup.kill_shard = 0;
+  copts.sup.kill_at = static_cast<std::int64_t>(c.stream.size() / 2);
+  copts.policy.attempt_timeout_ms = 2000;
+
+  shard::Coordinator coord(copts);
+  ASSERT_TRUE(coord.start()) << coord.error();
+  for (const graph::GraphUpdate& upd : c.stream)
+    ASSERT_TRUE(coord.process(upd)) << coord.error();
+  const shard::CoordinatorReport report = coord.finish();
+
+  EXPECT_TRUE(report.error.empty()) << report.error;
+  EXPECT_EQ(report.processed, c.stream.size());
+  EXPECT_EQ(report.restarts, 1u);
+  EXPECT_GE(report.deferred_replays, 1u) << "the in-flight update must be "
+                                            "resent after recovery, not dropped";
+  EXPECT_FALSE(report.shards[0].permanently_dead);
+  // The respawned worker recovered through its WAL: the crash happened right
+  // after the kill sequence's append, so at least that suffix replays.
+  EXPECT_GE(report.shards[0].hello_replayed, 1u);
+
+  const Oracle oracle = run_oracle(c, copts.sup.worker_threads);
+  EXPECT_EQ(report.positive, oracle.positive);
+  EXPECT_EQ(report.negative, oracle.negative);
+  EXPECT_EQ(report.delta_checksum, oracle.checksum);
+}
+
+TEST(ShardWorker, SigtermDrainsFlushesDurabilityAndExitsZero) {
+  const verify::FuzzCase c = verify::generate_case(11);
+  const std::string dir = fresh_dir("shardsigterm");
+  const std::string graph_path = dir + "/case.graph";
+  const std::string query_path = dir + "/case.query";
+  graph::save_data_graph_file(c.graph, graph_path);
+  graph::save_query_graph_file(c.queries.front(), query_path);
+
+  shard::SupervisorOptions sopts;
+  sopts.n_shards = 1;
+  sopts.graph_path = graph_path;
+  sopts.query_path = query_path;
+  sopts.dir = dir;
+  shard::Supervisor sup(sopts);
+  ASSERT_TRUE(sup.start_all());
+  const pid_t pid = sup.proc(0).pid;
+  ASSERT_GT(pid, 0);
+
+  // Feed a few updates so the drain has durable state to flush.
+  shard::Channel& chan = *sup.proc(0).chan;
+  const std::uint64_t feed = std::min<std::uint64_t>(c.stream.size(), 6);
+  for (std::uint64_t seq = 0; seq < feed; ++seq) {
+    shard::Frame req;
+    req.type = shard::FrameType::kApply;
+    req.flags = shard::kFlagOwner;
+    req.seq = seq;
+    req.payload = shard::wire::encode_apply(c.stream[seq]);
+    ASSERT_EQ(chan.send(req, 5000), shard::TransportError::kOk);
+    shard::Frame ack;
+    ASSERT_EQ(chan.recv(ack, 10000), shard::TransportError::kOk);
+    ASSERT_EQ(ack.type, shard::FrameType::kApplyAck);
+    ASSERT_EQ(ack.seq, seq);
+  }
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "worker must drain on SIGTERM, not die of it";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  // Graceful shutdown flushes durability: the WAL and the final snapshot are
+  // on disk even though no kShutdown was ever sent.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/shard-0.wal"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/shard-0.snap"));
+
+  // The test reaped the worker itself; tell the supervisor so its destructor
+  // does not SIGKILL a recycled pid.
+  sup.proc(0).alive = false;
+  sup.proc(0).pid = -1;
+}
+
+}  // namespace
+}  // namespace paracosm

@@ -1,0 +1,403 @@
+// Transport, framing, fault-plane and partitioning unit tests (DESIGN.md
+// §12). Everything here is in-process: both channel ends live in this test
+// over a plain socketpair — the multi-process integration matrix is
+// tests/test_sharding.cpp.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "shard/fault.hpp"
+#include "shard/partition.hpp"
+#include "shard/transport.hpp"
+#include "shard/wire.hpp"
+#include "shard/worker.hpp"
+
+namespace paracosm::shard {
+namespace {
+
+/// The supervisor ignores SIGPIPE process-wide; these tests drive Channel
+/// directly against deliberately closed peers, so do the same here.
+const struct IgnoreSigpipe {
+  IgnoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+} g_ignore_sigpipe;
+
+/// A connected channel pair (coordinator end, worker end).
+struct Pair {
+  std::unique_ptr<Channel> a;
+  std::unique_ptr<Channel> b;
+  Pair() {
+    int sv[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    a = std::make_unique<Channel>(sv[0]);
+    b = std::make_unique<Channel>(sv[1]);
+  }
+};
+
+Frame make_frame(std::uint64_t seq, std::size_t payload_bytes) {
+  Frame f;
+  f.type = FrameType::kApply;
+  f.flags = kFlagOwner;
+  f.shard = 3;
+  f.seq = seq;
+  f.payload.resize(payload_bytes);
+  for (std::size_t i = 0; i < payload_bytes; ++i)
+    f.payload[i] = static_cast<unsigned char>(i * 7 + 1);
+  return f;
+}
+
+TEST(Transport, FrameRoundtripPreservesEveryField) {
+  Pair p;
+  const Frame sent = make_frame(42, 100);
+  ASSERT_EQ(p.a->send(sent, 1000), TransportError::kOk);
+  Frame got;
+  ASSERT_EQ(p.b->recv(got, 1000), TransportError::kOk);
+  EXPECT_EQ(got.type, sent.type);
+  EXPECT_EQ(got.flags, sent.flags);
+  EXPECT_EQ(got.shard, sent.shard);
+  EXPECT_EQ(got.seq, sent.seq);
+  EXPECT_EQ(got.payload, sent.payload);
+  EXPECT_EQ(p.a->stats().frames_sent, 1u);
+  EXPECT_EQ(p.b->stats().frames_received, 1u);
+}
+
+TEST(Transport, EmptyPayloadRoundtrips) {
+  Pair p;
+  Frame f;
+  f.type = FrameType::kPing;
+  f.seq = 9;
+  ASSERT_EQ(p.a->send(f, 1000), TransportError::kOk);
+  Frame got;
+  ASSERT_EQ(p.b->recv(got, 1000), TransportError::kOk);
+  EXPECT_EQ(got.type, FrameType::kPing);
+  EXPECT_TRUE(got.payload.empty());
+}
+
+TEST(Transport, CorruptedPayloadByteIsDroppedAndStreamStaysAligned) {
+  Pair p;
+  // Flip a payload byte after checksumming: the receiver must detect it,
+  // consume the whole frame, and stay usable for the next one.
+  ASSERT_EQ(p.a->send(make_frame(1, 64), 1000,
+                      /*corrupt_byte=*/static_cast<int>(kFrameHeaderBytes) + 10),
+            TransportError::kOk);
+  Frame got;
+  EXPECT_EQ(p.b->recv(got, 1000), TransportError::kChecksumMismatch);
+  EXPECT_EQ(p.b->stats().checksum_drops, 1u);
+
+  ASSERT_EQ(p.a->send(make_frame(2, 16), 1000), TransportError::kOk);
+  ASSERT_EQ(p.b->recv(got, 1000), TransportError::kOk);
+  EXPECT_EQ(got.seq, 2u);
+}
+
+TEST(Transport, CorruptedChecksumFieldIsDropped) {
+  Pair p;
+  ASSERT_EQ(p.a->send(make_frame(1, 8), 1000, /*corrupt_byte=*/24),
+            TransportError::kOk);
+  Frame got;
+  EXPECT_EQ(p.b->recv(got, 1000), TransportError::kChecksumMismatch);
+}
+
+TEST(Transport, TimeoutWithNoDataIsCleanTimeout) {
+  Pair p;
+  Frame got;
+  EXPECT_EQ(p.b->recv(got, 30), TransportError::kTimeout);
+  EXPECT_EQ(p.b->stats().timeouts, 1u);
+}
+
+TEST(Transport, EofMidFrameIsTorn) {
+  Pair p;
+  // Write half a header, then kill the writer: the reader is stuck between
+  // frame boundaries — torn, not a clean peer-gone.
+  unsigned char half[10] = {0};
+  std::uint32_t magic = kFrameMagic;
+  std::memcpy(half, &magic, 4);
+  ASSERT_EQ(::write(p.a->fd(), half, sizeof half),
+            static_cast<ssize_t>(sizeof half));
+  p.a.reset();
+  Frame got;
+  EXPECT_EQ(p.b->recv(got, 1000), TransportError::kTornFrame);
+  EXPECT_EQ(p.b->stats().torn_frames, 1u);
+}
+
+TEST(Transport, BadMagicIsTorn) {
+  Pair p;
+  unsigned char junk[kFrameHeaderBytes] = {0xde, 0xad, 0xbe, 0xef};
+  ASSERT_EQ(::write(p.a->fd(), junk, sizeof junk),
+            static_cast<ssize_t>(sizeof junk));
+  Frame got;
+  EXPECT_EQ(p.b->recv(got, 1000), TransportError::kTornFrame);
+}
+
+TEST(Transport, ClosedPeerIsPeerGone) {
+  Pair p;
+  p.a.reset();
+  Frame got;
+  EXPECT_EQ(p.b->recv(got, 1000), TransportError::kPeerGone);
+  EXPECT_EQ(p.b->stats().peer_gone, 1u);
+}
+
+TEST(Transport, QueuedFrameIsReadableAfterPeerCloses) {
+  Pair p;
+  ASSERT_EQ(p.a->send(make_frame(7, 4), 1000), TransportError::kOk);
+  p.a.reset();  // final ack then death — the ack must not be lost
+  Frame got;
+  ASSERT_EQ(p.b->recv(got, 1000), TransportError::kOk);
+  EXPECT_EQ(got.seq, 7u);
+  EXPECT_EQ(p.b->recv(got, 1000), TransportError::kPeerGone);
+}
+
+TEST(Requester, RetriesAfterUnansweredAttemptThenSucceeds) {
+  Pair p;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.attempt_timeout_ms = 120;
+  policy.backoff_base_ms = 1;
+
+  std::thread server([&p] {
+    Frame req;
+    ASSERT_EQ(p.b->recv(req, 3000), TransportError::kOk);  // ignore 1st
+    ASSERT_EQ(p.b->recv(req, 3000), TransportError::kOk);  // answer 2nd
+    Frame ack;
+    ack.type = FrameType::kApplyAck;
+    ack.shard = req.shard;
+    ack.seq = req.seq;
+    ASSERT_EQ(p.b->send(ack, 1000), TransportError::kOk);
+  });
+
+  Requester requester(*p.a, policy);
+  Frame out;
+  EXPECT_EQ(requester.request(make_frame(5, 8), FrameType::kApplyAck, out),
+            TransportError::kOk);
+  EXPECT_EQ(out.seq, 5u);
+  EXPECT_EQ(p.a->stats().retries, 1u);
+  server.join();
+}
+
+TEST(Requester, StaleAckIsDiscardedWhileWaiting) {
+  Pair p;
+  RetryPolicy policy;
+  policy.attempt_timeout_ms = 1000;
+  std::thread server([&p] {
+    Frame req;
+    ASSERT_EQ(p.b->recv(req, 3000), TransportError::kOk);
+    Frame stale;  // an old duplicate answered late
+    stale.type = FrameType::kApplyAck;
+    stale.seq = req.seq - 1;
+    ASSERT_EQ(p.b->send(stale, 1000), TransportError::kOk);
+    Frame ack;
+    ack.type = FrameType::kApplyAck;
+    ack.seq = req.seq;
+    ASSERT_EQ(p.b->send(ack, 1000), TransportError::kOk);
+  });
+  Requester requester(*p.a, policy);
+  Frame out;
+  EXPECT_EQ(requester.request(make_frame(9, 8), FrameType::kApplyAck, out),
+            TransportError::kOk);
+  EXPECT_EQ(out.seq, 9u);
+  EXPECT_EQ(p.a->stats().stale_acks, 1u);
+  server.join();
+}
+
+TEST(Requester, NakIsSurfacedNotRetried) {
+  Pair p;
+  RetryPolicy policy;
+  std::thread server([&p] {
+    Frame req;
+    ASSERT_EQ(p.b->recv(req, 3000), TransportError::kOk);
+    Frame nak;
+    nak.type = FrameType::kNak;
+    nak.seq = req.seq;
+    nak.payload = wire::encode_u64(77);
+    ASSERT_EQ(p.b->send(nak, 1000), TransportError::kOk);
+  });
+  Requester requester(*p.a, policy);
+  Frame out;
+  EXPECT_EQ(requester.request(make_frame(3, 8), FrameType::kApplyAck, out),
+            TransportError::kOk);
+  EXPECT_EQ(out.type, FrameType::kNak);
+  EXPECT_EQ(wire::decode_u64(out.payload).value_or(0), 77u);
+  server.join();
+}
+
+TEST(Requester, DeadPeerExhaustsNothingAndReturnsPeerGone) {
+  Pair p;
+  p.b.reset();
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  Requester requester(*p.a, policy);
+  Frame out;
+  EXPECT_EQ(requester.request(make_frame(1, 8), FrameType::kApplyAck, out),
+            TransportError::kPeerGone);
+  // No retry storm against a corpse: the supervisor owns dead peers.
+  EXPECT_EQ(p.a->stats().retries, 0u);
+}
+
+// ---------------------------------------------------------------- FaultPlane
+
+TEST(FaultPlane, DecisionsAreDeterministicPerPlan) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=7,drop=0.2,dup=0.2,corrupt=0.2,delay=0.3:100");
+  FaultPlane x(plan), y(plan);
+  for (std::uint64_t seq = 0; seq < 200; ++seq) {
+    for (std::uint32_t attempt = 0; attempt < 3; ++attempt) {
+      EXPECT_EQ(x.drop(1, seq, attempt), y.drop(1, seq, attempt));
+      EXPECT_EQ(x.dup(1, seq, attempt), y.dup(1, seq, attempt));
+      EXPECT_EQ(x.corrupt_byte(1, seq, attempt, 64),
+                y.corrupt_byte(1, seq, attempt, 64));
+      EXPECT_EQ(x.delay_us(1, seq, attempt), y.delay_us(1, seq, attempt));
+    }
+  }
+  EXPECT_GT(x.stats().dropped, 0u);
+  EXPECT_GT(x.stats().corrupted, 0u);
+}
+
+TEST(FaultPlane, DifferentSeedsDisagreeSomewhere) {
+  FaultPlan plan;
+  plan.drop_rate = 0.5;
+  plan.seed = 1;
+  FaultPlane x(plan);
+  plan.seed = 2;
+  FaultPlane y(plan);
+  bool differ = false;
+  for (std::uint64_t seq = 0; seq < 64 && !differ; ++seq)
+    differ = x.drop(0, seq, 0) != y.drop(0, seq, 0);
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultPlane, CorruptionNeverTouchesFramingFields) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.corrupt_rate = 1.0;
+  FaultPlane fp(plan);
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    const int b = fp.corrupt_byte(2, seq, 0, 96);
+    ASSERT_GE(b, 24) << "corruption in the framing fields desynchronizes the "
+                        "stream (a different failure class)";
+    ASSERT_LT(b, 96);
+  }
+}
+
+TEST(FaultPlane, RetryOfSameFrameCanTakeDifferentFault) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_rate = 0.5;
+  FaultPlane fp(plan);
+  bool differ = false;
+  for (std::uint64_t seq = 0; seq < 64 && !differ; ++seq)
+    differ = fp.drop(0, seq, 0) != fp.drop(0, seq, 1);
+  EXPECT_TRUE(differ) << "a retry doomed to repeat its fault can never recover";
+}
+
+TEST(FaultPlan, SpecRoundtrips) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=11,drop=0.25,dup=0.125,corrupt=0.5,delay=0.25:250");
+  EXPECT_EQ(plan.seed, 11u);
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.25);
+  EXPECT_DOUBLE_EQ(plan.dup_rate, 0.125);
+  EXPECT_DOUBLE_EQ(plan.corrupt_rate, 0.5);
+  EXPECT_DOUBLE_EQ(plan.delay_rate, 0.25);
+  EXPECT_EQ(plan.delay_us, 250u);
+  const FaultPlan again = FaultPlan::parse(plan.to_spec());
+  EXPECT_EQ(again.seed, plan.seed);
+  EXPECT_DOUBLE_EQ(again.drop_rate, plan.drop_rate);
+  EXPECT_EQ(again.delay_us, plan.delay_us);
+}
+
+TEST(FaultPlan, MalformedSpecThrows) {
+  EXPECT_THROW((void)FaultPlan::parse("drop"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("bogus=1"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("drop=abc"), std::invalid_argument);
+  EXPECT_FALSE(FaultPlan::parse("").any());
+}
+
+// ----------------------------------------------------------------- partition
+
+TEST(Partition, OwnershipIsDeterministicAndRoutesByMinEndpoint) {
+  graph::GraphUpdate e;
+  e.op = graph::UpdateOp::kInsertEdge;
+  e.u = 17;
+  e.v = 4;
+  graph::GraphUpdate flipped = e;
+  std::swap(flipped.u, flipped.v);
+  EXPECT_EQ(owner_shard(e, 4), owner_shard(flipped, 4));
+  EXPECT_EQ(owner_shard(e, 4), home_shard(4, 4));
+  EXPECT_LT(owner_shard(e, 3), 3u);
+}
+
+TEST(Partition, FailoverWalksTheRingPastDeadShards) {
+  graph::GraphUpdate e;
+  e.op = graph::UpdateOp::kInsertEdge;
+  e.u = 1;
+  e.v = 2;
+  const std::uint32_t n = 4;
+  std::vector<bool> dead(n, false);
+  const std::uint32_t home = owner_shard(e, n);
+  EXPECT_EQ(owner_shard_live(e, dead), home);
+  dead[home] = true;
+  EXPECT_EQ(owner_shard_live(e, dead), (home + 1) % n);
+  dead[(home + 1) % n] = true;
+  EXPECT_EQ(owner_shard_live(e, dead), (home + 2) % n);
+  std::fill(dead.begin(), dead.end(), true);
+  EXPECT_EQ(owner_shard_live(e, dead), n);  // no owner exists
+}
+
+// ---------------------------------------------------------------------- wire
+
+TEST(Wire, ApplyRoundtripsAndRejectsBadOp) {
+  graph::GraphUpdate upd;
+  upd.op = graph::UpdateOp::kRemoveEdge;
+  upd.u = 11;
+  upd.v = 22;
+  upd.label = 5;
+  const auto enc = wire::encode_apply(upd);
+  const auto dec = wire::decode_apply(enc);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->op, upd.op);
+  EXPECT_EQ(dec->u, upd.u);
+  EXPECT_EQ(dec->v, upd.v);
+  EXPECT_EQ(dec->label, upd.label);
+
+  auto bad = enc;
+  bad[0] = 0x7f;  // no such op
+  EXPECT_FALSE(wire::decode_apply(bad).has_value());
+  EXPECT_FALSE(wire::decode_apply({enc.begin(), enc.begin() + 3}).has_value());
+}
+
+TEST(Wire, ApplyAckRoundtripsWithAssignments) {
+  wire::ApplyAck ack;
+  ack.applied = true;
+  ack.positive = 3;
+  ack.negative = 1;
+  ack.match_size = 2;
+  ack.assignments = {{0, 10}, {1, 20}, {0, 11}, {1, 21}};
+  const auto enc = wire::encode_apply_ack(ack);
+  const auto dec = wire::decode_apply_ack(enc);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->applied, true);
+  EXPECT_EQ(dec->positive, 3u);
+  EXPECT_EQ(dec->negative, 1u);
+  EXPECT_EQ(dec->match_size, 2u);
+  ASSERT_EQ(dec->assignments.size(), 4u);
+  EXPECT_EQ(dec->assignments[2].dv, 11u);
+
+  EXPECT_FALSE(
+      wire::decode_apply_ack({enc.begin(), enc.begin() + 5}).has_value());
+}
+
+TEST(Wire, ShardWalFingerprintsAreDistinctAndNonZero) {
+  const std::uint32_t base = 0xabcdef01;
+  const std::uint32_t a = shard_wal_fingerprint(base, 0);
+  const std::uint32_t b = shard_wal_fingerprint(base, 1);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b) << "two shards sharing a WAL identity could replay each "
+                     "other's logs";
+  EXPECT_NE(shard_wal_fingerprint(base ^ 1, 0), a);
+}
+
+}  // namespace
+}  // namespace paracosm::shard

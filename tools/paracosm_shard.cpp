@@ -1,0 +1,87 @@
+// paracosm_shard — the shard worker process (DESIGN.md §12).
+//
+// Not meant to be launched by hand: the coordinator (paracosm_serve
+// --shards N) forks and execs this binary with an inherited socketpair fd.
+// Everything interesting lives in src/shard/worker.cpp; this translation
+// unit is only flag parsing.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "shard/worker.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: paracosm_shard --id K --shards N --fd FD --graph G --query Q\n"
+      "                      [--algorithm A] [--threads T] [--wal PATH]\n"
+      "                      [--snapshot PATH] [--snapshot-every N]\n"
+      "                      [--budget-us U] [--metrics-out PATH]\n"
+      "                      [--metrics-every N] [--recover] [--kill-at S]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  paracosm::shard::WorkerOptions opts;
+  bool have_fd = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--id") {
+      opts.shard_id = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--shards") {
+      opts.n_shards = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--fd") {
+      opts.fd = std::atoi(next());
+      have_fd = true;
+    } else if (arg == "--graph") {
+      opts.graph_path = next();
+    } else if (arg == "--query") {
+      opts.query_path = next();
+    } else if (arg == "--algorithm") {
+      opts.algorithm = next();
+    } else if (arg == "--threads") {
+      opts.threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--wal") {
+      opts.wal_path = next();
+    } else if (arg == "--snapshot") {
+      opts.snapshot_path = next();
+    } else if (arg == "--snapshot-every") {
+      opts.snapshot_every = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--budget-us") {
+      opts.budget_us = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--metrics-out") {
+      opts.metrics_path = next();
+    } else if (arg == "--metrics-every") {
+      opts.metrics_every = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--recover") {
+      opts.recover = true;
+    } else if (arg == "--kill-at") {
+      opts.kill_at = std::strtoll(next(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (!have_fd || opts.fd < 0 || opts.graph_path.empty() ||
+      opts.query_path.empty() || opts.n_shards == 0 ||
+      opts.shard_id >= opts.n_shards) {
+    usage();
+    return 2;
+  }
+  return paracosm::shard::run_worker(opts);
+}

@@ -1,0 +1,220 @@
+#include "control/control_plane.hpp"
+
+#include <algorithm>
+
+#include "obs/trace_ring.hpp"
+
+namespace paracosm::control {
+
+ControllerConfig default_batch_policy() noexcept {
+  ControllerConfig c;
+  // Signal: epoch safe-lane ratio. Streams are typically >90% safe, so the
+  // band sits high: sustained unsafe pressure cuts the batch fast (MD 1/4),
+  // a clean epoch reopens it by doubling.
+  c.lo = 0.55;
+  c.hi = 0.90;
+  c.min_value = 2;
+  c.max_value = 1024;
+  c.cooldown = 1;
+  c.grow_add = 2;
+  c.grow_mul = 2.0;
+  c.shrink_mul = 0.25;
+  return c;
+}
+
+ControllerConfig default_split_policy() noexcept {
+  ControllerConfig c;
+  // Signal: normalized worker imbalance in [0, 1]. Steps are additive both
+  // ways (depth is a log-scale knob already) with a longer cooldown — depth
+  // changes take a few searches to show up in the signal. The floor is 1,
+  // not 0: with one seed task per update, all inner parallelism comes from
+  // splitting, so depth 0 would serialize every search — a policy knob must
+  // not be able to turn the executor off.
+  c.lo = 0.20;
+  c.hi = 0.55;
+  c.min_value = 1;
+  c.max_value = 16;
+  c.cooldown = 2;
+  c.grow_add = 1;
+  c.grow_mul = 1.0;
+  c.shrink_mul = 0.65;  // 1 step down at small depths (floor), faster high up
+  return c;
+}
+
+ControllerConfig default_wide_policy() noexcept {
+  ControllerConfig c;
+  // Signal: cpu_cost / (cpu_cost + wide_cost) per classified lane. 0.5 means
+  // the backends tie; the wide band keeps routing sticky near the tie. The
+  // floor is 0 — "never route wide" is a legitimate operating point (cutoff 0
+  // sends every batch to the cpu backend), and exploration grows it back if
+  // the wide side later looks cheap.
+  c.lo = 0.35;
+  c.hi = 0.65;
+  c.min_value = 0;
+  c.max_value = 4096;
+  c.cooldown = 2;
+  c.grow_add = 8;
+  c.grow_mul = 1.5;
+  c.shrink_mul = 0.5;
+  return c;
+}
+
+ControllerConfig default_admission_policy(std::uint32_t capacity) noexcept {
+  ControllerConfig c;
+  // Signal: 1 - pressure, so calm windows (signal high) grow the watermark
+  // toward capacity and overload shrinks it multiplicatively.
+  c.lo = 0.30;
+  c.hi = 0.70;
+  c.min_value = std::max<std::uint32_t>(1, capacity / 16);
+  c.max_value = std::max<std::uint32_t>(1, capacity);
+  c.cooldown = 1;
+  c.grow_add = std::max<std::uint32_t>(1, capacity / 8);
+  c.grow_mul = 1.0;
+  c.shrink_mul = 0.5;
+  return c;
+}
+
+ControlPlane::ControlPlane(TuningView& tuning, ControlPlaneOptions opts)
+    : tuning_(tuning),
+      opts_(opts),
+      batch_ctl_(Knob::kBatchSize, opts.batch_policy,
+                 tuning.effective_batch_size(1)),
+      split_ctl_(Knob::kSplitDepth, opts.split_policy, tuning.split_depth()),
+      wide_ctl_(Knob::kWideCutoff, opts.wide_policy, tuning.wide_auto_cutoff()) {
+  if (opts_.epoch_batches == 0) opts_.epoch_batches = 1;
+}
+
+void ControlPlane::on_batch(const BatchSample& s) {
+  bus_.on_batch(s);
+  if (++batches_in_epoch_ >= opts_.epoch_batches) tick();
+}
+
+void ControlPlane::on_search(const SearchSample& s) { bus_.on_search(s); }
+
+void ControlPlane::flush() {
+  if (batches_in_epoch_ > 0) tick();
+}
+
+ControlStats ControlPlane::stats() const noexcept {
+  ControlStats s = batch_ctl_.stats();
+  s.merge(split_ctl_.stats());
+  s.merge(wide_ctl_.stats());
+  // epochs is per-controller; report plane epochs, not the 3x sum.
+  s.epochs = epoch_;
+  return s;
+}
+
+void ControlPlane::apply(const Decision& d) {
+  if (!d.changed) return;
+  switch (d.knob) {
+    case Knob::kBatchSize: tuning_.set_batch_size(d.to); break;
+    case Knob::kSplitDepth: tuning_.set_split_depth(d.to); break;
+    case Knob::kWideCutoff: tuning_.set_wide_auto_cutoff(d.to); break;
+    case Knob::kDegradeWatermark: break;  // service-side knob, not ours
+  }
+  if (log_.size() < opts_.max_decision_log)
+    log_.push_back({epoch_, d.knob, d.from, d.to});
+  PARACOSM_TRACE_INSTANT(obs::EventKind::kControlDecision,
+                         static_cast<std::uint64_t>(d.knob), d.from, d.to);
+}
+
+void ControlPlane::tick() {
+  ++epoch_;
+  batches_in_epoch_ = 0;
+  const SignalSnapshot s = bus_.drain(epoch_);
+  last_ = s;
+
+  if (opts_.adapt_batch_size && s.lanes > 0) {
+    // Certified batches are proof the whole region is safe regardless of the
+    // per-lane tallies — the invariant-stage hit rate accelerates the reopen.
+    double sig = s.safe_ratio();
+    if (s.certified_ratio() >= 0.5) sig = 1.0;
+    apply(batch_ctl_.step(sig));
+  }
+
+  if (opts_.adapt_split_depth && s.searches > 0 && s.workers > 1 &&
+      s.imbalance_den_ns > 0) {
+    const double norm =
+        (s.imbalance() - 1.0) / static_cast<double>(s.workers - 1);
+    double sig = std::clamp(norm, 0.0, 1.0);
+    // Balanced epochs only shrink when re-splitting overhead is material.
+    if (sig < opts_.split_policy.lo && s.offload_ratio() <= opts_.offload_overhead)
+      sig = (opts_.split_policy.lo + opts_.split_policy.hi) / 2.0;  // hold
+    // Work floor: searches too small to amortize a task handoff read as
+    // maximally imbalanced (one worker, one indivisible task), but deeper
+    // splitting can only add overhead there — override with a shrink signal.
+    if (opts_.min_search_busy_ns > 0 &&
+        s.mean_search_busy_ns() < opts_.min_search_busy_ns)
+      sig = 0.0;
+    apply(split_ctl_.step(sig));
+  }
+
+  if (opts_.adapt_wide_cutoff) {
+    const double a = std::clamp(opts_.cost_alpha, 0.0, 1.0);
+    if (s.cpu_lanes > 0) {
+      const double cost =
+          static_cast<double>(s.cpu_ns) / static_cast<double>(s.cpu_lanes);
+      cpu_ns_per_lane_ =
+          cpu_ns_per_lane_ == 0.0 ? cost : a * cost + (1.0 - a) * cpu_ns_per_lane_;
+    }
+    if (s.wide_lanes > 0) {
+      const double cost =
+          static_cast<double>(s.wide_ns) / static_cast<double>(s.wide_lanes);
+      wide_ns_per_lane_ = wide_ns_per_lane_ == 0.0
+                              ? cost
+                              : a * cost + (1.0 - a) * wide_ns_per_lane_;
+    }
+    if (s.wide_lanes > 0 && s.cpu_lanes == 0) {
+      ++wide_only_;
+      cpu_only_ = 0;
+    } else if (s.cpu_lanes > 0 && s.wide_lanes == 0) {
+      ++cpu_only_;
+      wide_only_ = 0;
+    } else if (s.cpu_lanes > 0 || s.wide_lanes > 0) {
+      wide_only_ = cpu_only_ = 0;
+    }
+    if (opts_.explore_epochs > 0 && (wide_only_ >= opts_.explore_epochs ||
+                                     cpu_only_ >= opts_.explore_epochs)) {
+      // One-sided routing starves the cost comparison (the unsampled backend
+      // never updates its EWMA), so no genuine signal can ever move the
+      // cutoff. Probe: force one step toward the starved side and re-arm.
+      const double sig = wide_only_ >= opts_.explore_epochs ? 0.0 : 1.0;
+      wide_only_ = cpu_only_ = 0;
+      apply(wide_ctl_.step(sig));
+    } else if (cpu_ns_per_lane_ > 0.0 && wide_ns_per_lane_ > 0.0) {
+      const double sig =
+          cpu_ns_per_lane_ / (cpu_ns_per_lane_ + wide_ns_per_lane_);
+      apply(wide_ctl_.step(sig));
+    }
+  }
+}
+
+AdmissionController::AdmissionController(std::uint32_t queue_capacity,
+                                         AdmissionOptions opts)
+    : ctl_(Knob::kDegradeWatermark,
+           opts.policy.max_value != 0 ? opts.policy
+                                      : default_admission_policy(queue_capacity),
+           std::max<std::uint32_t>(1, queue_capacity)),
+      target_ns_(opts.p99_target_ns > 0 ? opts.p99_target_ns : 5'000'000) {}
+
+Decision AdmissionController::step(const ServiceSample& s) {
+  ++epoch_;
+  const double depth = s.queue_capacity == 0
+                           ? 0.0
+                           : static_cast<double>(s.queue_depth) /
+                                 static_cast<double>(s.queue_capacity);
+  const std::int64_t target = s.target_ns > 0 ? s.target_ns : target_ns_;
+  const double lat = target <= 0 ? 0.0
+                                 : std::min(1.0, static_cast<double>(s.p99_ns) /
+                                                     static_cast<double>(target));
+  const double pressure = std::max(depth, lat);
+  const Decision d = ctl_.step(1.0 - pressure);
+  if (d.changed) {
+    log_.push_back({epoch_, d.knob, d.from, d.to});
+    PARACOSM_TRACE_INSTANT(obs::EventKind::kControlDecision,
+                           static_cast<std::uint64_t>(d.knob), d.from, d.to);
+  }
+  return d;
+}
+
+}  // namespace paracosm::control

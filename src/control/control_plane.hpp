@@ -1,0 +1,171 @@
+// The feedback loop (DESIGN.md §13): SignalBus epochs -> per-knob AIMD
+// controllers -> TuningView publishes, with every decision recorded in a
+// bounded log, counted in ControlStats, and emitted as a kControlDecision
+// trace instant.
+//
+// ControlPlane is the engine-side loop: attach one to a ParaCosm via
+// attach_control() and the engine posts a BatchSample per batch and a
+// SearchSample per parallel unsafe search; every `epoch_batches` batches the
+// plane drains the bus and steps three controllers:
+//
+//   batch cut      — signal: epoch safe-lane ratio (certified batches count
+//                    as fully safe, feeding the invariant-stage hit rate back
+//                    into the cut). Safe-heavy epochs grow k multiplicatively
+//                    (amortize per-batch fixed costs); unsafe-heavy epochs
+//                    shrink it (a large k wastes O(k) classification per
+//                    ~1 update advanced once batches defer after an unsafe).
+//   split depth    — signal: normalized worker imbalance of the epoch's
+//                    parallel searches. High imbalance grows SPLIT_DEPTH
+//                    (more, finer subtasks); balanced epochs whose offload
+//                    overhead is high shrink it.
+//   wide cutoff    — signal: relative EWMA classify cost per lane of the two
+//                    backends (meaningful under BatchBackendKind::kAuto).
+//                    One-sided routing would starve the comparison forever,
+//                    so a streak of all-wide / all-cpu epochs triggers an
+//                    exploration probe toward the unsampled backend.
+//
+// AdmissionController is the service-side loop over the ingest degrade
+// watermark: latency/queue pressure shrinks the watermark (degrade earlier,
+// shed load from the delivery path), calm windows grow it back toward
+// capacity. ΔM counts stay exact either way — degradation only suppresses
+// per-mapping delivery (DESIGN.md §7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/signals.hpp"
+#include "control/tuning.hpp"
+
+namespace paracosm::control {
+
+struct DecisionRecord {
+  std::uint64_t epoch = 0;
+  Knob knob = Knob::kSplitDepth;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+};
+
+[[nodiscard]] ControllerConfig default_batch_policy() noexcept;
+[[nodiscard]] ControllerConfig default_split_policy() noexcept;
+[[nodiscard]] ControllerConfig default_wide_policy() noexcept;
+[[nodiscard]] ControllerConfig default_admission_policy(
+    std::uint32_t capacity) noexcept;
+
+struct ControlPlaneOptions {
+  std::uint32_t epoch_batches = 8;  ///< engine batches per control epoch
+  bool adapt_batch_size = true;
+  bool adapt_split_depth = true;
+  bool adapt_wide_cutoff = true;
+  ControllerConfig batch_policy = default_batch_policy();
+  ControllerConfig split_policy = default_split_policy();
+  ControllerConfig wide_policy = default_wide_policy();
+  /// Balanced epochs shrink split depth only above this offloads-per-task
+  /// overhead — splitting that isn't hurting is left alone.
+  double offload_overhead = 0.5;
+  /// Work floor for the split controller: epochs whose mean per-search
+  /// worker CPU time is below this have nothing worth splitting, so their
+  /// (artifactual) imbalance reading is overridden with a shrink signal —
+  /// finer subtasks on micro-searches are pure queue overhead. 0 disables
+  /// the floor.
+  std::int64_t min_search_busy_ns = 20'000;
+  /// EWMA smoothing of the per-backend cost estimates, in [0, 1].
+  double cost_alpha = 0.3;
+  /// Backend exploration: the cost signal needs samples from BOTH backends,
+  /// but a cutoff that routes every batch one way starves the other side of
+  /// samples forever (all-wide at the default cutoff is the common case).
+  /// After this many consecutive one-sided epochs the plane probes by
+  /// stepping the cutoff toward the unsampled backend — shrink when
+  /// everything goes wide, grow when everything goes cpu — until routing
+  /// mixes and the genuine cost comparison takes over. 0 disables probing.
+  std::uint32_t explore_epochs = 4;
+  std::size_t max_decision_log = 4096;
+};
+
+class ControlPlane {
+ public:
+  /// Initial knob values are read from `tuning` (i.e. from the engine's
+  /// Config); the plane publishes back into the same view.
+  explicit ControlPlane(TuningView& tuning, ControlPlaneOptions opts = {});
+
+  // Engine taps (engine consumer thread only).
+  void on_batch(const BatchSample& s);
+  void on_search(const SearchSample& s);
+
+  /// Close a partial epoch (stream end); no-op when nothing accumulated.
+  void flush();
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const std::vector<DecisionRecord>& decisions() const noexcept {
+    return log_;
+  }
+  [[nodiscard]] const SignalSnapshot& last_snapshot() const noexcept {
+    return last_;
+  }
+  /// Aggregate over the three controllers.
+  [[nodiscard]] ControlStats stats() const noexcept;
+  [[nodiscard]] const AimdController& batch_controller() const noexcept {
+    return batch_ctl_;
+  }
+  [[nodiscard]] const AimdController& split_controller() const noexcept {
+    return split_ctl_;
+  }
+  [[nodiscard]] const AimdController& wide_controller() const noexcept {
+    return wide_ctl_;
+  }
+
+ private:
+  void tick();
+  void apply(const Decision& d);
+
+  TuningView& tuning_;
+  ControlPlaneOptions opts_;
+  SignalBus bus_;
+  AimdController batch_ctl_;
+  AimdController split_ctl_;
+  AimdController wide_ctl_;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t batches_in_epoch_ = 0;
+  double cpu_ns_per_lane_ = 0.0;   // 0 = no sample yet
+  double wide_ns_per_lane_ = 0.0;  // 0 = no sample yet
+  std::uint32_t wide_only_ = 0;    // consecutive epochs routed 100% wide
+  std::uint32_t cpu_only_ = 0;     // consecutive epochs routed 100% cpu
+  SignalSnapshot last_;
+  std::vector<DecisionRecord> log_;
+};
+
+struct AdmissionOptions {
+  /// Custom step policy; max_value == 0 (the default) means "derive from the
+  /// queue capacity via default_admission_policy()".
+  ControllerConfig policy;
+  std::int64_t p99_target_ns = 5'000'000;
+  AdmissionOptions() { policy.max_value = 0; }
+};
+
+class AdmissionController {
+ public:
+  /// Starts with the watermark at capacity (degrade only when full — the
+  /// static kDegrade behaviour) and adapts from there.
+  AdmissionController(std::uint32_t queue_capacity, AdmissionOptions opts);
+
+  /// One control window; returns the (possibly unchanged) watermark decision.
+  Decision step(const ServiceSample& s);
+
+  [[nodiscard]] std::uint32_t watermark() const noexcept { return ctl_.value(); }
+  [[nodiscard]] const ControlStats& stats() const noexcept {
+    return ctl_.stats();
+  }
+  [[nodiscard]] const std::vector<DecisionRecord>& decisions() const noexcept {
+    return log_;
+  }
+
+ private:
+  AimdController ctl_;
+  std::int64_t target_ns_;
+  std::uint64_t epoch_ = 0;
+  std::vector<DecisionRecord> log_;
+};
+
+}  // namespace paracosm::control

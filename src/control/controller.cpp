@@ -1,0 +1,70 @@
+#include "control/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paracosm::control {
+
+AimdController::AimdController(Knob knob, ControllerConfig cfg,
+                               std::uint32_t initial) noexcept
+    : knob_(knob), cfg_(cfg) {
+  value_ = std::clamp(initial, cfg_.min_value, cfg_.max_value);
+}
+
+std::uint32_t AimdController::grown() const noexcept {
+  const double scaled = static_cast<double>(value_) * std::max(1.0, cfg_.grow_mul);
+  const std::uint64_t mul = static_cast<std::uint64_t>(std::llround(scaled));
+  const std::uint64_t add = static_cast<std::uint64_t>(value_) + cfg_.grow_add;
+  const std::uint64_t next = std::max(mul, add);
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(next, cfg_.max_value));
+}
+
+std::uint32_t AimdController::shrunk() const noexcept {
+  const double scaled = static_cast<double>(value_) * cfg_.shrink_mul;
+  std::uint32_t next = static_cast<std::uint32_t>(scaled);  // floor
+  if (next >= value_ && value_ > 0) next = value_ - 1;  // strict decrease
+  return std::max(next, cfg_.min_value);
+}
+
+Decision AimdController::step(double signal) noexcept {
+  ++stats_.epochs;
+  signal = std::clamp(signal, 0.0, 1.0);
+
+  Decision d;
+  d.knob = knob_;
+  d.from = d.to = value_;
+
+  const bool wants_grow = signal > cfg_.hi;
+  const bool wants_shrink = signal < cfg_.lo;
+  if (!wants_grow && !wants_shrink) {
+    ++stats_.in_band;
+    if (cooldown_left_ > 0) --cooldown_left_;
+    return d;
+  }
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    ++stats_.cooldown_suppressed;
+    return d;
+  }
+
+  const std::uint32_t next = wants_grow ? grown() : shrunk();
+  if (next == value_) {
+    ++stats_.clamped;  // saturated at min/max: quiescent, no cooldown restart
+    return d;
+  }
+
+  d.changed = true;
+  d.grew = wants_grow;
+  d.to = next;
+  value_ = next;
+  cooldown_left_ = cfg_.cooldown;
+  ++stats_.decisions;
+  if (wants_grow)
+    ++stats_.grows;
+  else
+    ++stats_.shrinks;
+  return d;
+}
+
+}  // namespace paracosm::control

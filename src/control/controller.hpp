@@ -1,0 +1,114 @@
+// Per-knob feedback controllers: hysteresis + AIMD step policies with
+// clamped ranges and cooldowns (DESIGN.md §13).
+//
+// A controller is a pure function of its scripted signal trace: step() takes
+// one [0, 1] signal per control epoch and returns at most one knob movement.
+// No threads, no clocks, no randomness — tests/test_control.cpp drives the
+// exact production objects with synthetic traces.
+//
+// Semantics of one step:
+//   signal >  hi  -> grow   (additive/multiplicative increase, AI)
+//   signal <  lo  -> shrink (multiplicative decrease, MD)
+//   otherwise     -> hold   (the hysteresis band)
+// A decision starts a cooldown of `cooldown` epochs during which further
+// out-of-band signals are counted (cooldown_suppressed) but not acted on —
+// the anti-oscillation guard. Steps that would leave [min_value, max_value]
+// clamp and count instead of moving, so a saturated controller is quiescent.
+//
+// Stability argument (the "no limit cycle" property the tests pin): for any
+// *constant* signal the value sequence is monotone until it reaches the band
+// or a clamp and is then constant forever; for any signal the number of
+// decisions in N epochs is at most ceil(N / (cooldown + 1)).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace paracosm::control {
+
+/// Knob identity — the `knob` arg of kControlDecision trace events.
+enum class Knob : std::uint8_t {
+  kSplitDepth = 0,
+  kBatchSize = 1,
+  kWideCutoff = 2,
+  kDegradeWatermark = 3,
+};
+
+[[nodiscard]] constexpr std::string_view knob_name(Knob k) noexcept {
+  switch (k) {
+    case Knob::kSplitDepth: return "split_depth";
+    case Knob::kBatchSize: return "batch_size";
+    case Knob::kWideCutoff: return "wide_auto_cutoff";
+    case Knob::kDegradeWatermark: return "degrade_watermark";
+  }
+  return "?";
+}
+
+struct ControllerConfig {
+  double lo = 0.35;  ///< hysteresis band lower edge (shrink below)
+  double hi = 0.65;  ///< hysteresis band upper edge (grow above)
+  std::uint32_t min_value = 1;
+  std::uint32_t max_value = 1024;
+  std::uint32_t cooldown = 2;  ///< quiescent epochs after a decision
+  std::uint32_t grow_add = 1;  ///< additive increase step
+  double grow_mul = 1.0;       ///< optional multiplicative increase (>= 1)
+  double shrink_mul = 0.5;     ///< multiplicative decrease factor (< 1)
+};
+
+/// Counter block exported to bench JSON / metrics snapshots.
+struct ControlStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t grows = 0;
+  std::uint64_t shrinks = 0;
+  std::uint64_t clamped = 0;              ///< steps absorbed by min/max
+  std::uint64_t cooldown_suppressed = 0;  ///< steps absorbed by a cooldown
+  std::uint64_t in_band = 0;              ///< epochs inside the hysteresis band
+
+  void merge(const ControlStats& other) noexcept {
+    epochs += other.epochs;
+    decisions += other.decisions;
+    grows += other.grows;
+    shrinks += other.shrinks;
+    clamped += other.clamped;
+    cooldown_suppressed += other.cooldown_suppressed;
+    in_band += other.in_band;
+  }
+};
+
+/// Outcome of one controller step.
+struct Decision {
+  bool changed = false;
+  Knob knob = Knob::kSplitDepth;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  bool grew = false;
+};
+
+class AimdController {
+ public:
+  AimdController(Knob knob, ControllerConfig cfg, std::uint32_t initial) noexcept;
+
+  /// One control epoch; `signal` is clamped into [0, 1].
+  Decision step(double signal) noexcept;
+
+  [[nodiscard]] std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] Knob knob() const noexcept { return knob_; }
+  [[nodiscard]] const ControllerConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const ControlStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint32_t cooldown_remaining() const noexcept {
+    return cooldown_left_;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t grown() const noexcept;
+  [[nodiscard]] std::uint32_t shrunk() const noexcept;
+
+  Knob knob_;
+  ControllerConfig cfg_;
+  std::uint32_t value_;
+  std::uint32_t cooldown_left_ = 0;
+  ControlStats stats_;
+};
+
+}  // namespace paracosm::control

@@ -1,0 +1,159 @@
+// Signal taps between the engine/service and the per-knob controllers
+// (DESIGN.md §13).
+//
+// The engine posts one BatchSample per inter-update batch and one
+// SearchSample per parallel unsafe-update search; the service posts
+// ServiceSamples from its consumer loop. The SignalBus accumulates them and
+// drains into a fixed-size SignalSnapshot once per control epoch — the
+// controllers never see raw samples, only epoch aggregates, which is what
+// makes the control loop a pure function of the (snapshot sequence, policy)
+// pair and hence deterministically testable.
+#pragma once
+
+#include <cstdint>
+
+namespace paracosm::control {
+
+/// One inter-update batch through ParaCosm::process_stream.
+struct BatchSample {
+  std::uint32_t lanes = 0;        ///< updates classified in the batch
+  std::uint32_t safe_prefix = 0;  ///< updates applied in parallel
+  bool hit_unsafe = false;        ///< batch ended at an unsafe update
+  bool certified = false;         ///< aggregate invariant certified the batch
+  bool wide_backend = false;      ///< classified by the wide backend
+  std::int64_t classify_ns = 0;   ///< classify + safe-apply wall time
+  std::int64_t batch_ns = 0;      ///< whole batch incl. the sequential update
+};
+
+/// One unsafe update's parallel search (the inner executor run).
+struct SearchSample {
+  std::uint32_t workers = 1;
+  std::uint64_t tasks = 0;
+  std::uint64_t offloads = 0;
+  std::uint64_t steals_local = 0;
+  std::uint64_t steals_same_node = 0;
+  std::uint64_t steals_remote = 0;
+  std::int64_t max_busy_ns = 0;    ///< slowest worker's CPU time
+  std::int64_t total_busy_ns = 0;  ///< all workers' CPU time
+};
+
+/// Service-consumer pressure reading (one control window).
+struct ServiceSample {
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_capacity = 1;
+  std::uint64_t degraded = 0;  ///< degraded admissions in the window
+  std::uint64_t shed = 0;      ///< shed pushes in the window
+  std::int64_t p99_ns = 0;     ///< window p99 end-to-end latency
+  std::int64_t target_ns = 0;  ///< latency target (0 = none)
+};
+
+/// Fixed-size per-epoch aggregate of the engine-side signals.
+struct SignalSnapshot {
+  std::uint64_t epoch = 0;
+
+  // Batch executor.
+  std::uint32_t batches = 0;
+  std::uint64_t lanes = 0;
+  std::uint64_t safe_lanes = 0;
+  std::uint32_t certified_batches = 0;
+  std::uint32_t unsafe_hits = 0;
+
+  // Backend cost accounting (classify + safe-apply, per backend).
+  std::uint64_t cpu_lanes = 0;
+  std::uint64_t wide_lanes = 0;
+  std::int64_t cpu_ns = 0;
+  std::int64_t wide_ns = 0;
+
+  // Parallel searches.
+  std::uint32_t workers = 1;
+  std::uint64_t searches = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t offloads = 0;
+  std::uint64_t steals_local = 0;
+  std::uint64_t steals_same_node = 0;
+  std::uint64_t steals_remote = 0;
+  /// Sum over searches of max_busy_ns * workers (imbalance numerator) and of
+  /// total_busy_ns (denominator): imbalance() == 1 means perfectly even.
+  std::int64_t imbalance_num_ns = 0;
+  std::int64_t imbalance_den_ns = 0;
+
+  [[nodiscard]] double safe_ratio() const noexcept {
+    return lanes == 0 ? 1.0
+                      : static_cast<double>(safe_lanes) /
+                            static_cast<double>(lanes);
+  }
+  [[nodiscard]] double certified_ratio() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(certified_batches) /
+                              static_cast<double>(batches);
+  }
+  /// >= 1; ratio of the critical path to the mean worker busy time.
+  [[nodiscard]] double imbalance() const noexcept {
+    return imbalance_den_ns <= 0 ? 1.0
+                                 : static_cast<double>(imbalance_num_ns) /
+                                       static_cast<double>(imbalance_den_ns);
+  }
+  [[nodiscard]] double offload_ratio() const noexcept {
+    return tasks == 0 ? 0.0
+                      : static_cast<double>(offloads) /
+                            static_cast<double>(tasks);
+  }
+  /// Mean worker CPU time per parallel search — how much work there was to
+  /// split. The split controller treats epochs below its work floor as
+  /// overhead-dominated: imbalance measured on indivisible micro-searches is
+  /// an artifact (one tiny task on one worker), not evidence for more
+  /// splitting.
+  [[nodiscard]] std::int64_t mean_search_busy_ns() const noexcept {
+    return searches == 0 ? 0
+                         : imbalance_den_ns /
+                               static_cast<std::int64_t>(searches);
+  }
+};
+
+/// Accumulates samples between epoch boundaries. Single-writer: every tap
+/// fires on the engine's consumer thread.
+class SignalBus {
+ public:
+  void on_batch(const BatchSample& s) noexcept {
+    ++cur_.batches;
+    cur_.lanes += s.lanes;
+    cur_.safe_lanes += s.safe_prefix;
+    if (s.certified) ++cur_.certified_batches;
+    if (s.hit_unsafe) ++cur_.unsafe_hits;
+    if (s.wide_backend) {
+      cur_.wide_lanes += s.lanes;
+      cur_.wide_ns += s.classify_ns;
+    } else {
+      cur_.cpu_lanes += s.lanes;
+      cur_.cpu_ns += s.classify_ns;
+    }
+  }
+
+  void on_search(const SearchSample& s) noexcept {
+    ++cur_.searches;
+    cur_.workers = s.workers > cur_.workers ? s.workers : cur_.workers;
+    cur_.tasks += s.tasks;
+    cur_.offloads += s.offloads;
+    cur_.steals_local += s.steals_local;
+    cur_.steals_same_node += s.steals_same_node;
+    cur_.steals_remote += s.steals_remote;
+    cur_.imbalance_num_ns +=
+        s.max_busy_ns * static_cast<std::int64_t>(s.workers);
+    cur_.imbalance_den_ns += s.total_busy_ns;
+  }
+
+  [[nodiscard]] const SignalSnapshot& pending() const noexcept { return cur_; }
+
+  /// Close the epoch: returns the aggregate and resets the accumulator.
+  [[nodiscard]] SignalSnapshot drain(std::uint64_t epoch) noexcept {
+    SignalSnapshot out = cur_;
+    out.epoch = epoch;
+    cur_ = SignalSnapshot{};
+    return out;
+  }
+
+ private:
+  SignalSnapshot cur_;
+};
+
+}  // namespace paracosm::control

@@ -1,0 +1,79 @@
+// Epoch-published view of the engine's adaptable knobs (DESIGN.md §13).
+//
+// Config values are copied into a TuningView at engine construction; every
+// consumer of an *adaptable* knob reads the view, never Config, so a knob
+// republished mid-stream takes effect at the next batch boundary (batch cut,
+// backend cutoff) or the next parallel search (split depth). This is the fix
+// for the old behaviour where Config was baked into the executors' members
+// and silently ignored later mutation.
+//
+// Concurrency contract: knobs are relaxed atomics. There is exactly one
+// publisher (the control plane, ticking on the engine's consumer thread) and
+// readers only ever see some recently-published value — torn reads are
+// impossible (single word) and staleness is bounded by one batch. version()
+// increments on every publish so tests can assert a knob change was actually
+// routed through the view.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace paracosm::control {
+
+class TuningView {
+ public:
+  TuningView() = default;
+  TuningView(std::uint32_t split_depth, std::uint32_t batch_size,
+             std::uint32_t wide_auto_cutoff) noexcept
+      : split_depth_(split_depth),
+        batch_size_(batch_size),
+        wide_auto_cutoff_(wide_auto_cutoff) {}
+
+  TuningView(const TuningView&) = delete;
+  TuningView& operator=(const TuningView&) = delete;
+
+  [[nodiscard]] std::uint32_t split_depth() const noexcept {
+    return split_depth_.load(std::memory_order_relaxed);
+  }
+  void set_split_depth(std::uint32_t v) noexcept {
+    split_depth_.store(v, std::memory_order_relaxed);
+    bump();
+  }
+
+  /// Updates per inter-update batch; 0 keeps Config's "same as threads".
+  [[nodiscard]] std::uint32_t batch_size() const noexcept {
+    return batch_size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t effective_batch_size(
+      std::uint32_t threads) const noexcept {
+    const std::uint32_t v = batch_size();
+    return v != 0 ? v : (threads != 0 ? threads : 1);
+  }
+  void set_batch_size(std::uint32_t v) noexcept {
+    batch_size_.store(v, std::memory_order_relaxed);
+    bump();
+  }
+
+  [[nodiscard]] std::uint32_t wide_auto_cutoff() const noexcept {
+    return wide_auto_cutoff_.load(std::memory_order_relaxed);
+  }
+  void set_wide_auto_cutoff(std::uint32_t v) noexcept {
+    wide_auto_cutoff_.store(v, std::memory_order_relaxed);
+    bump();
+  }
+
+  /// Number of publishes since construction.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void bump() noexcept { version_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::atomic<std::uint32_t> split_depth_{4};
+  std::atomic<std::uint32_t> batch_size_{0};
+  std::atomic<std::uint32_t> wide_auto_cutoff_{512};
+  std::atomic<std::uint64_t> version_{0};
+};
+
+}  // namespace paracosm::control

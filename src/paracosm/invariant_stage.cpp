@@ -1,0 +1,59 @@
+#include "paracosm/invariant_stage.hpp"
+
+#include <algorithm>
+
+namespace paracosm::engine {
+
+using graph::Label;
+
+InvariantStage::InvariantStage(const graph::QueryGraph& q,
+                               const graph::DataGraph& g, bool edge_label_blind)
+    : edge_label_blind_(edge_label_blind) {
+  for (const graph::Edge& e : q.edges()) {
+    const Label lu = q.label(e.u), lv = q.label(e.v);
+    const Label lmin = std::min(lu, lv), lmax = std::max(lu, lv);
+    const Label el = edge_label_blind_ ? 0 : e.elabel;
+    if (TripleCount* t = find(lmin, lmax, el)) {
+      ++t->need;
+    } else {
+      triples_.push_back({lmin, lmax, el, 1, 0});
+    }
+  }
+  rebuild(g);
+}
+
+InvariantStage::TripleCount* InvariantStage::find(Label lu, Label lv,
+                                                  Label elabel) noexcept {
+  const Label lmin = std::min(lu, lv), lmax = std::max(lu, lv);
+  const Label el = edge_label_blind_ ? 0 : elabel;
+  for (TripleCount& t : triples_)
+    if (t.lmin == lmin && t.lmax == lmax && t.elabel == el) return &t;
+  return nullptr;
+}
+
+bool InvariantStage::certify_batch(std::size_t max_inserts) const noexcept {
+  for (const TripleCount& t : triples_)
+    if (t.count + static_cast<std::int64_t>(max_inserts) <
+        static_cast<std::int64_t>(t.need))
+      return true;
+  return false;
+}
+
+void InvariantStage::on_edge(Label lu, Label lv, Label elabel,
+                             int delta) noexcept {
+  if (TripleCount* t = find(lu, lv, elabel)) t->count += delta;
+}
+
+void InvariantStage::rebuild(const graph::DataGraph& g) {
+  for (TripleCount& t : triples_) t.count = 0;
+  for (graph::VertexId u = 0; u < g.vertex_capacity(); ++u) {
+    if (!g.has_vertex(u)) continue;
+    for (const graph::Neighbor& nb : g.neighbors(u)) {
+      if (nb.v < u) continue;  // count each undirected edge once
+      if (TripleCount* t = find(g.label(u), g.label(nb.v), nb.elabel))
+        ++t->count;
+    }
+  }
+}
+
+}  // namespace paracosm::engine

@@ -89,6 +89,14 @@ struct LaneConfig {
   /// The differential `--backend` sweep runs each batch cell once per
   /// backend and demands identical ΔM from both (DESIGN.md §11).
   engine::BatchBackendKind backend = engine::BatchBackendKind::kCpu;
+  /// Adaptive batch cells (kBatch lanes only): the engine runs with the
+  /// invariant stage on, the kAuto backend router, and an attached
+  /// ControlPlane tuned to decide as often as possible (one batch per
+  /// epoch, zero cooldowns, tight knob ranges). The cell must still
+  /// reconcile byte-identical ΔM against the same oracle trace as its
+  /// static siblings — the correctness-invariance contract of DESIGN.md
+  /// §13: tuning changes when/how work happens, never what is computed.
+  bool adaptive = false;
 };
 
 /// The default verification matrix of the issue: sequential plus the two
@@ -101,6 +109,13 @@ struct LaneConfig {
 /// surfaces as a ΔM divergence in exactly one of them.
 [[nodiscard]] std::vector<LaneConfig> backend_lane_matrix();
 
+/// The default matrix plus an adaptive twin of every batch cell: while the
+/// static cell pins all knobs, the twin retunes split depth, batch cut and
+/// the backend cutoff every single batch. Both reconcile against the same
+/// oracle trace, so any controller decision that changes *results* (not just
+/// schedule) surfaces as a ΔM divergence in the adaptive cell.
+[[nodiscard]] std::vector<LaneConfig> control_lane_matrix();
+
 /// One reconciliation failure, with everything needed to reproduce it.
 struct Divergence {
   std::uint64_t seed = 0;
@@ -108,6 +123,7 @@ struct Divergence {
   Lane lane = Lane::kSequential;
   unsigned threads = 1;
   engine::BatchBackendKind backend = engine::BatchBackendKind::kCpu;
+  bool adaptive = false;
   std::uint32_t query_index = 0;
   /// Update at which the divergence was detected (per-update lanes only;
   /// the batch lane reconciles whole-stream totals).

@@ -1,0 +1,591 @@
+// Deterministic tests of the feedback-control subsystem (DESIGN.md §13).
+//
+// The controllers are pure functions of their scripted signal traces — no
+// threads, no clocks — so every property here is exact, not statistical:
+//
+//   * convergence: a constant out-of-band signal moves the value
+//     monotonically until a clamp, then the controller is quiescent;
+//   * clamping: saturated steps count `clamped` and never restart cooldown;
+//   * cooldown: decisions in N epochs are bounded by ceil(N/(cooldown+1)),
+//     on every trace including adversarial oscillation (no limit cycle);
+//   * accounting: every epoch lands in exactly one stats bucket;
+//   * plane wiring: synthetic BatchSample/SearchSample epochs publish the
+//     expected knobs into the TuningView with a matching decision log;
+//   * the TuningView regression: knobs republished after engine
+//     construction take effect at the next batch/search — the old
+//     Config-baked-at-construction behaviour is pinned as fixed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "control/control_plane.hpp"
+#include "control/controller.hpp"
+#include "control/signals.hpp"
+#include "control/tuning.hpp"
+#include "paracosm/paracosm.hpp"
+#include "tests/test_support.hpp"
+
+namespace paracosm::control {
+namespace {
+
+using ::paracosm::testing::make_workload;
+using ::paracosm::testing::SmallWorkload;
+
+[[nodiscard]] ControllerConfig basic_policy() {
+  ControllerConfig c;
+  c.lo = 0.3;
+  c.hi = 0.7;
+  c.min_value = 1;
+  c.max_value = 32;
+  c.cooldown = 0;
+  c.grow_add = 2;
+  c.grow_mul = 1.0;
+  c.shrink_mul = 0.5;
+  return c;
+}
+
+/// Epochs must partition into the four outcome buckets.
+void expect_accounting(const AimdController& ctl) {
+  const ControlStats& s = ctl.stats();
+  EXPECT_EQ(s.epochs,
+            s.in_band + s.cooldown_suppressed + s.clamped + s.decisions);
+  EXPECT_EQ(s.decisions, s.grows + s.shrinks);
+}
+
+TEST(AimdController, ConstantHighSignalGrowsMonotonicallyToMaxThenQuiesces) {
+  AimdController ctl(Knob::kBatchSize, basic_policy(), 4);
+  std::uint32_t prev = ctl.value();
+  bool saturated = false;
+  for (int i = 0; i < 40; ++i) {
+    const Decision d = ctl.step(1.0);
+    EXPECT_GE(ctl.value(), prev) << "growth must be monotone";
+    if (saturated) {
+      EXPECT_FALSE(d.changed) << "saturated controller must be quiescent";
+      EXPECT_EQ(ctl.value(), ctl.config().max_value);
+    }
+    saturated = ctl.value() == ctl.config().max_value;
+    prev = ctl.value();
+  }
+  EXPECT_EQ(ctl.value(), 32u);
+  EXPECT_GT(ctl.stats().clamped, 0u);
+  expect_accounting(ctl);
+}
+
+TEST(AimdController, ConstantLowSignalShrinksToMinThenQuiesces) {
+  AimdController ctl(Knob::kBatchSize, basic_policy(), 32);
+  std::uint32_t prev = ctl.value();
+  for (int i = 0; i < 40; ++i) {
+    (void)ctl.step(0.0);
+    EXPECT_LE(ctl.value(), prev) << "shrink must be monotone";
+    prev = ctl.value();
+  }
+  EXPECT_EQ(ctl.value(), ctl.config().min_value);
+  EXPECT_GT(ctl.stats().clamped, 0u);
+  expect_accounting(ctl);
+}
+
+TEST(AimdController, InBandSignalNeverMoves) {
+  AimdController ctl(Knob::kSplitDepth, basic_policy(), 7);
+  for (int i = 0; i < 25; ++i) (void)ctl.step(0.5);
+  EXPECT_EQ(ctl.value(), 7u);
+  EXPECT_EQ(ctl.stats().decisions, 0u);
+  EXPECT_EQ(ctl.stats().in_band, 25u);
+  expect_accounting(ctl);
+}
+
+TEST(AimdController, SignalIsClampedIntoUnitInterval) {
+  AimdController grow(Knob::kBatchSize, basic_policy(), 4);
+  const Decision d1 = grow.step(42.0);  // treated as 1.0
+  EXPECT_TRUE(d1.changed);
+  EXPECT_TRUE(d1.grew);
+  AimdController shrink(Knob::kBatchSize, basic_policy(), 4);
+  const Decision d2 = shrink.step(-3.0);  // treated as 0.0
+  EXPECT_TRUE(d2.changed);
+  EXPECT_FALSE(d2.grew);
+}
+
+TEST(AimdController, CooldownSuppressesAndBoundsDecisionRate) {
+  ControllerConfig cfg = basic_policy();
+  cfg.cooldown = 2;
+  AimdController ctl(Knob::kBatchSize, cfg, 1);
+  const int kEpochs = 12;
+  std::vector<int> decision_epochs;
+  for (int i = 0; i < kEpochs; ++i)
+    if (ctl.step(1.0).changed) decision_epochs.push_back(i);
+  // ceil(12 / 3) = 4 decisions, spaced exactly cooldown+1 apart.
+  ASSERT_EQ(decision_epochs.size(), 4u);
+  EXPECT_EQ(decision_epochs, (std::vector<int>{0, 3, 6, 9}));
+  EXPECT_EQ(ctl.stats().cooldown_suppressed, 8u);
+  expect_accounting(ctl);
+}
+
+TEST(AimdController, ClampedStepDoesNotRestartCooldown) {
+  ControllerConfig cfg = basic_policy();
+  cfg.cooldown = 3;
+  cfg.max_value = 4;
+  AimdController ctl(Knob::kBatchSize, cfg, 4);  // already saturated
+  for (int i = 0; i < 10; ++i) {
+    (void)ctl.step(1.0);
+    EXPECT_EQ(ctl.cooldown_remaining(), 0u)
+        << "a clamped (no-move) step must not arm the cooldown";
+  }
+  EXPECT_EQ(ctl.stats().clamped, 10u);
+  EXPECT_EQ(ctl.stats().decisions, 0u);
+}
+
+TEST(AimdController, ShrinkAlwaysStrictlyDecreasesAboveMin) {
+  ControllerConfig cfg = basic_policy();
+  cfg.shrink_mul = 0.99;  // floor(v * 0.99) == v for small v without the guard
+  cfg.min_value = 0;
+  AimdController ctl(Knob::kSplitDepth, cfg, 3);
+  EXPECT_TRUE(ctl.step(0.0).changed);
+  EXPECT_EQ(ctl.value(), 2u);
+  EXPECT_TRUE(ctl.step(0.0).changed);
+  EXPECT_EQ(ctl.value(), 1u);
+  EXPECT_TRUE(ctl.step(0.0).changed);
+  EXPECT_EQ(ctl.value(), 0u);
+  EXPECT_FALSE(ctl.step(0.0).changed);  // at min: clamped
+}
+
+TEST(AimdController, RampTraceConvergesIntoBandAndHolds) {
+  AimdController ctl(Knob::kBatchSize, basic_policy(), 16);
+  // Ramp 0 -> 1 over 50 epochs: shrink phase, hold band, grow phase.
+  std::uint32_t after_band = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double sig = static_cast<double>(i) / 49.0;
+    (void)ctl.step(sig);
+    if (sig <= 0.7) after_band = ctl.value();
+  }
+  // While the signal was at or below hi the controller never grew.
+  EXPECT_LE(after_band, 16u);
+  // The tail of the ramp is out-of-band high: it must have grown again.
+  EXPECT_GT(ctl.value(), after_band);
+  expect_accounting(ctl);
+}
+
+TEST(AimdController, BurstTraceRecoversAndHolds) {
+  ControllerConfig cfg = basic_policy();
+  cfg.cooldown = 1;
+  AimdController ctl(Knob::kBatchSize, cfg, 16);
+  // Burst of unsafe pressure (low signal), then a calm in-band tail.
+  for (int i = 0; i < 6; ++i) (void)ctl.step(0.0);
+  const std::uint32_t after_burst = ctl.value();
+  EXPECT_LT(after_burst, 16u);
+  for (int i = 0; i < 20; ++i) (void)ctl.step(0.5);
+  EXPECT_EQ(ctl.value(), after_burst) << "in-band tail must hold, not drift";
+}
+
+TEST(AimdController, OscillatingSignalHasNoLimitCycle) {
+  // Adversarial alternation 1,0,1,0,... — the worst case for oscillation.
+  for (std::uint32_t cooldown : {0u, 1u, 2u, 5u}) {
+    ControllerConfig cfg = basic_policy();
+    cfg.cooldown = cooldown;
+    AimdController ctl(Knob::kBatchSize, cfg, 8);
+    const int kEpochs = 200;
+    std::uint64_t decisions = 0;
+    for (int i = 0; i < kEpochs; ++i) {
+      if (ctl.step(i % 2 == 0 ? 1.0 : 0.0).changed) ++decisions;
+      EXPECT_GE(ctl.value(), cfg.min_value);
+      EXPECT_LE(ctl.value(), cfg.max_value);
+    }
+    // The decision-rate bound holds on ANY trace, including this one.
+    const std::uint64_t bound =
+        (kEpochs + cooldown) / (cooldown + 1);  // ceil(N / (cooldown+1))
+    EXPECT_LE(decisions, bound) << "cooldown=" << cooldown;
+    expect_accounting(ctl);
+  }
+}
+
+// ---------------------------------------------------------------- the plane
+
+[[nodiscard]] BatchSample safe_batch(std::uint32_t lanes) {
+  BatchSample s;
+  s.lanes = lanes;
+  s.safe_prefix = lanes;
+  s.classify_ns = 1000;
+  s.batch_ns = 2000;
+  return s;
+}
+
+[[nodiscard]] BatchSample unsafe_batch(std::uint32_t lanes) {
+  BatchSample s;
+  s.lanes = lanes;
+  s.safe_prefix = 0;
+  s.hit_unsafe = true;
+  s.classify_ns = 1000;
+  s.batch_ns = 2000;
+  return s;
+}
+
+TEST(ControlPlane, SafeHeavyEpochsGrowTheBatchCut) {
+  TuningView tuning(/*split_depth=*/4, /*batch_size=*/4, /*wide=*/512);
+  ControlPlaneOptions opts;
+  opts.epoch_batches = 1;
+  ControlPlane plane(tuning, opts);
+
+  const std::uint64_t v0 = tuning.version();
+  for (int i = 0; i < 6; ++i) plane.on_batch(safe_batch(8));
+  EXPECT_GT(tuning.batch_size(), 4u) << "all-safe epochs must open the cut";
+  EXPECT_GT(tuning.version(), v0) << "publishes must go through the view";
+  EXPECT_EQ(plane.epoch(), 6u);
+  // All-cpu epochs also earn a wide-cutoff exploration probe, so filter.
+  std::size_t batch_decisions = 0;
+  for (const DecisionRecord& d : plane.decisions())
+    if (d.knob == Knob::kBatchSize) ++batch_decisions;
+  EXPECT_GT(batch_decisions, 0u);
+  EXPECT_EQ(plane.decisions().size(), plane.stats().decisions);
+}
+
+TEST(ControlPlane, UnsafeHeavyEpochsShrinkTheBatchCut) {
+  TuningView tuning(4, 64, 512);
+  ControlPlaneOptions opts;
+  opts.epoch_batches = 1;
+  ControlPlane plane(tuning, opts);
+  for (int i = 0; i < 10; ++i) plane.on_batch(unsafe_batch(8));
+  EXPECT_LT(tuning.batch_size(), 64u);
+  EXPECT_EQ(tuning.batch_size(), plane.batch_controller().value());
+}
+
+TEST(ControlPlane, CertifiedBatchesCountAsFullySafe) {
+  // Certified batches report safe_prefix == 0 only because classification
+  // was bypassed; the certificate itself proves them safe. The plane must
+  // treat a certified-heavy epoch as a reason to grow, not shrink.
+  TuningView tuning(4, 8, 512);
+  ControlPlaneOptions opts;
+  opts.epoch_batches = 1;
+  ControlPlane plane(tuning, opts);
+  for (int i = 0; i < 6; ++i) {
+    BatchSample s = safe_batch(8);
+    s.certified = true;
+    s.safe_prefix = 0;  // adversarial: no per-lane tally at all
+    plane.on_batch(s);
+  }
+  EXPECT_GT(tuning.batch_size(), 8u);
+}
+
+TEST(ControlPlane, ImbalancedSearchesGrowSplitDepth) {
+  TuningView tuning(2, 4, 512);
+  ControlPlaneOptions opts;
+  opts.epoch_batches = 1;
+  opts.adapt_batch_size = false;  // isolate the split controller
+  ControlPlane plane(tuning, opts);
+  for (int i = 0; i < 12; ++i) {
+    SearchSample ss;
+    ss.workers = 4;
+    ss.tasks = 100;
+    ss.max_busy_ns = 1'000'000;   // one worker did everything
+    ss.total_busy_ns = 1'000'000; // imbalance == workers -> signal 1.0
+    plane.on_search(ss);
+    plane.on_batch(unsafe_batch(4));
+  }
+  EXPECT_GT(tuning.split_depth(), 2u);
+}
+
+TEST(ControlPlane, TinySearchesShrinkSplitDepthDespiteImbalance) {
+  // An indivisible micro-search reads as maximally imbalanced (one worker,
+  // one task), but splitting it finer can only add queue overhead. The work
+  // floor must override the artifactual grow signal with a shrink.
+  TuningView tuning(6, 4, 512);
+  ControlPlaneOptions opts;
+  opts.epoch_batches = 1;
+  opts.adapt_batch_size = false;
+  ControlPlane plane(tuning, opts);
+  for (int i = 0; i < 12; ++i) {
+    SearchSample ss;
+    ss.workers = 4;
+    ss.tasks = 1;
+    ss.max_busy_ns = 2'000;    // 2us of work: far below the 20us floor
+    ss.total_busy_ns = 2'000;  // imbalance == workers -> raw signal 1.0
+    plane.on_search(ss);
+    plane.on_batch(unsafe_batch(4));
+  }
+  EXPECT_LT(tuning.split_depth(), 6u)
+      << "micro-search epochs must shrink depth, not chase imbalance";
+
+  // Disabling the floor restores the raw imbalance signal (growth).
+  TuningView raw_tuning(6, 4, 512);
+  ControlPlaneOptions raw_opts = opts;
+  raw_opts.min_search_busy_ns = 0;
+  ControlPlane raw_plane(raw_tuning, raw_opts);
+  for (int i = 0; i < 12; ++i) {
+    SearchSample ss;
+    ss.workers = 4;
+    ss.tasks = 1;
+    ss.max_busy_ns = 2'000;
+    ss.total_busy_ns = 2'000;
+    raw_plane.on_search(ss);
+    raw_plane.on_batch(unsafe_batch(4));
+  }
+  EXPECT_GT(raw_tuning.split_depth(), 6u);
+}
+
+TEST(ControlPlane, BalancedLowOverheadSearchesHoldSplitDepth) {
+  TuningView tuning(6, 4, 512);
+  ControlPlaneOptions opts;
+  opts.epoch_batches = 1;
+  opts.adapt_batch_size = false;
+  ControlPlane plane(tuning, opts);
+  for (int i = 0; i < 12; ++i) {
+    SearchSample ss;
+    ss.workers = 4;
+    ss.tasks = 100;
+    ss.offloads = 10;  // 0.1 offloads/task, below the overhead gate
+    ss.max_busy_ns = 250'000;    // perfectly even
+    ss.total_busy_ns = 1'000'000;
+    plane.on_search(ss);
+    plane.on_batch(unsafe_batch(4));
+  }
+  EXPECT_EQ(tuning.split_depth(), 6u)
+      << "splitting that isn't hurting must be left alone";
+}
+
+TEST(ControlPlane, BalancedHighOverheadSearchesShrinkSplitDepth) {
+  TuningView tuning(6, 4, 512);
+  ControlPlaneOptions opts;
+  opts.epoch_batches = 1;
+  opts.adapt_batch_size = false;
+  ControlPlane plane(tuning, opts);
+  for (int i = 0; i < 12; ++i) {
+    SearchSample ss;
+    ss.workers = 4;
+    ss.tasks = 100;
+    ss.offloads = 90;  // 0.9 offloads/task: splitting is churning
+    ss.max_busy_ns = 250'000;
+    ss.total_busy_ns = 1'000'000;
+    plane.on_search(ss);
+    plane.on_batch(unsafe_batch(4));
+  }
+  EXPECT_LT(tuning.split_depth(), 6u);
+}
+
+TEST(ControlPlane, WideCutoffFollowsRelativeBackendCost) {
+  TuningView tuning(4, 4, 256);
+  ControlPlaneOptions opts;
+  opts.epoch_batches = 1;
+  opts.adapt_batch_size = false;
+  opts.adapt_split_depth = false;
+  ControlPlane plane(tuning, opts);
+  // Alternate backends; cpu classifies a lane 9x cheaper than wide.
+  for (int i = 0; i < 16; ++i) {
+    BatchSample s = unsafe_batch(10);
+    s.wide_backend = i % 2 == 0;
+    s.classify_ns = s.wide_backend ? 9000 : 1000;
+    plane.on_batch(s);
+  }
+  EXPECT_LT(tuning.wide_auto_cutoff(), 256u)
+      << "cheap cpu must pull the crossover down";
+
+  // And the mirror image: wide 9x cheaper pulls it up.
+  TuningView tuning2(4, 4, 256);
+  ControlPlane plane2(tuning2, opts);
+  for (int i = 0; i < 16; ++i) {
+    BatchSample s = unsafe_batch(10);
+    s.wide_backend = i % 2 == 0;
+    s.classify_ns = s.wide_backend ? 1000 : 9000;
+    plane2.on_batch(s);
+  }
+  EXPECT_GT(tuning2.wide_auto_cutoff(), 256u);
+}
+
+TEST(ControlPlane, OneSidedRoutingProbesTheStarvedBackend) {
+  // A cutoff that routes every batch to one backend starves the other side
+  // of cost samples, so the genuine comparison can never fire. A streak of
+  // one-sided epochs must trigger exploration probes toward the starved
+  // backend until routing mixes.
+  TuningView tuning(4, 4, 512);
+  ControlPlaneOptions opts;
+  opts.epoch_batches = 1;
+  opts.adapt_batch_size = false;
+  opts.adapt_split_depth = false;
+  ControlPlane plane(tuning, opts);
+  for (int i = 0; i < 40; ++i) {
+    BatchSample s = unsafe_batch(10);
+    s.wide_backend = true;  // all-wide: cpu EWMA never gets a sample
+    plane.on_batch(s);
+  }
+  EXPECT_LT(tuning.wide_auto_cutoff(), 512u)
+      << "all-wide streaks must probe the cutoff downward";
+
+  // Mirror image: all-cpu routing probes the cutoff upward.
+  TuningView tuning2(4, 4, 4);
+  ControlPlane plane2(tuning2, opts);
+  for (int i = 0; i < 40; ++i) {
+    BatchSample s = unsafe_batch(10);
+    s.wide_backend = false;
+    plane2.on_batch(s);
+  }
+  EXPECT_GT(tuning2.wide_auto_cutoff(), 4u);
+
+  // With probing disabled, one-sided routing leaves the cutoff frozen.
+  TuningView tuning3(4, 4, 512);
+  ControlPlaneOptions frozen = opts;
+  frozen.explore_epochs = 0;
+  ControlPlane plane3(tuning3, frozen);
+  for (int i = 0; i < 40; ++i) {
+    BatchSample s = unsafe_batch(10);
+    s.wide_backend = true;
+    plane3.on_batch(s);
+  }
+  EXPECT_EQ(tuning3.wide_auto_cutoff(), 512u);
+}
+
+TEST(ControlPlane, FlushClosesAPartialEpoch) {
+  TuningView tuning(4, 4, 512);
+  ControlPlaneOptions opts;
+  opts.epoch_batches = 100;  // never ticks on its own in this test
+  ControlPlane plane(tuning, opts);
+  plane.on_batch(safe_batch(8));
+  EXPECT_EQ(plane.epoch(), 0u);
+  plane.flush();
+  EXPECT_EQ(plane.epoch(), 1u);
+  EXPECT_EQ(plane.last_snapshot().lanes, 8u);
+  plane.flush();  // nothing accumulated: no-op
+  EXPECT_EQ(plane.epoch(), 1u);
+}
+
+TEST(AdmissionControllerTest, PressureShrinksCalmRestoresTheWatermark) {
+  AdmissionOptions opts;
+  opts.p99_target_ns = 1'000'000;
+  AdmissionController ctl(/*queue_capacity=*/256, opts);
+  EXPECT_EQ(ctl.watermark(), 256u) << "starts at capacity (static behaviour)";
+
+  ServiceSample hot;
+  hot.queue_depth = 250;
+  hot.queue_capacity = 256;
+  hot.p99_ns = 10'000'000;  // 10x over target
+  for (int i = 0; i < 8; ++i) (void)ctl.step(hot);
+  const std::uint32_t low = ctl.watermark();
+  EXPECT_LT(low, 256u) << "overload must degrade earlier";
+  EXPECT_GE(low, 256u / 16) << "clamped at the policy floor";
+
+  ServiceSample calm;
+  calm.queue_depth = 0;
+  calm.queue_capacity = 256;
+  calm.p99_ns = 10'000;  // well under target
+  for (int i = 0; i < 32; ++i) (void)ctl.step(calm);
+  EXPECT_EQ(ctl.watermark(), 256u) << "calm windows restore full admission";
+  EXPECT_EQ(ctl.decisions().size(), ctl.stats().decisions);
+}
+
+// ------------------------------------------------- TuningView engine plumbing
+
+// Regression for the Config-baked-at-construction bug: mutating knobs on a
+// LIVE engine must take effect at the next batch boundary. Before the
+// TuningView, Config::batch_size was read once per stream and split depth
+// was copied into the executors' constructors, so post-construction retunes
+// were silently ignored.
+TEST(TuningViewPlumbing, BatchCutRepublishTakesEffectPerBatch) {
+  SmallWorkload wl = make_workload(/*seed=*/7);
+  auto alg = csm::make_algorithm("graphflow");
+  ASSERT_NE(alg, nullptr);
+
+  engine::Config cfg;
+  cfg.threads = 2;
+  cfg.batch_size = 8;
+  engine::ParaCosm pc(*alg, wl.query, wl.graph, cfg);
+
+  // k == 1: every batch holds exactly one update, so the engine advances
+  // one update per loop iteration — batches == updates processed.
+  pc.tuning().set_batch_size(1);
+  const engine::StreamResult one = pc.process_stream(wl.stream);
+  EXPECT_EQ(one.batches, one.updates_processed)
+      << "batch_size=1 republished post-construction must be honoured";
+
+  // Replaying the (now largely no-op) stream with a huge cut must produce
+  // far fewer batches than updates — the knob moved again mid-life.
+  pc.tuning().set_batch_size(1000);
+  const engine::StreamResult big = pc.process_stream(wl.stream);
+  EXPECT_LT(big.batches, std::max<std::uint64_t>(big.updates_processed, 2));
+}
+
+TEST(TuningViewPlumbing, WideCutoffRepublishRoutesBackends) {
+  SmallWorkload wl = make_workload(/*seed=*/11);
+  auto alg = csm::make_algorithm("graphflow");
+  ASSERT_NE(alg, nullptr);
+
+  engine::Config cfg;
+  cfg.threads = 2;  // >1, so kAuto actually consults the cutoff
+  cfg.batch_backend = engine::BatchBackendKind::kAuto;
+  engine::ParaCosm pc(*alg, wl.query, wl.graph, cfg);
+
+  pc.tuning().set_wide_auto_cutoff(0);  // nothing fits under the cutoff
+  const engine::StreamResult all_cpu = pc.process_stream(wl.stream);
+  EXPECT_EQ(all_cpu.backend_wide.batches, 0u);
+  EXPECT_EQ(all_cpu.backend_cpu.batches, all_cpu.batches);
+
+  pc.tuning().set_wide_auto_cutoff(1u << 30);  // everything fits
+  const engine::StreamResult all_wide = pc.process_stream(wl.stream);
+  EXPECT_EQ(all_wide.backend_cpu.batches, 0u);
+  EXPECT_EQ(all_wide.backend_wide.batches, all_wide.batches);
+}
+
+TEST(TuningViewPlumbing, SplitDepthRepublishKeepsResultsExact) {
+  // Correctness invariance: tuning changes alter WHEN/HOW work is scheduled,
+  // never WHAT is computed. Replay the same workload with the split depth
+  // retuned mid-stream and compare ΔM against an untouched engine.
+  SmallWorkload wl1 = make_workload(/*seed=*/23);
+  SmallWorkload wl2 = wl1;  // same initial state and stream
+
+  auto a1 = csm::make_algorithm("graphflow");
+  auto a2 = csm::make_algorithm("graphflow");
+  ASSERT_NE(a1, nullptr);
+  ASSERT_NE(a2, nullptr);
+
+  engine::Config cfg;
+  cfg.threads = 4;
+  engine::ParaCosm base(*a1, wl1.query, wl1.graph, cfg);
+  engine::ParaCosm tuned(*a2, wl2.query, wl2.graph, cfg);
+
+  const std::size_t half = wl1.stream.size() / 2;
+  const std::span<const graph::GraphUpdate> s1(wl1.stream);
+  const std::span<const graph::GraphUpdate> s2(wl2.stream);
+
+  const engine::StreamResult b1 = base.process_stream(s1.subspan(0, half));
+  const engine::StreamResult b2 = base.process_stream(s1.subspan(half));
+
+  const engine::StreamResult t1 = tuned.process_stream(s2.subspan(0, half));
+  tuned.tuning().set_split_depth(0);  // mid-stream retune
+  const engine::StreamResult t2 = tuned.process_stream(s2.subspan(half));
+
+  EXPECT_EQ(b1.positive + b2.positive, t1.positive + t2.positive);
+  EXPECT_EQ(b1.negative + b2.negative, t1.negative + t2.negative);
+  EXPECT_GT(tuned.tuning().version(), 0u);
+}
+
+// End-to-end: a live engine with an attached plane adapts and records it.
+TEST(ControlPlaneEngine, AttachedPlaneAdaptsALiveEngine) {
+  SmallWorkload wl = make_workload(/*seed=*/31, /*n=*/48, /*m=*/120);
+  auto alg = csm::make_algorithm("graphflow");
+  ASSERT_NE(alg, nullptr);
+
+  engine::Config cfg;
+  cfg.threads = 2;
+  cfg.batch_size = 2;
+  engine::ParaCosm pc(*alg, wl.query, wl.graph, cfg);
+
+  ControlPlaneOptions opts;
+  opts.epoch_batches = 2;
+  ControlPlane plane(pc.tuning(), opts);
+  pc.attach_control(&plane);
+
+  const engine::StreamResult r = pc.process_stream(wl.stream);
+  plane.flush();
+
+  EXPECT_GT(plane.epoch(), 0u) << "the engine must post batch samples";
+  EXPECT_EQ(plane.stats().epochs, plane.epoch());
+  // Every logged decision's target must match what the view now holds for
+  // the most recent decision per knob.
+  for (const DecisionRecord& d : plane.decisions()) {
+    EXPECT_NE(d.from, d.to);
+    EXPECT_LE(d.epoch, plane.epoch());
+  }
+  EXPECT_GT(r.updates_processed, 0u);
+
+  pc.attach_control(nullptr);  // detach must be safe
+  (void)pc.process_stream(wl.stream);
+}
+
+}  // namespace
+}  // namespace paracosm::control

@@ -59,7 +59,7 @@ std::vector<std::string> parse_name_list(const std::string& csv) {
 }
 
 std::vector<verify::LaneConfig> lanes_for(const std::vector<unsigned>& threads,
-                                          bool backend_diff) {
+                                          bool backend_diff, bool control_diff) {
   std::vector<verify::LaneConfig> lanes{{verify::Lane::kSequential, 1}};
   for (const unsigned t : threads) lanes.push_back({verify::Lane::kInner, t});
   for (const unsigned t : threads) lanes.push_back({verify::Lane::kBatch, t});
@@ -70,6 +70,17 @@ std::vector<verify::LaneConfig> lanes_for(const std::vector<unsigned>& threads,
     for (const unsigned t : threads)
       lanes.push_back(
           {verify::Lane::kBatch, t, paracosm::engine::BatchBackendKind::kWide});
+  }
+  if (control_diff) {
+    // Differential adaptive lane: re-run every batch cell with the feedback
+    // control plane retuning split depth / batch cut / backend cutoff after
+    // every batch, plus the invariant certifier engaged. Reconciles against
+    // the exact same oracle trace as the static cells — a controller that
+    // changes results (not just schedule) fails this arm (DESIGN.md §13).
+    for (const unsigned t : threads)
+      lanes.push_back({verify::Lane::kBatch, t,
+                       paracosm::engine::BatchBackendKind::kAuto,
+                       /*adaptive=*/true});
   }
   return lanes;
 }
@@ -93,6 +104,10 @@ int main(int argc, char** argv) {
       .flag("backend",
             "Additionally run every batch lane on the wide (AVX2/SWAR) "
             "classification backend — the cpu-vs-wide differential sweep")
+      .flag("control",
+            "Additionally run every batch lane with an attached control "
+            "plane retuning all engine knobs per batch (invariant stage on, "
+            "kAuto backend) — the adaptive-vs-static differential sweep")
       .flag("invariants", "Additionally run metamorphic invariant checks")
       .flag("counts-only", "Reconcile match counts only (skip mapping multisets)")
       .flag("service",
@@ -125,7 +140,7 @@ int main(int argc, char** argv) {
   opts.factory = factory;
   opts.check_mappings = !cli.get_bool("counts-only");
   opts.lanes = lanes_for(parse_thread_list(cli.get("threads")),
-                         cli.get_bool("backend"));
+                         cli.get_bool("backend"), cli.get_bool("control"));
   const std::vector<std::string> algo_names = parse_name_list(cli.get("algorithms"));
   if (!algo_names.empty()) {
     opts.algorithms.clear();
